@@ -1,0 +1,402 @@
+package hpcqc
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (DESIGN.md §4 maps each to its experiment ID) plus the hot
+// paths of the substrates. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Reproduction benches report the experiment's headline numbers as custom
+// metrics so `go test -bench` output doubles as the results table.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"hpcqc/internal/core"
+	"hpcqc/internal/daemon"
+	"hpcqc/internal/device"
+	"hpcqc/internal/emulator"
+	"hpcqc/internal/experiments"
+	"hpcqc/internal/qir"
+	"hpcqc/internal/sched"
+	"hpcqc/internal/simclock"
+	"hpcqc/internal/telemetry"
+	"hpcqc/internal/workload"
+)
+
+// --- E1: Table 1 ---
+
+// BenchmarkTable1PatternTaxonomy regenerates Table 1: pattern mixes under
+// the hint-blind baseline and the hint-aware interleave policy.
+func BenchmarkTable1PatternTaxonomy(b *testing.B) {
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows, _ = experiments.RunTable1(42)
+	}
+	for _, r := range rows {
+		if r.Mix == "mixed A+B+C" {
+			key := "mixed_" + r.Policy.String()
+			b.ReportMetric(r.QPUUtil, key+"_qpu_util")
+			b.ReportMetric(r.Makespan.Seconds(), key+"_makespan_s")
+		}
+	}
+}
+
+// --- E2: Figure 1 ---
+
+// BenchmarkFigure1Portability regenerates the portability figure: one
+// program across develop / test / production environments.
+func BenchmarkFigure1Portability(b *testing.B) {
+	var rows []experiments.Figure1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.RunFigure1(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.PZ2, "pz2_"+r.Resource)
+	}
+}
+
+// --- E3: Figure 2 ---
+
+// BenchmarkFigure2Architecture regenerates the architecture comparison:
+// Slurm-only FIFO versus the daemon's second-level scheduling.
+func BenchmarkFigure2Architecture(b *testing.B) {
+	var rows []experiments.Figure2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.RunFigure2(13)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].ProdMeanWait.Seconds(), "baseline_prod_wait_s")
+	b.ReportMetric(rows[1].ProdMeanWait.Seconds(), "daemon_prod_wait_s")
+	b.ReportMetric(rows[1].QPUUtil, "daemon_qpu_util")
+}
+
+// --- A1: bond-dimension ablation ---
+
+// BenchmarkMPSBondDimension sweeps χ on quench dynamics per register size.
+func BenchmarkMPSBondDimension(b *testing.B) {
+	spec := qir.DefaultAnalogSpec()
+	for _, n := range []int{8, 16, 32} {
+		for _, chi := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("n%d/chi%d", n, chi), func(b *testing.B) {
+				seq := qir.NewAnalogSequence(qir.LinearRegister("chain", n, 7))
+				seq.Add(qir.GlobalRydberg, qir.Pulse{
+					Amplitude: qir.ConstantWaveform{Dur: 200, Val: 2 * math.Pi},
+					Detuning:  qir.ConstantWaveform{Dur: 200, Val: 0},
+				})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m, err := emulator.NewMPS(n, chi)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := m.EvolveAnalogTEBD(seq, spec.C6, 2); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- A2: shot-rate sweep ---
+
+// BenchmarkShotRateSweep regenerates the shot-rate ablation.
+func BenchmarkShotRateSweep(b *testing.B) {
+	var rows []experiments.ShotRateRow
+	for i := 0; i < b.N; i++ {
+		rows, _ = experiments.RunShotRateSweep(5)
+	}
+	for _, r := range rows {
+		if r.Policy == sched.PolicyInterleave {
+			b.ReportMetric(r.QPUUtil, fmt.Sprintf("util_interleave_%gHz", r.ShotRateHz))
+		}
+	}
+}
+
+// --- A3: GRES timeshares ---
+
+// BenchmarkGRESTimeshare regenerates the fractional-QPU-share ablation.
+func BenchmarkGRESTimeshare(b *testing.B) {
+	var rows []experiments.GRESRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.RunGRESTimeshare(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Concurrency), fmt.Sprintf("concurrency_%dunits", r.UnitsPerJob))
+	}
+}
+
+// --- A4: drift detection ---
+
+// BenchmarkDriftDetection regenerates the telemetry drift-injection study.
+func BenchmarkDriftDetection(b *testing.B) {
+	var rows []experiments.DriftRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.RunDriftDetection(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Detected {
+			b.ReportMetric(r.DetectionDelay.Seconds(), fmt.Sprintf("delay_s_%.0fpct", r.InjectedDrift*100))
+		}
+	}
+}
+
+// --- A5: preemption ---
+
+// BenchmarkPreemption regenerates the production-wait-under-flood study.
+func BenchmarkPreemption(b *testing.B) {
+	var rows []experiments.PreemptionRow
+	for i := 0; i < b.N; i++ {
+		rows, _ = experiments.RunPreemption(9)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MaxProdWait.Seconds(), "max_prod_wait_s_"+r.Policy)
+	}
+}
+
+// --- A8: expected-QPU-duration hints ---
+
+// BenchmarkDurationHints regenerates the §3.5 duration-hint ablation:
+// FIFO-within-class versus shortest-expected-first on an unequal backlog.
+func BenchmarkDurationHints(b *testing.B) {
+	var rows []experiments.HintsRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.RunDurationHints(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.DevMeanWait.Seconds(), "dev_mean_wait_s_"+r.Setup)
+	}
+}
+
+// --- A9: fair share across users ---
+
+// BenchmarkFairShare regenerates the §4 fair-share ablation: a flooding user
+// versus a casual user in the same class, FIFO versus least-served-first.
+func BenchmarkFairShare(b *testing.B) {
+	var rows []experiments.FairShareRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.RunFairShare(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.CasualMeanWait.Seconds(), "casual_wait_s_"+r.Setup)
+	}
+}
+
+// --- A6: SQD post-processing ---
+
+// BenchmarkSQDPostprocessing regenerates the CC-heavy reference pipeline.
+func BenchmarkSQDPostprocessing(b *testing.B) {
+	var rows []experiments.SQDRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.RunSQD(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.SubspaceCap == 512 {
+			b.ReportMetric(r.Energy, "energy_"+r.Sampler)
+		}
+	}
+}
+
+// --- substrate hot paths ---
+
+// BenchmarkStateVectorEvolution measures exact analog integration cost.
+func BenchmarkStateVectorEvolution(b *testing.B) {
+	spec := qir.DefaultAnalogSpec()
+	for _, n := range []int{6, 10, 12} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			seq := qir.NewAnalogSequence(qir.LinearRegister("chain", n, 7))
+			seq.Add(qir.GlobalRydberg, qir.Pulse{
+				Amplitude: qir.BlackmanWaveform{Dur: 300, Peak: 2 * math.Pi},
+				Detuning:  qir.ConstantWaveform{Dur: 300, Val: 0},
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sv, err := emulator.NewStateVector(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sv.EvolveAnalog(seq, spec.C6, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDigitalCircuitSV measures gate application throughput.
+func BenchmarkDigitalCircuitSV(b *testing.B) {
+	c := qir.NewCircuit(12)
+	for layer := 0; layer < 10; layer++ {
+		for q := 0; q < 12; q++ {
+			c.RX(q, 0.3)
+		}
+		for q := 0; q < 11; q++ {
+			c.CZ(q, q+1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv, _ := emulator.NewStateVector(12)
+		if err := sv.RunCircuit(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComplexSVD measures the MPS truncation kernel.
+func BenchmarkComplexSVD(b *testing.B) {
+	for _, size := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("%dx%d", size, size), func(b *testing.B) {
+			m := emulator.NewMatrix(size, size)
+			for i := range m.Data {
+				m.Data[i] = complex(float64((i*2654435761)%1000)/1000, float64((i*40503)%1000)/1000)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := emulator.SVD(m.Clone())
+				if len(res.S) == 0 {
+					b.Fatal("empty SVD")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTSDBAppendQuery measures the telemetry store.
+func BenchmarkTSDBAppendQuery(b *testing.B) {
+	db := telemetry.NewTSDB(0, 1<<20)
+	labels := telemetry.Labels{"device": "qpu"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Append("metric", labels, time.Duration(i)*time.Second, float64(i))
+		if i%100 == 99 {
+			db.Query("metric", labels, time.Duration(i-50)*time.Second, time.Duration(i)*time.Second)
+		}
+	}
+}
+
+// BenchmarkPrometheusExposition measures the scrape path.
+func BenchmarkPrometheusExposition(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	for i := 0; i < 20; i++ {
+		g := reg.MustGauge(fmt.Sprintf("metric_%d", i), "bench gauge")
+		for j := 0; j < 10; j++ {
+			g.Set(telemetry.Labels{"shard": fmt.Sprintf("%d", j)}, float64(i*j))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := reg.Expose(); len(out) == 0 {
+			b.Fatal("empty exposition")
+		}
+	}
+}
+
+// BenchmarkDaemonDispatch measures the middleware's submit→complete cycle on
+// simulated time (no HTTP): the second-level scheduler's core loop.
+func BenchmarkDaemonDispatch(b *testing.B) {
+	clk := simclock.New()
+	dev, err := device.New(device.Config{Clock: clk, Seed: 1, DriftInterval: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := daemon.NewDaemon(daemon.Config{Device: dev, Clock: clk, AdminToken: "x", EnablePreemption: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := d.OpenSession("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	omega := 2 * math.Pi
+	tPi := math.Pi / omega * 1000
+	seq := qir.NewAnalogSequence(qir.LinearRegister("r", 2, 20))
+	seq.Add(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.ConstantWaveform{Dur: tPi, Val: omega},
+		Detuning:  qir.ConstantWaveform{Dur: tPi, Val: 0},
+	})
+	payload, err := qir.NewAnalogProgram(seq, 5).MarshalJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Submit(sess.Token, daemon.SubmitRequest{Program: payload, Class: sched.ClassTest}); err != nil {
+			b.Fatal(err)
+		}
+		clk.Advance(10 * time.Second)
+	}
+}
+
+// BenchmarkOrchestratorThroughput measures the hybrid-job scheduler on a
+// large synthetic batch.
+func BenchmarkOrchestratorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gen := workload.NewGenerator(int64(i))
+		jobs, err := gen.Batch(workload.Mix{QCHeavy: 20, CCHeavy: 20, Balanced: 20}, sched.ClassTest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clk := simclock.New()
+		o, err := sched.NewOrchestrator(clk, sched.PolicyInterleave)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, j := range jobs {
+			if err := o.Submit(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+		clk.Run(0)
+		if !o.Done() {
+			b.Fatal("batch incomplete")
+		}
+	}
+}
+
+// BenchmarkRuntimeExecute measures the full runtime path (resolve done once,
+// execute per iteration) on the local emulator.
+func BenchmarkRuntimeExecute(b *testing.B) {
+	rt, err := core.NewRuntimeFor("local-sv", "", []string{"QRMI_SEED=1"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := qir.NewDigitalProgram(qir.NewCircuit(4).H(0).CX(0, 1).CX(1, 2).CX(2, 3), 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Execute(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command qcsd is the quantum access node middleware daemon (paper §3.3):
+// it owns the QPU connection (here the device model), serves the user and
+// admin REST APIs, and exposes the Prometheus metrics endpoint.
+//
+// Usage:
+//
+//	qcsd [-listen :8080] [-admin-token TOKEN] [-seed N] [-timescale X]
+//
+// -timescale compresses simulated device time: X simulated seconds advance
+// per wall-clock second (default 10), so a 1 Hz-shot device is usable
+// interactively.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"hpcqc/internal/daemon"
+	"hpcqc/internal/device"
+	"hpcqc/internal/simclock"
+	"hpcqc/internal/telemetry"
+)
+
+// node is the assembled quantum access node: the simulated device, the
+// middleware daemon in front of it, and the shared clock that a background
+// pump advances against wall time.
+type node struct {
+	clk *simclock.Clock
+	dev *device.Device
+	d   *daemon.Daemon
+}
+
+// newNode wires the device, daemon and observability stack exactly as the
+// serving binary runs them. Split from main so tests can boot the same
+// composition without sockets or flags.
+func newNode(adminToken string, seed int64, timescale float64) (*node, error) {
+	if adminToken == "" {
+		return nil, fmt.Errorf("qcsd: -admin-token is required")
+	}
+	if timescale <= 0 {
+		return nil, fmt.Errorf("qcsd: -timescale must be positive, got %g", timescale)
+	}
+	clk := simclock.New()
+	reg := telemetry.NewRegistry()
+	tsdb := telemetry.NewTSDB(24*time.Hour, 0)
+	dev, err := device.New(device.Config{
+		Clock: clk, Seed: seed, Registry: reg, TSDB: tsdb,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("qcsd: device: %w", err)
+	}
+	d, err := daemon.NewDaemon(daemon.Config{
+		Device: dev, Clock: clk,
+		AdminToken:       adminToken,
+		EnablePreemption: true,
+		Registry:         reg, TSDB: tsdb,
+		Seed: seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("qcsd: daemon: %w", err)
+	}
+	return &node{clk: clk, dev: dev, d: d}, nil
+}
+
+// pump advances simulated time by timescale seconds per wall second until
+// stop is closed. tick controls the pump granularity.
+func (n *node) pump(timescale float64, tick time.Duration, stop <-chan struct{}) {
+	step := time.Duration(float64(tick) * timescale)
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			n.clk.Advance(step)
+		}
+	}
+}
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to serve the REST API on")
+	adminToken := flag.String("admin-token", "", "admin API token (required)")
+	seed := flag.Int64("seed", 1, "device model seed")
+	timescale := flag.Float64("timescale", 10, "simulated seconds per wall second")
+	flag.Parse()
+
+	n, err := newNode(*adminToken, *seed, *timescale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go n.pump(*timescale, 100*time.Millisecond, stop)
+
+	log.Printf("qcsd: serving %s on %s (timescale %gx)",
+		n.dev.Spec().Name, *listen, *timescale)
+	if err := http.ListenAndServe(*listen, n.d.Handler()); err != nil {
+		log.Fatalf("qcsd: %v", err)
+	}
+}

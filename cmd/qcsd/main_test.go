@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewNodeValidation(t *testing.T) {
+	if _, err := newNode("", 1, 10); err == nil {
+		t.Fatal("missing admin token accepted")
+	}
+	if _, err := newNode("tok", 1, 0); err == nil {
+		t.Fatal("zero timescale accepted")
+	}
+	if _, err := newNode("tok", 1, -3); err == nil {
+		t.Fatal("negative timescale accepted")
+	}
+}
+
+// TestNodeServesEndToEnd boots the exact composition the binary serves and
+// walks the public surface: health, session, device characteristics, metrics
+// and the admin plane behind the token.
+func TestNodeServesEndToEnd(t *testing.T) {
+	n, err := newNode("secret", 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(n.d.Handler())
+	defer srv.Close()
+
+	get := func(path string, hdr map[string]string) (*http.Response, string) {
+		t.Helper()
+		req, _ := http.NewRequest("GET", srv.URL+path, nil)
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp, sb.String()
+	}
+
+	if resp, _ := get("/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// Open a session and read device characteristics through it.
+	resp, err := http.Post(srv.URL+"/api/v1/sessions", "application/json",
+		strings.NewReader(`{"user":"alice"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess struct {
+		Token string `json:"token"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sess.Token == "" {
+		t.Fatal("no session token returned")
+	}
+	if resp, body := get("/api/v1/device", map[string]string{"Authorization": "Bearer " + sess.Token}); resp.StatusCode != http.StatusOK || !strings.Contains(body, "max_qubits") {
+		t.Fatalf("device = %d: %s", resp.StatusCode, body)
+	}
+
+	// Metrics exposition is public; the admin plane is gated.
+	if resp, body := get("/metrics", nil); resp.StatusCode != http.StatusOK || !strings.Contains(body, "qpu_") {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	if resp, _ := get("/admin/v1/status", nil); resp.StatusCode != http.StatusUnauthorized && resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unauthenticated admin status = %d", resp.StatusCode)
+	}
+	if resp, body := get("/admin/v1/status", map[string]string{"Authorization": "Bearer secret"}); resp.StatusCode != http.StatusOK || !strings.Contains(body, "device") {
+		t.Fatalf("admin status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestPumpAdvancesSimTime verifies the timescale pump: simulated time moves
+// forward by ~timescale× wall time while it runs, and stops when told.
+func TestPumpAdvancesSimTime(t *testing.T) {
+	n, err := newNode("secret", 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	go n.pump(500, time.Millisecond, stop)
+	deadline := time.After(2 * time.Second)
+	for n.clk.Now() < 100*time.Millisecond*500 {
+		select {
+		case <-deadline:
+			t.Fatalf("pump advanced only %s in 2s wall", n.clk.Now())
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	close(stop)
+	frozen := n.clk.Now()
+	time.Sleep(20 * time.Millisecond)
+	if drift := n.clk.Now() - frozen; drift > 500*10*time.Millisecond {
+		t.Fatalf("clock advanced %s after stop", drift)
+	}
+}

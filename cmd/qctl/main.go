@@ -1,0 +1,79 @@
+// Command qctl is the hosting-site administration CLI for the middleware
+// daemon: device status, job listing, maintenance windows, recalibration and
+// the gated low-level control operations (paper §2.5, §3.6).
+//
+// Usage:
+//
+//	qctl -endpoint http://node:8080 -token ADMIN_TOKEN status
+//	qctl ... jobs
+//	qctl ... op recalibrate|qa_check|maintenance_on|maintenance_off
+//	qctl ... metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+func main() {
+	endpoint := flag.String("endpoint", "http://127.0.0.1:8080", "daemon endpoint")
+	token := flag.String("token", "", "admin token")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "qctl: need a subcommand: status, jobs, op <name>, metrics")
+		os.Exit(2)
+	}
+	if err := run(*endpoint, *token, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "qctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(endpoint, token string, args []string) error {
+	switch args[0] {
+	case "status":
+		return get(endpoint+"/admin/v1/status", token)
+	case "jobs":
+		return get(endpoint+"/admin/v1/jobs", token)
+	case "metrics":
+		return get(endpoint+"/metrics", "")
+	case "op":
+		if len(args) < 2 {
+			return fmt.Errorf("op needs an operation name")
+		}
+		return post(endpoint+"/admin/v1/lowlevel/"+args[1], token)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func do(method, url, token string) error {
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		return err
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	fmt.Println(string(body))
+	return nil
+}
+
+func get(url, token string) error  { return do(http.MethodGet, url, token) }
+func post(url, token string) error { return do(http.MethodPost, url, token) }

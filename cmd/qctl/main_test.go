@@ -1,0 +1,70 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hpcqc/internal/daemon"
+	"hpcqc/internal/device"
+	"hpcqc/internal/simclock"
+	"hpcqc/internal/telemetry"
+)
+
+func testDaemonServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	clk := simclock.New()
+	reg := telemetry.NewRegistry()
+	dev, err := device.New(device.Config{Clock: clk, Seed: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := daemon.NewDaemon(daemon.Config{
+		Device: dev, Clock: clk, AdminToken: "tok", Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.Handler())
+	t.Cleanup(ts.Close)
+	go func() {
+		for i := 0; i < 100; i++ {
+			clk.Advance(time.Second)
+		}
+	}()
+	return ts
+}
+
+func TestQctlSubcommands(t *testing.T) {
+	ts := testDaemonServer(t)
+	for _, args := range [][]string{
+		{"status"},
+		{"jobs"},
+		{"metrics"},
+		{"op", "recalibrate"},
+		{"op", "qa_check"},
+	} {
+		if err := run(ts.URL, "tok", args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestQctlErrors(t *testing.T) {
+	ts := testDaemonServer(t)
+	if err := run(ts.URL, "wrong-token", []string{"status"}); err == nil {
+		t.Fatal("bad token accepted")
+	}
+	if err := run(ts.URL, "tok", []string{"op"}); err == nil {
+		t.Fatal("op without name accepted")
+	}
+	if err := run(ts.URL, "tok", []string{"op", "self-destruct"}); err == nil {
+		t.Fatal("gated op accepted")
+	}
+	if err := run(ts.URL, "tok", []string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run("http://127.0.0.1:1", "tok", []string{"status"}); err == nil {
+		t.Fatal("unreachable endpoint accepted")
+	}
+}

@@ -1,0 +1,14 @@
+// Package hpcqc is a reproduction of "Towards a user-centric HPC-QC
+// environment" (Wennersteen, Moreau, Nober, Beji — SC Workshops '25): a
+// portable runtime environment for hybrid quantum-classical programs, a
+// middleware daemon providing a second level of scheduling below the HPC
+// batch scheduler, multi-SDK frontends over a vendor-neutral resource
+// management interface, and a full observability stack — with every hardware
+// and site dependency (neutral-atom QPU, Slurm, cloud services) substituted
+// by faithful simulators so the complete system runs offline.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate every table and
+// figure; `go run ./cmd/hpcsim` prints them as text tables.
+package hpcqc

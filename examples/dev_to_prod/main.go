@@ -1,0 +1,76 @@
+// dev_to_prod walks the paper's Figure 1 workflow end to end: the same
+// adiabatic state-preparation program moves from local development
+// (exact emulator) to HPC-scale testing (tensor-network emulator) to
+// production (the QPU device model), changing only the resource name —
+// never the program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hpcqc/internal/core"
+	"hpcqc/internal/qir"
+)
+
+// buildProgram is written ONCE. Note it contains no backend references: the
+// paper's central usability point.
+func buildProgram() *qir.Program {
+	omega := 2 * math.Pi
+	seq := qir.NewAnalogSequence(qir.LinearRegister("chain", 7, 5.5))
+	// Rise under negative detuning…
+	seq.Add(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.RampWaveform{Dur: 600, Start: 0, Stop: omega},
+		Detuning:  qir.ConstantWaveform{Dur: 600, Val: -1.5 * omega},
+	})
+	// …sweep the detuning through the phase transition…
+	seq.Add(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.ConstantWaveform{Dur: 2500, Val: omega},
+		Detuning:  qir.RampWaveform{Dur: 2500, Start: -1.5 * omega, Stop: 1.5 * omega},
+	})
+	// …and switch off in the ordered phase.
+	seq.Add(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.RampWaveform{Dur: 600, Start: omega, Stop: 0},
+		Detuning:  qir.ConstantWaveform{Dur: 600, Val: 1.5 * omega},
+	})
+	return qir.NewAnalogProgram(seq, 500)
+}
+
+func main() {
+	stages := []struct {
+		label    string
+		resource string
+	}{
+		{"1. develop on the laptop", "local-sv"},
+		{"2. test at HPC scale", "hpc-mps"},
+		{"3. run in production", "qpu-onprem"},
+	}
+	environ := []string{"QRMI_SEED=11", "QRMI_QPU_POLL_ADVANCE_S=60"}
+	for _, stage := range stages {
+		fmt.Printf("\n%s  (--qpu=%s)\n", stage.label, stage.resource)
+
+		// Each stage re-resolves the runtime and re-fetches the current
+		// device characteristics — Figure 1's per-stage metadata fetch.
+		rt, err := core.NewRuntimeFor(stage.resource, "", environ)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec := rt.Spec()
+		fmt.Printf("   device: %s, max qubits %d", spec.Name, spec.MaxQubits)
+		if calib, ok := rt.Metadata()["calibration"]; ok {
+			fmt.Printf(", calibration %s", calib)
+		}
+		fmt.Println()
+
+		// The program is identical in every stage.
+		res, err := rt.Execute(buildProgram())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   P(Z2 ordered state 1010101) = %.3f\n", res.Counts.Probability("1010101"))
+		fmt.Printf("   executed on backend %s via method %s\n",
+			res.Metadata["backend"], res.Metadata["method"])
+	}
+	fmt.Println("\nsame program, three environments, zero source changes.")
+}

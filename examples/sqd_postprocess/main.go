@@ -1,0 +1,56 @@
+// sqd_postprocess runs the CC-heavy reference workload (Table 1 pattern B):
+// sample-based quantum diagonalization. Short quantum sampling batches feed
+// a classical subspace diagonalization whose cost dwarfs the quantum time —
+// the workload shape that motivates the paper's interleaving scheduler hints
+// (compare Robledo-Moreno et al., post-processing parallelized to 6400
+// Fugaku nodes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"hpcqc/internal/workload"
+)
+
+func main() {
+	qubits := flag.Int("qubits", 12, "register width")
+	shots := flag.Int("shots", 400, "shots per quantum batch")
+	iters := flag.Int("iters", 3, "sample → diagonalize iterations")
+	cap := flag.Int("cap", 256, "subspace cap")
+	flag.Parse()
+
+	fmt.Printf("SQD pipeline: %d qubits, %d shots × %d iterations, subspace cap %d\n\n",
+		*qubits, *shots, *iters, *cap)
+
+	cfg := workload.SQDConfig{
+		Qubits: *qubits, Shots: *shots, SubspaceCap: *cap, Iterations: *iters, Seed: 3,
+	}
+
+	start := time.Now()
+	uniform, err := workload.SQDPipeline(cfg, workload.UniformSampler(*qubits, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	uniformWall := time.Since(start)
+
+	start = time.Now()
+	biased, err := workload.SQDPipeline(cfg, workload.GroundBiasedSampler(*qubits, 1.2, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	biasedWall := time.Since(start)
+
+	fmt.Println("sampler         energy     classical_ops   subspace_sizes  wall")
+	fmt.Printf("uniform        %8.4f   %12d   %v  %s\n",
+		uniform.Energy, uniform.ClassicalOps, uniform.SubspaceSizes, uniformWall.Round(time.Millisecond))
+	fmt.Printf("ground-biased  %8.4f   %12d   %v  %s\n",
+		biased.Energy, biased.ClassicalOps, biased.SubspaceSizes, biasedWall.Round(time.Millisecond))
+
+	fmt.Printf("\nbiased sampling reaches %.2f lower energy at the same quantum budget.\n",
+		uniform.Energy-biased.Energy)
+	fmt.Println("quantum time: seconds; classical diagonalization: the dominant cost —")
+	fmt.Println("exactly the pattern-B shape Table 1 routes to interleaving schedulers.")
+}

@@ -1,0 +1,217 @@
+package cloud
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"hpcqc/internal/qrmi"
+)
+
+// Client is a qrmi.Resource backed by the cloud API — the paper's
+// "cloud-based QPU resources" and "cloud based emulator resources" devices
+// (§3.2 items 2 and 3).
+type Client struct {
+	base   string
+	device string
+	token  string
+	http   *http.Client
+
+	mu      sync.Mutex
+	tokens  map[string]bool
+	nextTok int
+}
+
+// NewClient returns a client for one device on a cloud endpoint.
+func NewClient(baseURL, deviceName, authToken string, hc *http.Client) (*Client, error) {
+	if baseURL == "" || deviceName == "" {
+		return nil, errors.New("cloud: client needs a base URL and device name")
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{
+		base:   baseURL,
+		device: deviceName,
+		token:  authToken,
+		http:   hc,
+		tokens: make(map[string]bool),
+	}, nil
+}
+
+var _ qrmi.Resource = (*Client)(nil)
+
+// Target implements qrmi.Resource.
+func (c *Client) Target() string { return c.device }
+
+func (c *Client) do(method, path string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+// apiError extracts the server's error message.
+func apiError(data []byte, code int) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("cloud: %s (HTTP %d)", e.Error, code)
+	}
+	return fmt.Errorf("cloud: HTTP %d", code)
+}
+
+// Metadata implements qrmi.Resource.
+func (c *Client) Metadata() (map[string]string, error) {
+	code, data, err := c.do(http.MethodGet, "/api/v1/devices/"+c.device, nil)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, apiError(data, code)
+	}
+	var payload struct {
+		Name string          `json:"name"`
+		Spec json.RawMessage `json:"spec"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		return nil, err
+	}
+	return map[string]string{
+		"spec": string(payload.Spec),
+		"kind": "cloud",
+	}, nil
+}
+
+// Acquire implements qrmi.Resource. Cloud access is shared; tokens are
+// client-local bookkeeping.
+func (c *Client) Acquire() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextTok++
+	tok := fmt.Sprintf("cloud-token-%d", c.nextTok)
+	c.tokens[tok] = true
+	return tok, nil
+}
+
+// Release implements qrmi.Resource.
+func (c *Client) Release(token string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.tokens[token] {
+		return fmt.Errorf("cloud: unknown token %q", token)
+	}
+	delete(c.tokens, token)
+	return nil
+}
+
+// TaskStart implements qrmi.Resource.
+func (c *Client) TaskStart(payload []byte) (string, error) {
+	c.mu.Lock()
+	held := len(c.tokens) > 0
+	c.mu.Unlock()
+	if !held {
+		return "", qrmi.ErrNotAcquired
+	}
+	req, err := json.Marshal(submitRequest{Device: c.device, Program: payload})
+	if err != nil {
+		return "", err
+	}
+	code, data, err := c.do(http.MethodPost, "/api/v1/jobs", req)
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusAccepted {
+		return "", apiError(data, code)
+	}
+	var j job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return "", err
+	}
+	return j.ID, nil
+}
+
+// TaskStop implements qrmi.Resource.
+func (c *Client) TaskStop(taskID string) error {
+	code, data, err := c.do(http.MethodDelete, "/api/v1/jobs/"+taskID, nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return apiError(data, code)
+	}
+	return nil
+}
+
+// TaskStatus implements qrmi.Resource.
+func (c *Client) TaskStatus(taskID string) (qrmi.TaskState, error) {
+	code, data, err := c.do(http.MethodGet, "/api/v1/jobs/"+taskID, nil)
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusOK {
+		return "", apiError(data, code)
+	}
+	var j job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return "", err
+	}
+	switch j.State {
+	case JobPending:
+		return qrmi.StateQueued, nil
+	case JobRunning:
+		return qrmi.StateRunning, nil
+	case JobDone:
+		return qrmi.StateCompleted, nil
+	case JobCancelled:
+		return qrmi.StateCancelled, nil
+	default:
+		return qrmi.StateFailed, nil
+	}
+}
+
+// TaskResult implements qrmi.Resource.
+func (c *Client) TaskResult(taskID string) ([]byte, error) {
+	code, data, err := c.do(http.MethodGet, "/api/v1/jobs/"+taskID+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	switch code {
+	case http.StatusOK:
+		return data, nil
+	case http.StatusConflict:
+		return nil, qrmi.ErrResultNotReady
+	default:
+		return nil, apiError(data, code)
+	}
+}
+
+func init() {
+	// cloud: QRMI resource type for cloud QPUs/emulators. Config keys:
+	// cloud_endpoint, cloud_device, cloud_token.
+	_ = qrmi.RegisterFactory("cloud", func(cfg map[string]string) (qrmi.Resource, error) {
+		return NewClient(cfg["cloud_endpoint"], cfg["cloud_device"], cfg["cloud_token"], nil)
+	})
+}

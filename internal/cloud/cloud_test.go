@@ -1,0 +1,341 @@
+package cloud
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hpcqc/internal/emulator"
+	"hpcqc/internal/qir"
+	"hpcqc/internal/qrmi"
+)
+
+func newTestServer(t *testing.T, cfg ServerConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(cfg)
+	if err := s.RegisterDevice(emulator.NewSVBackend(emulator.SVConfig{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterDevice(emulator.NewMPSBackend(emulator.MPSConfig{MaxBond: 4})); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func bellPayload(t *testing.T, shots int) []byte {
+	t.Helper()
+	p := qir.NewDigitalProgram(qir.NewCircuit(2).H(0).CX(0, 1), shots)
+	raw, err := qrmi.EncodeProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// waitDone polls until the task reaches a terminal state (wall-clock async).
+func waitDone(t *testing.T, c *Client, id string) qrmi.TaskState {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := c.TaskStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("task did not finish")
+	return ""
+}
+
+func TestCloudEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{Seed: 1})
+	c, err := NewClient(ts.URL, "emu-sv", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := c.Metadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := qrmi.SpecFromMetadata(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "emu-sv" {
+		t.Fatalf("spec = %+v", spec)
+	}
+	tok, _ := c.Acquire()
+	id, err := c.TaskStart(bellPayload(t, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, c, id); st != qrmi.StateCompleted {
+		t.Fatalf("state = %s", st)
+	}
+	raw, err := c.TaskResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := qrmi.DecodeResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.TotalShots() != 500 {
+		t.Fatalf("shots = %d", res.Counts.TotalShots())
+	}
+	p00 := res.Counts.Probability("00")
+	if math.Abs(p00-0.5) > 0.1 {
+		t.Fatalf("P(00) = %g", p00)
+	}
+	if err := c.Release(tok); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloudAuth(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{Tokens: []string{"secret"}})
+	bad, _ := NewClient(ts.URL, "emu-sv", "wrong", nil)
+	if _, err := bad.Metadata(); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("bad token err = %v", err)
+	}
+	good, _ := NewClient(ts.URL, "emu-sv", "secret", nil)
+	if _, err := good.Metadata(); err != nil {
+		t.Fatal(err)
+	}
+	// No auth header at all.
+	resp, err := http.Get(ts.URL + "/api/v1/devices/emu-sv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no-auth status = %d", resp.StatusCode)
+	}
+	// Health endpoint is public.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestCloudUnknownDevice(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+	c, _ := NewClient(ts.URL, "ghost-device", "", nil)
+	if _, err := c.Metadata(); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	c.Acquire()
+	if _, err := c.TaskStart(bellPayload(t, 10)); err == nil {
+		t.Fatal("submit to unknown device accepted")
+	}
+}
+
+func TestCloudRequiresAcquire(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+	c, _ := NewClient(ts.URL, "emu-sv", "", nil)
+	if _, err := c.TaskStart(bellPayload(t, 10)); err != qrmi.ErrNotAcquired {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCloudResultNotReady(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{ExecDelay: 200 * time.Millisecond})
+	c, _ := NewClient(ts.URL, "emu-sv", "", nil)
+	c.Acquire()
+	id, err := c.TaskStart(bellPayload(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TaskResult(id); err != qrmi.ErrResultNotReady {
+		t.Fatalf("err = %v", err)
+	}
+	waitDone(t, c, id)
+}
+
+func TestCloudCancel(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{ExecDelay: 300 * time.Millisecond})
+	c, _ := NewClient(ts.URL, "emu-sv", "", nil)
+	c.Acquire()
+	id, _ := c.TaskStart(bellPayload(t, 10))
+	if err := c.TaskStop(id); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.TaskStatus(id)
+	if st != qrmi.StateCancelled {
+		t.Fatalf("state = %s", st)
+	}
+	// Double cancel conflicts.
+	if err := c.TaskStop(id); err == nil {
+		t.Fatal("double cancel accepted")
+	}
+}
+
+func TestCloudBadProgram(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+	c, _ := NewClient(ts.URL, "emu-sv", "", nil)
+	c.Acquire()
+	id, err := c.TaskStart([]byte(`"not a program"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, c, id); st != qrmi.StateFailed {
+		t.Fatalf("state = %s", st)
+	}
+	if _, err := c.TaskResult(id); err == nil {
+		t.Fatal("error job returned a result")
+	}
+}
+
+func TestCloudUnknownJob(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+	c, _ := NewClient(ts.URL, "emu-sv", "", nil)
+	if _, err := c.TaskStatus("ghost"); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+	if _, err := c.TaskResult("ghost"); err == nil {
+		t.Fatal("unknown result accepted")
+	}
+	if err := c.TaskStop("ghost"); err == nil {
+		t.Fatal("unknown cancel accepted")
+	}
+}
+
+func TestCloudViaQRMIFactory(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{Tokens: []string{"tk"}})
+	r, err := qrmi.ResolveResource(map[string]string{
+		"resource":       "cloud-emu",
+		"resource_type":  "cloud",
+		"cloud_endpoint": ts.URL,
+		"cloud_device":   "emu-mps-chi4",
+		"cloud_token":    "tk",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := qir.NewDigitalProgram(qir.NewCircuit(2).H(0).CX(0, 1), 100)
+	// RunProgram polls in a tight loop; async completion happens within
+	// a few ms, well under the poll budget.
+	done := make(chan struct{})
+	var res *qir.Result
+	var runErr error
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			res, runErr = qrmi.RunProgram(r, p, 1<<20)
+			return
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timeout")
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if res.Counts.TotalShots() != 100 {
+		t.Fatalf("shots = %d", res.Counts.TotalShots())
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	s := NewServer(ServerConfig{})
+	if err := s.RegisterDevice(nil); err == nil {
+		t.Fatal("nil device accepted")
+	}
+	b := emulator.NewSVBackend(emulator.SVConfig{})
+	if err := s.RegisterDevice(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterDevice(b); err == nil {
+		t.Fatal("duplicate device accepted")
+	}
+	if len(s.DeviceNames()) != 1 {
+		t.Fatal("device names")
+	}
+	if _, err := NewClient("", "", "", nil); err == nil {
+		t.Fatal("empty client config accepted")
+	}
+}
+
+// TestCloudFaultInjection exercises the loose-coupling failure path: an
+// injected backend fault must surface as a failed task with the error
+// message intact, while uninjected jobs on the same server still succeed.
+func TestCloudFaultInjection(t *testing.T) {
+	// FailEvery=2 fails cloud-job-2, -4, ... and spares the odd ones.
+	_, ts := newTestServer(t, ServerConfig{Seed: 1, FailEvery: 2})
+	c, err := NewClient(ts.URL, "emu-sv", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+
+	ok1, err := c.TaskStart(bellPayload(t, 100)) // cloud-job-1
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := c.TaskStart(bellPayload(t, 100)) // cloud-job-2: injected fault
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok3, err := c.TaskStart(bellPayload(t, 100)) // cloud-job-3
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if st := waitDone(t, c, ok1); st != qrmi.StateCompleted {
+		t.Fatalf("job 1 state = %s, want completed", st)
+	}
+	if st := waitDone(t, c, bad); st != qrmi.StateFailed {
+		t.Fatalf("job 2 state = %s, want failed", st)
+	}
+	if st := waitDone(t, c, ok3); st != qrmi.StateCompleted {
+		t.Fatalf("job 3 state = %s, want completed", st)
+	}
+
+	// The failed task's result carries the injected error, not a hang or
+	// an empty payload.
+	if _, err := c.TaskResult(bad); err == nil || !strings.Contains(err.Error(), "injected backend fault") {
+		t.Fatalf("TaskResult(bad) err = %v, want injected fault message", err)
+	}
+	// Healthy results remain retrievable after a sibling failure.
+	if _, err := c.TaskResult(ok1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloudFailEveryOne: with FailEvery=1 every job fails — the total-outage
+// drill; the API stays responsive and reports each failure.
+func TestCloudFailEveryOne(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{Seed: 1, FailEvery: 1})
+	c, err := NewClient(ts.URL, "emu-sv", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		id, err := c.TaskStart(bellPayload(t, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := waitDone(t, c, id); st != qrmi.StateFailed {
+			t.Fatalf("job %d state = %s, want failed", i+1, st)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package cloud simulates the vendor's cloud platform (paper ref [6]): an
+// HTTP service exposing asynchronous job execution on cloud-hosted QPUs and
+// emulators, with token authentication and injectable latency. It exists so
+// the stack exercises the loose-coupling path — cloud resources accessed
+// from HPC environments — alongside the on-prem device, through the same
+// QRMI contract.
+package cloud
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"hpcqc/internal/emulator"
+	"hpcqc/internal/qir"
+)
+
+// JobState mirrors the cloud API's job lifecycle.
+type JobState string
+
+const (
+	// JobPending is accepted, not yet executing.
+	JobPending JobState = "pending"
+	// JobRunning is executing on a cloud worker.
+	JobRunning JobState = "running"
+	// JobDone has a result.
+	JobDone JobState = "done"
+	// JobError terminated with an error message.
+	JobError JobState = "error"
+	// JobCancelled was cancelled.
+	JobCancelled JobState = "cancelled"
+)
+
+// job is a stored cloud job.
+type job struct {
+	ID       string          `json:"id"`
+	Device   string          `json:"device"`
+	State    JobState        `json:"state"`
+	Error    string          `json:"error,omitempty"`
+	Program  json.RawMessage `json:"-"`
+	Result   json.RawMessage `json:"-"`
+	Created  time.Time       `json:"created"`
+	Finished time.Time       `json:"finished,omitempty"`
+}
+
+// ServerConfig parameterizes the simulated platform.
+type ServerConfig struct {
+	// Tokens lists accepted bearer tokens. Empty disables auth (tests).
+	Tokens []string
+	// ExecDelay delays job completion to model queueing + network time.
+	ExecDelay time.Duration
+	// Seed drives deterministic emulation.
+	Seed int64
+	// FailEvery injects a deterministic backend fault into every Nth job
+	// (1 = every job, 0 = never). Clients and QRMI resources must surface
+	// these as task failures, not hangs — the fault-injection hook for
+	// testing the loose-coupling path's error handling.
+	FailEvery int
+}
+
+// Server is the cloud platform. Register devices, then serve via Handler.
+type Server struct {
+	cfg    ServerConfig
+	tokens map[string]bool
+
+	mu      sync.Mutex
+	devices map[string]emulator.Backend
+	jobs    map[string]*job
+	nextID  int
+	seed    int64
+}
+
+// NewServer returns a platform with no devices registered.
+func NewServer(cfg ServerConfig) *Server {
+	s := &Server{
+		cfg:     cfg,
+		tokens:  make(map[string]bool),
+		devices: make(map[string]emulator.Backend),
+		jobs:    make(map[string]*job),
+		seed:    cfg.Seed,
+	}
+	for _, t := range cfg.Tokens {
+		s.tokens[t] = true
+	}
+	return s
+}
+
+// RegisterDevice adds an execution backend under its name.
+func (s *Server) RegisterDevice(b emulator.Backend) error {
+	if b == nil {
+		return errors.New("cloud: nil backend")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.devices[b.Name()]; dup {
+		return fmt.Errorf("cloud: device %q already registered", b.Name())
+	}
+	s.devices[b.Name()] = b
+	return nil
+}
+
+// DeviceNames lists registered devices.
+func (s *Server) DeviceNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.devices))
+	for name := range s.devices {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Handler returns the HTTP mux implementing the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /api/v1/devices/{name}", s.auth(s.handleDevice))
+	mux.HandleFunc("POST /api/v1/jobs", s.auth(s.handleSubmit))
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.auth(s.handleJobStatus))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.auth(s.handleJobResult))
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.auth(s.handleJobCancel))
+	return mux
+}
+
+func (s *Server) auth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if len(s.tokens) > 0 {
+			h := r.Header.Get("Authorization")
+			token, ok := strings.CutPrefix(h, "Bearer ")
+			if !ok || !s.tokens[token] {
+				writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "invalid token"})
+				return
+			}
+		}
+		next(w, r)
+	}
+}
+
+func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	b, ok := s.devices[name]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown device " + name})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "spec": b.Spec()})
+}
+
+// submitRequest is the job-creation payload.
+type submitRequest struct {
+	Device  string          `json:"device"`
+	Program json.RawMessage `json:"program"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request: " + err.Error()})
+		return
+	}
+	s.mu.Lock()
+	backend, ok := s.devices[req.Device]
+	if !ok {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown device " + req.Device})
+		return
+	}
+	s.nextID++
+	s.seed++
+	j := &job{
+		ID:      fmt.Sprintf("cloud-job-%d", s.nextID),
+		Device:  req.Device,
+		State:   JobPending,
+		Program: req.Program,
+		Created: time.Now(),
+	}
+	seed := s.seed
+	s.jobs[j.ID] = j
+	// Snapshot under the lock: the worker goroutine mutates j concurrently
+	// and the response must not race with it.
+	snap := *j
+	s.mu.Unlock()
+
+	go s.execute(j, backend, seed)
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+// execute runs the job on a worker goroutine after the configured delay.
+func (s *Server) execute(j *job, backend emulator.Backend, seed int64) {
+	if s.cfg.ExecDelay > 0 {
+		time.Sleep(s.cfg.ExecDelay)
+	}
+	s.mu.Lock()
+	if j.State != JobPending {
+		s.mu.Unlock()
+		return
+	}
+	j.State = JobRunning
+	s.mu.Unlock()
+
+	var prog qir.Program
+	finish := func(result json.RawMessage, err error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if j.State == JobCancelled {
+			return
+		}
+		j.Finished = time.Now()
+		if err != nil {
+			j.State = JobError
+			j.Error = err.Error()
+			return
+		}
+		j.State = JobDone
+		j.Result = result
+	}
+	if err := json.Unmarshal(j.Program, &prog); err != nil {
+		finish(nil, fmt.Errorf("decoding program: %w", err))
+		return
+	}
+	if s.cfg.FailEvery > 0 {
+		var seq int
+		if _, err := fmt.Sscanf(j.ID, "cloud-job-%d", &seq); err == nil && seq%s.cfg.FailEvery == 0 {
+			finish(nil, errors.New("injected backend fault (cloud worker lost)"))
+			return
+		}
+	}
+	res, err := backend.Run(&prog, seed)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	raw, err := json.Marshal(res)
+	finish(raw, err)
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job " + id})
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.getJob(w, r); j != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		writeJSON(w, http.StatusOK, j)
+	}
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch j.State {
+	case JobDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(j.Result)
+	case JobError:
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": j.Error})
+	default:
+		writeJSON(w, http.StatusConflict, map[string]string{"error": fmt.Sprintf("job is %s", j.State)})
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch j.State {
+	case JobPending, JobRunning:
+		j.State = JobCancelled
+		j.Finished = time.Now()
+		writeJSON(w, http.StatusOK, j)
+	default:
+		writeJSON(w, http.StatusConflict, map[string]string{"error": fmt.Sprintf("job already %s", j.State)})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hpcqc/internal/emulator"
+	"hpcqc/internal/qir"
+)
+
+// CrossResult is one target's outcome in a cross-validation run.
+type CrossResult struct {
+	Resource string
+	Backend  string
+	Counts   qir.Counts
+	// TVDvsFirst is the total variation distance to the first target's
+	// distribution; 0 for the first target itself.
+	TVDvsFirst float64
+	Err        error
+}
+
+// CrossValidate runs one program on several resources and compares the
+// measured distributions — the "continuous testing with local emulation" box
+// of the paper's Figure 1 turned into an API. Typical use: validate that a
+// program behaves identically on the laptop emulator and the HPC emulator
+// before burning QPU time, or regression-test against the χ=1 mock in CI.
+//
+// Per-target failures are recorded in the result rather than aborting the
+// sweep, so one misconfigured profile does not hide the other comparisons.
+func CrossValidate(p *qir.Program, targets []string, profilesPath string, environ []string) ([]CrossResult, error) {
+	if p == nil {
+		return nil, errors.New("core: nil program")
+	}
+	if len(targets) < 2 {
+		return nil, fmt.Errorf("core: cross-validation needs at least 2 targets, got %d", len(targets))
+	}
+	profiles, err := LoadProfiles(profilesPath)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CrossResult, 0, len(targets))
+	var ref qir.Counts
+	for _, target := range targets {
+		cr := CrossResult{Resource: target}
+		cfg, err := profiles.Resolve(target, environ)
+		if err != nil {
+			cr.Err = err
+			out = append(out, cr)
+			continue
+		}
+		rt, err := NewRuntime(cfg)
+		if err != nil {
+			cr.Err = err
+			out = append(out, cr)
+			continue
+		}
+		res, err := rt.Execute(p)
+		if err != nil {
+			cr.Err = err
+			out = append(out, cr)
+			continue
+		}
+		cr.Backend = res.Metadata["backend"]
+		cr.Counts = res.Counts
+		if ref == nil {
+			ref = res.Counts
+		} else {
+			cr.TVDvsFirst = emulator.TotalVariationDistance(ref, res.Counts)
+		}
+		out = append(out, cr)
+	}
+	if ref == nil {
+		return out, errors.New("core: every cross-validation target failed")
+	}
+	return out, nil
+}
+
+// MaxTVD returns the largest pairwise-to-reference distance among successful
+// targets, the single number a CI gate would threshold on.
+func MaxTVD(results []CrossResult) float64 {
+	max := 0.0
+	for _, r := range results {
+		if r.Err == nil && r.TVDvsFirst > max {
+			max = r.TVDvsFirst
+		}
+	}
+	return max
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"hpcqc/internal/qir"
+)
+
+func TestCrossValidateEmulators(t *testing.T) {
+	res, err := CrossValidate(piPulse(2000),
+		[]string{"local-sv", "hpc-mps", "mock-qpu"}, "", []string{"QRMI_SEED=9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Resource, r.Err)
+		}
+	}
+	if res[0].TVDvsFirst != 0 {
+		t.Fatalf("reference TVD = %g", res[0].TVDvsFirst)
+	}
+	// A single-atom pulse has no entanglement: all three agree closely.
+	if m := MaxTVD(res); m > 0.05 {
+		t.Fatalf("MaxTVD = %g", m)
+	}
+}
+
+func TestCrossValidateDetectsDivergence(t *testing.T) {
+	// An entangling blockade program: the χ=1 mock CANNOT reproduce it,
+	// and cross-validation is exactly the tool that catches this.
+	omega := 2 * 3.14159265
+	seq := qir.NewAnalogSequence(qir.LinearRegister("pair", 2, 5))
+	seq.Add(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.ConstantWaveform{Dur: 350, Val: omega},
+		Detuning:  qir.ConstantWaveform{Dur: 350, Val: 0},
+	})
+	p := qir.NewAnalogProgram(seq, 3000)
+	res, err := CrossValidate(p, []string{"local-sv", "mock-qpu"}, "", []string{"QRMI_SEED=4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].Err != nil {
+		t.Fatal(res[1].Err)
+	}
+	if res[1].TVDvsFirst < 0.2 {
+		t.Fatalf("mock agreed with exact on entangled dynamics: TVD = %g", res[1].TVDvsFirst)
+	}
+}
+
+func TestCrossValidatePartialFailure(t *testing.T) {
+	res, err := CrossValidate(piPulse(100), []string{"local-sv", "ghost"}, "", nil)
+	if err != nil {
+		t.Fatal(err) // sweep continues despite the bad profile
+	}
+	if res[1].Err == nil {
+		t.Fatal("ghost profile succeeded")
+	}
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+}
+
+func TestCrossValidateValidation(t *testing.T) {
+	if _, err := CrossValidate(nil, []string{"a", "b"}, "", nil); err == nil {
+		t.Fatal("nil program accepted")
+	}
+	if _, err := CrossValidate(piPulse(10), []string{"local-sv"}, "", nil); err == nil {
+		t.Fatal("single target accepted")
+	}
+	if _, err := CrossValidate(piPulse(10), []string{"ghost1", "ghost2"}, "", nil); err == nil {
+		t.Fatal("all-failed sweep returned success")
+	}
+}

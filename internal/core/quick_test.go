@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestResolvePrecedenceProperty: whatever the profile contents, resolution
+// precedence is fixed — the --qpu flag beats QRMI_RESOURCE beats the
+// catalogue default — and environment variables override profile values
+// key by key. This is the contract that lets a program move between
+// environments without source changes (§3.2).
+func TestResolvePrecedenceProperty(t *testing.T) {
+	f := func(flagPick, envPick uint8, extra string) bool {
+		names := []string{"alpha", "beta", "gamma"}
+		p := &Profiles{
+			Default: "alpha",
+			ByName: map[string]Profile{
+				"alpha": {"resource_type": "direct", "knob": "a"},
+				"beta":  {"resource_type": "local", "knob": "b"},
+				"gamma": {"resource_type": "direct", "knob": "c"},
+			},
+		}
+		flagName := ""
+		if flagPick%4 != 0 { // sometimes no flag
+			flagName = names[int(flagPick)%3]
+		}
+		envName := ""
+		if envPick%4 != 0 {
+			envName = names[int(envPick)%3]
+		}
+		var environ []string
+		if envName != "" {
+			environ = append(environ, "QRMI_RESOURCE="+envName)
+		}
+		// A sanitized free-form env override for an arbitrary key.
+		extra = strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' {
+				return r
+			}
+			return -1
+		}, extra)
+		if extra != "" {
+			environ = append(environ, "QRMI_KNOB="+extra)
+		}
+
+		cfg, err := p.Resolve(flagName, environ)
+		if err != nil {
+			return false
+		}
+		want := p.Default
+		if envName != "" {
+			want = envName
+		}
+		if flagName != "" {
+			want = flagName
+		}
+		if cfg["resource"] != want {
+			return false
+		}
+		// Env overrides the profile's knob; otherwise the profile wins.
+		if extra != "" {
+			return cfg["knob"] == extra
+		}
+		return cfg["knob"] == map[string]string{"alpha": "a", "beta": "b", "gamma": "c"}[want]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResolveUnknownAlwaysErrorsProperty: any name outside the catalogue is
+// rejected with the catalogue listed — never a silent fallback to a
+// different device, which would be exactly the class of bug the runtime
+// exists to kill.
+func TestResolveUnknownAlwaysErrorsProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		p := BuiltinProfiles()
+		name := fmt.Sprintf("no-such-device-%d", n)
+		_, err := p.Resolve(name, nil)
+		return err != nil && strings.Contains(err.Error(), name)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuiltinProfilesBindProperty: every catalogue entry that binds locally
+// (no external server required) yields a runtime whose Target matches the
+// resource name's device and whose spec is usable.
+func TestBuiltinProfilesBindable(t *testing.T) {
+	p := BuiltinProfiles()
+	local := []string{"local-sv", "hpc-mps", "mock-qpu", "qpu-onprem"}
+	for _, name := range local {
+		if _, ok := p.ByName[name]; !ok {
+			t.Fatalf("builtin catalogue lost %q", name)
+		}
+		rt, err := NewRuntimeFor(name, "", []string{"QRMI_SEED=3"})
+		if err != nil {
+			t.Fatalf("bind %s: %v", name, err)
+		}
+		if rt.Target() == "" {
+			t.Fatalf("bind %s: empty target", name)
+		}
+		if rt.Spec().MaxQubits <= 0 {
+			t.Fatalf("bind %s: unusable spec", name)
+		}
+	}
+}

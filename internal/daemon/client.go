@@ -1,0 +1,247 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"hpcqc/internal/qrmi"
+	"hpcqc/internal/sched"
+)
+
+// Client is the user side of the runtime environment: a qrmi.Resource that
+// talks to the middleware daemon, so programs written against QRMI run
+// unchanged whether they bind a local emulator, the cloud, or the shared
+// on-prem QPU behind the daemon.
+type Client struct {
+	base  string
+	token string
+	class sched.Class
+	// Pattern is the optional Table 1 hint sent with submissions.
+	Pattern sched.Pattern
+	http    *http.Client
+}
+
+// NewClient opens a session with the daemon and returns a bound client.
+func NewClient(baseURL, user string, class sched.Class, hc *http.Client) (*Client, error) {
+	if baseURL == "" || user == "" {
+		return nil, errors.New("daemon: client needs a base URL and user")
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	c := &Client{base: baseURL, class: class, http: hc}
+	body, _ := json.Marshal(map[string]string{"user": user})
+	code, data, err := c.do(http.MethodPost, "/api/v1/sessions", body)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusCreated {
+		return nil, clientErr(data, code)
+	}
+	var s Session
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	c.token = s.Token
+	return c, nil
+}
+
+var _ qrmi.Resource = (*Client)(nil)
+
+func (c *Client) do(method, path string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+func clientErr(data []byte, code int) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("daemon: %s (HTTP %d)", e.Error, code)
+	}
+	return fmt.Errorf("daemon: HTTP %d", code)
+}
+
+// Target implements qrmi.Resource.
+func (c *Client) Target() string { return "daemon" }
+
+// SessionToken returns the bound session token.
+func (c *Client) SessionToken() string { return c.token }
+
+// Metadata implements qrmi.Resource via GET /api/v1/device.
+func (c *Client) Metadata() (map[string]string, error) {
+	code, data, err := c.do(http.MethodGet, "/api/v1/device", nil)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, clientErr(data, code)
+	}
+	var payload struct {
+		Spec        json.RawMessage `json:"spec"`
+		Calibration json.RawMessage `json:"calibration"`
+		Status      string          `json:"status"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		return nil, err
+	}
+	return map[string]string{
+		"spec":        string(payload.Spec),
+		"calibration": string(payload.Calibration),
+		"status":      payload.Status,
+		"kind":        "daemon",
+	}, nil
+}
+
+// Acquire implements qrmi.Resource: the session already holds access, so the
+// token doubles as the acquire token.
+func (c *Client) Acquire() (string, error) {
+	if c.token == "" {
+		return "", errors.New("daemon: no session")
+	}
+	return c.token, nil
+}
+
+// Release implements qrmi.Resource as a no-op; the session persists until
+// Close.
+func (c *Client) Release(string) error { return nil }
+
+// Close ends the daemon session.
+func (c *Client) Close() error {
+	code, data, err := c.do(http.MethodDelete, "/api/v1/sessions", nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return clientErr(data, code)
+	}
+	c.token = ""
+	return nil
+}
+
+// TaskStart implements qrmi.Resource.
+func (c *Client) TaskStart(payload []byte) (string, error) {
+	body, err := json.Marshal(map[string]any{
+		"program": json.RawMessage(payload),
+		"class":   c.class.String(),
+		"pattern": string(c.Pattern),
+	})
+	if err != nil {
+		return "", err
+	}
+	code, data, err := c.do(http.MethodPost, "/api/v1/jobs", body)
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusAccepted {
+		return "", clientErr(data, code)
+	}
+	var j struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &j); err != nil {
+		return "", err
+	}
+	return j.ID, nil
+}
+
+// TaskStop implements qrmi.Resource.
+func (c *Client) TaskStop(taskID string) error {
+	code, data, err := c.do(http.MethodDelete, "/api/v1/jobs/"+taskID, nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return clientErr(data, code)
+	}
+	return nil
+}
+
+// TaskStatus implements qrmi.Resource.
+func (c *Client) TaskStatus(taskID string) (qrmi.TaskState, error) {
+	code, data, err := c.do(http.MethodGet, "/api/v1/jobs/"+taskID, nil)
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusOK {
+		return "", clientErr(data, code)
+	}
+	var j struct {
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(data, &j); err != nil {
+		return "", err
+	}
+	switch JobState(j.State) {
+	case JobQueued:
+		return qrmi.StateQueued, nil
+	case JobRunning:
+		return qrmi.StateRunning, nil
+	case JobCompleted:
+		return qrmi.StateCompleted, nil
+	case JobCancelled:
+		return qrmi.StateCancelled, nil
+	default:
+		return qrmi.StateFailed, nil
+	}
+}
+
+// TaskResult implements qrmi.Resource.
+func (c *Client) TaskResult(taskID string) ([]byte, error) {
+	code, data, err := c.do(http.MethodGet, "/api/v1/jobs/"+taskID+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	switch code {
+	case http.StatusOK:
+		return data, nil
+	case http.StatusConflict:
+		return nil, qrmi.ErrResultNotReady
+	default:
+		return nil, clientErr(data, code)
+	}
+}
+
+func init() {
+	// daemon: QRMI resource type binding the middleware. Config keys:
+	// daemon_endpoint, daemon_user, daemon_class (production|test|dev),
+	// workload_hint.
+	_ = qrmi.RegisterFactory("daemon", func(cfg map[string]string) (qrmi.Resource, error) {
+		class, err := parseClass(cfg["daemon_class"])
+		if err != nil {
+			return nil, err
+		}
+		c, err := NewClient(cfg["daemon_endpoint"], cfg["daemon_user"], class, nil)
+		if err != nil {
+			return nil, err
+		}
+		if hint, err := sched.ParsePattern(cfg["workload_hint"]); err == nil {
+			c.Pattern = hint
+		}
+		return c, nil
+	})
+}

@@ -1,0 +1,704 @@
+// Package daemon implements the paper's middleware service (§3.3): a
+// standalone process on the quantum access node that inserts an abstraction
+// layer between user sessions and the QPU task queue. It provides the second
+// level of scheduling below Slurm — priority classes with production
+// preemption — plus multi-user session management, admin operations, gated
+// low-level controls, and the telemetry endpoints of the observability stack.
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"hpcqc/internal/device"
+	"hpcqc/internal/qir"
+	"hpcqc/internal/qrmi"
+	"hpcqc/internal/sched"
+	"hpcqc/internal/simclock"
+	"hpcqc/internal/telemetry"
+)
+
+// JobState is the daemon-level job lifecycle. Preempted jobs return to
+// queued, so the terminal states are completed, failed and cancelled.
+type JobState string
+
+const (
+	// JobQueued waits in a class queue.
+	JobQueued JobState = "queued"
+	// JobRunning is on the device.
+	JobRunning JobState = "running"
+	// JobCompleted has a result.
+	JobCompleted JobState = "completed"
+	// JobFailed hit an error.
+	JobFailed JobState = "failed"
+	// JobCancelled was cancelled by its owner or an admin.
+	JobCancelled JobState = "cancelled"
+)
+
+// Session is an authenticated user connection. "As the user part of the
+// runtime environment connects to the middleware, a unique session is
+// created, and a session token is returned" (§3.3).
+type Session struct {
+	Token     string        `json:"token"`
+	User      string        `json:"user"`
+	CreatedAt time.Duration `json:"created_at"`
+	Jobs      []string      `json:"jobs"`
+}
+
+// Job is the daemon's job record.
+type Job struct {
+	ID      string        `json:"id"`
+	Session string        `json:"-"`
+	User    string        `json:"user"`
+	Class   sched.Class   `json:"-"`
+	Pattern sched.Pattern `json:"pattern,omitempty"`
+	// Source records where the job entered the daemon ("slurm" for jobs
+	// arriving through the batch allocation path, "cloud" for jobs accepted
+	// via a cloud interface, …). The daemon "receives jobs from one or more
+	// sources" (§3.3); the tag keeps per-source accounting possible.
+	Source string `json:"source,omitempty"`
+	// ExpectedQPUSeconds is the duration hint used by shortest-first
+	// scheduling: the submitter's declared value, or the daemon's own
+	// estimate from the validated program when none was given.
+	ExpectedQPUSeconds float64  `json:"expected_qpu_seconds"`
+	State              JobState `json:"state"`
+	// DeviceTask is the current underlying device task, when running.
+	DeviceTask  string        `json:"-"`
+	SubmittedAt time.Duration `json:"submitted_at"`
+	StartedAt   time.Duration `json:"started_at"`
+	FinishedAt  time.Duration `json:"finished_at"`
+	Preemptions int           `json:"preemptions"`
+	Error       string        `json:"error,omitempty"`
+
+	payload []byte
+	result  []byte
+}
+
+// ClassName renders the class for JSON consumers.
+func (j *Job) ClassName() string { return j.Class.String() }
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Device is the managed QPU. Required.
+	Device *device.Device
+	// Clock is the simulation clock shared with the device. Required.
+	Clock *simclock.Clock
+	// AdminToken authenticates the admin plane. Required for admin APIs.
+	AdminToken string
+	// EnablePreemption lets production jobs preempt running lower-class
+	// jobs (the paper's policy; on by default via NewDaemon).
+	EnablePreemption bool
+	// FairShare orders jobs within a class by their owner's accumulated
+	// QPU seconds (least-served first) instead of plain FIFO — the
+	// "fairer resource sharing" extension the paper's discussion names.
+	FairShare bool
+	// ShortestFirst orders jobs within a class by expected QPU duration
+	// (shortest first, FIFO on ties) — the paper's §3.5 proposal to use
+	// "the expected time running on the QC hardware" as a scheduler hint.
+	// Mutually exclusive with FairShare.
+	ShortestFirst bool
+	// AllowedLowLevelOps is the gated allowlist of low-level control
+	// operations exposed to integrators (§2.5). Others are rejected.
+	AllowedLowLevelOps []string
+	// Registry receives daemon metrics when non-nil.
+	Registry *telemetry.Registry
+	// TSDB receives queue telemetry when non-nil.
+	TSDB *telemetry.TSDB
+	// Seed drives session-token generation.
+	Seed int64
+}
+
+// Daemon is the middleware service core. The HTTP layer in http.go is a thin
+// shell over these methods, so everything is testable without sockets.
+type Daemon struct {
+	cfg Config
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	sessions map[string]*Session
+	jobs     map[string]*Job
+	queue    *sched.ClassQueue
+	running  *Job
+	byTask   map[string]*Job
+	nextJob  int
+	nextSess int
+
+	// accounting
+	waitByClass  map[sched.Class][]time.Duration
+	usageByUser  map[string]float64 // accumulated QPU seconds, fair-share key
+	preemptTotal int
+
+	mJobs, mQueueLen, mSessions *telemetry.Metric
+	mWait                       *telemetry.Metric
+}
+
+// NewDaemon wires the daemon to its device.
+func NewDaemon(cfg Config) (*Daemon, error) {
+	if cfg.Device == nil || cfg.Clock == nil {
+		return nil, errors.New("daemon: config requires a device and a clock")
+	}
+	if cfg.FairShare && cfg.ShortestFirst {
+		return nil, errors.New("daemon: FairShare and ShortestFirst are mutually exclusive within-class orders")
+	}
+	if len(cfg.AllowedLowLevelOps) == 0 {
+		cfg.AllowedLowLevelOps = []string{"recalibrate", "qa_check"}
+	}
+	d := &Daemon{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		sessions:    make(map[string]*Session),
+		jobs:        make(map[string]*Job),
+		queue:       sched.NewClassQueue(),
+		byTask:      make(map[string]*Job),
+		waitByClass: make(map[sched.Class][]time.Duration),
+		usageByUser: make(map[string]float64),
+	}
+	if cfg.Registry != nil {
+		d.mJobs = cfg.Registry.MustCounter("daemon_jobs_total", "Daemon jobs by class and final state.")
+		d.mQueueLen = cfg.Registry.MustGauge("daemon_queue_length", "Queued daemon jobs by class.")
+		d.mSessions = cfg.Registry.MustGauge("daemon_sessions_active", "Open user sessions.")
+		d.mWait = cfg.Registry.MustHistogram("daemon_job_wait_seconds", "Queue wait by class.",
+			[]float64{1, 5, 15, 60, 300, 1800, 7200})
+	}
+	cfg.Device.SetTaskListener(d.onDeviceTask)
+	return d, nil
+}
+
+// --- sessions ---
+
+// OpenSession creates a session for a user and returns its token.
+func (d *Daemon) OpenSession(user string) (*Session, error) {
+	if user == "" {
+		return nil, errors.New("daemon: session requires a user name")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextSess++
+	s := &Session{
+		Token:     fmt.Sprintf("sess-%d-%08x", d.nextSess, d.rng.Uint32()),
+		User:      user,
+		CreatedAt: d.cfg.Clock.Now(),
+	}
+	d.sessions[s.Token] = s
+	if d.mSessions != nil {
+		d.mSessions.Set(nil, float64(len(d.sessions)))
+	}
+	return s, nil
+}
+
+// CloseSession ends a session; its queued jobs are cancelled, running jobs
+// are left to finish (accounting continuity for the hosting site).
+func (d *Daemon) CloseSession(token string) error {
+	d.mu.Lock()
+	s, ok := d.sessions[token]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("daemon: unknown session")
+	}
+	delete(d.sessions, token)
+	var toCancel []string
+	for _, id := range s.Jobs {
+		if j := d.jobs[id]; j != nil && j.State == JobQueued {
+			toCancel = append(toCancel, id)
+		}
+	}
+	if d.mSessions != nil {
+		d.mSessions.Set(nil, float64(len(d.sessions)))
+	}
+	d.mu.Unlock()
+	for _, id := range toCancel {
+		_ = d.CancelJob(token, id, true)
+	}
+	return nil
+}
+
+// session validates a token.
+func (d *Daemon) session(token string) (*Session, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.sessions[token]
+	if !ok {
+		return nil, errors.New("daemon: invalid session token")
+	}
+	return s, nil
+}
+
+// --- job submission and scheduling ---
+
+// SubmitRequest is a job submission.
+type SubmitRequest struct {
+	// Program is the serialized qir.Program payload.
+	Program []byte
+	// Class is the queue class; use ClassFromSlurmPriority when the job
+	// arrives from a Slurm allocation.
+	Class sched.Class
+	// Pattern is the optional Table 1 workload hint.
+	Pattern sched.Pattern
+	// Source labels the submission path ("slurm", "cloud", …). Empty
+	// defaults to "slurm", the primary intake the paper describes.
+	Source string
+	// ExpectedQPUSeconds optionally declares how long the job will hold
+	// the QPU. When zero the daemon estimates it from the program and the
+	// current device spec, so the hint is always available to the
+	// shortest-first policy.
+	ExpectedQPUSeconds float64
+}
+
+// Submit validates, enqueues and dispatches a job for a session.
+func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
+	s, err := d.session(token)
+	if err != nil {
+		return nil, err
+	}
+	if req.Class < sched.ClassDev || req.Class > sched.ClassProduction {
+		return nil, fmt.Errorf("daemon: invalid class %d", req.Class)
+	}
+	if req.ExpectedQPUSeconds < 0 {
+		return nil, fmt.Errorf("daemon: negative expected QPU seconds %g", req.ExpectedQPUSeconds)
+	}
+	// Validate the program against the device spec up front so users get
+	// immediate feedback instead of a failed device task later.
+	spec := d.cfg.Device.Spec()
+	prog, err := decodeAndValidate(req.Program, spec)
+	if err != nil {
+		return nil, err
+	}
+	expected := req.ExpectedQPUSeconds
+	if expected == 0 {
+		expected = prog.EstimatedQPUSeconds(&spec)
+	}
+	source := req.Source
+	if source == "" {
+		source = "slurm"
+	}
+	d.mu.Lock()
+	d.nextJob++
+	j := &Job{
+		ID:                 fmt.Sprintf("job-%d", d.nextJob),
+		Session:            token,
+		User:               s.User,
+		Class:              req.Class,
+		Pattern:            req.Pattern,
+		Source:             source,
+		ExpectedQPUSeconds: expected,
+		State:              JobQueued,
+		SubmittedAt:        d.cfg.Clock.Now(),
+		payload:            req.Program,
+	}
+	d.jobs[j.ID] = j
+	s.Jobs = append(s.Jobs, j.ID)
+	d.mu.Unlock()
+
+	if err := d.queue.Push(d.queueItem(j)); err != nil {
+		return nil, err
+	}
+	d.emitQueueTelemetry()
+	d.dispatch()
+	return d.jobSnapshot(j.ID)
+}
+
+// queueItem builds the scheduler item for a job, carrying the class,
+// pattern and duration hints the queue policies consume.
+func (d *Daemon) queueItem(j *Job) *sched.Item {
+	return &sched.Item{
+		ID:          j.ID,
+		Class:       j.Class,
+		Pattern:     j.Pattern,
+		Enqueued:    j.SubmittedAt,
+		ExpectedQPU: simclock.Seconds(j.ExpectedQPUSeconds),
+		Payload:     j,
+	}
+}
+
+func decodeAndValidate(payload []byte, spec qir.DeviceSpec) (*qir.Program, error) {
+	prog := new(qir.Program)
+	if err := prog.UnmarshalJSON(payload); err != nil {
+		return nil, fmt.Errorf("daemon: decoding program: %w", err)
+	}
+	if err := prog.Validate(&spec); err != nil {
+		return nil, fmt.Errorf("daemon: program rejected: %w", err)
+	}
+	return prog, nil
+}
+
+// dispatch sends the next queued job to the device, preempting a running
+// lower-class job when a production job waits and preemption is enabled.
+func (d *Daemon) dispatch() {
+	for {
+		// Hold the queue through maintenance windows: jobs wait rather
+		// than fail, and maintenance_off re-dispatches.
+		if d.cfg.Device.Status() == device.StatusMaintenance {
+			return
+		}
+		d.mu.Lock()
+		next := d.queue.Peek()
+		if next == nil {
+			d.mu.Unlock()
+			return
+		}
+		if d.running != nil {
+			if d.cfg.EnablePreemption && sched.ShouldPreempt(next.Class, d.running.Class) {
+				victim := d.running
+				taskID := victim.DeviceTask
+				d.mu.Unlock()
+				// Cancelling the device task triggers onDeviceTask,
+				// which requeues the victim and re-dispatches.
+				d.markPreempted(victim)
+				_ = d.cfg.Device.Cancel(taskID)
+				return
+			}
+			d.mu.Unlock()
+			return
+		}
+		var item *sched.Item
+		switch {
+		case d.cfg.FairShare:
+			// Least-served user first within the class, FIFO on ties.
+			item = d.queue.PopBy(func(a, b *sched.Item) bool {
+				ua := d.usageByUser[a.Payload.(*Job).User]
+				ub := d.usageByUser[b.Payload.(*Job).User]
+				if ua != ub {
+					return ua < ub
+				}
+				return a.Enqueued < b.Enqueued
+			})
+		case d.cfg.ShortestFirst:
+			// Expected-duration hint ordering (§3.5), class priority first.
+			item = d.queue.PopBy(sched.ShortestExpectedFirst)
+		default:
+			item = d.queue.Pop()
+		}
+		if item == nil {
+			d.mu.Unlock()
+			return
+		}
+		j := item.Payload.(*Job)
+		if j.State != JobQueued {
+			d.mu.Unlock()
+			continue
+		}
+		payload := j.payload
+		d.mu.Unlock()
+
+		prog, err := decodeAndValidate(payload, d.cfg.Device.Spec())
+		if err == nil {
+			var taskID string
+			taskID, err = d.cfg.Device.Submit(prog)
+			if err == nil {
+				d.mu.Lock()
+				j.State = JobRunning
+				j.StartedAt = d.cfg.Clock.Now()
+				j.DeviceTask = taskID
+				d.running = j
+				d.byTask[taskID] = j
+				wait := j.StartedAt - j.SubmittedAt
+				d.waitByClass[j.Class] = append(d.waitByClass[j.Class], wait)
+				if d.mWait != nil {
+					d.mWait.Observe(telemetry.Labels{"class": j.Class.String()}, wait.Seconds())
+				}
+				d.mu.Unlock()
+				d.emitQueueTelemetry()
+				return
+			}
+		}
+		// Submission failed (validation drift, maintenance window, ...).
+		d.finishJob(j, JobFailed, nil, err)
+	}
+}
+
+// markPreempted flags a running job as preempted before its device task is
+// cancelled, so onDeviceTask requeues instead of finalizing it.
+func (d *Daemon) markPreempted(j *Job) {
+	d.mu.Lock()
+	j.Preemptions++
+	d.preemptTotal++
+	d.mu.Unlock()
+}
+
+// onDeviceTask is the device listener: terminal device tasks finish or
+// requeue their daemon job and trigger the next dispatch.
+func (d *Daemon) onDeviceTask(taskID string, state device.TaskState) {
+	d.mu.Lock()
+	j, ok := d.byTask[taskID]
+	if !ok {
+		d.mu.Unlock()
+		return
+	}
+	delete(d.byTask, taskID)
+	if d.running == j {
+		d.running = nil
+	}
+	d.mu.Unlock()
+
+	switch state {
+	case device.TaskCompleted:
+		res, err := d.cfg.Device.TaskResult(taskID)
+		if err != nil {
+			d.finishJob(j, JobFailed, nil, err)
+		} else if raw, mErr := json.Marshal(res); mErr != nil {
+			d.finishJob(j, JobFailed, nil, mErr)
+		} else {
+			d.mu.Lock()
+			d.usageByUser[j.User] += res.QPUSeconds
+			d.mu.Unlock()
+			d.finishJob(j, JobCompleted, raw, nil)
+		}
+	case device.TaskFailed:
+		_, err := d.cfg.Device.TaskResult(taskID)
+		d.finishJob(j, JobFailed, nil, err)
+	case device.TaskCancelled:
+		d.mu.Lock()
+		preempted := j.Preemptions > 0 && j.State == JobRunning
+		wasCancelled := j.State == JobCancelled
+		if preempted {
+			// Back to the queue; seniority (original submit time) is
+			// preserved inside its class by FIFO on re-push.
+			j.State = JobQueued
+			j.DeviceTask = ""
+		}
+		d.mu.Unlock()
+		if preempted {
+			_ = d.queue.Push(d.queueItem(j))
+		} else if !wasCancelled {
+			d.finishJob(j, JobCancelled, nil, nil)
+		}
+	}
+	d.emitQueueTelemetry()
+	d.dispatch()
+}
+
+// finishJob finalizes a job's terminal state.
+func (d *Daemon) finishJob(j *Job, state JobState, result []byte, err error) {
+	d.mu.Lock()
+	if j.State == JobCompleted || j.State == JobFailed || j.State == JobCancelled {
+		d.mu.Unlock()
+		return
+	}
+	j.State = state
+	j.FinishedAt = d.cfg.Clock.Now()
+	j.result = result
+	if err != nil {
+		j.Error = err.Error()
+	}
+	if d.mJobs != nil {
+		d.mJobs.Inc(telemetry.Labels{"class": j.Class.String(), "state": string(state)}, 1)
+	}
+	d.mu.Unlock()
+}
+
+// CancelJob cancels a queued or running job. Sessions may cancel their own
+// jobs; admin-initiated cancellations pass force=true.
+func (d *Daemon) CancelJob(token, jobID string, force bool) error {
+	d.mu.Lock()
+	j, ok := d.jobs[jobID]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("daemon: unknown job %q", jobID)
+	}
+	if !force && j.Session != token {
+		d.mu.Unlock()
+		return errors.New("daemon: job belongs to another session")
+	}
+	switch j.State {
+	case JobQueued:
+		d.queue.Remove(jobID)
+		d.mu.Unlock()
+		d.finishJob(j, JobCancelled, nil, nil)
+	case JobRunning:
+		taskID := j.DeviceTask
+		j.State = JobCancelled // mark first so onDeviceTask won't requeue
+		j.FinishedAt = d.cfg.Clock.Now()
+		if d.mJobs != nil {
+			d.mJobs.Inc(telemetry.Labels{"class": j.Class.String(), "state": string(JobCancelled)}, 1)
+		}
+		d.mu.Unlock()
+		_ = d.cfg.Device.Cancel(taskID)
+	default:
+		d.mu.Unlock()
+		return fmt.Errorf("daemon: job %s already %s", jobID, j.State)
+	}
+	d.emitQueueTelemetry()
+	return nil
+}
+
+// jobSnapshot returns a copy of the job record.
+func (d *Daemon) jobSnapshot(jobID string) (*Job, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[jobID]
+	if !ok {
+		return nil, fmt.Errorf("daemon: unknown job %q", jobID)
+	}
+	cp := *j
+	return &cp, nil
+}
+
+// JobStatus returns a session's view of a job.
+func (d *Daemon) JobStatus(token, jobID string) (*Job, error) {
+	if _, err := d.session(token); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	j, ok := d.jobs[jobID]
+	if !ok || j.Session != token {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("daemon: unknown job %q", jobID)
+	}
+	cp := *j
+	d.mu.Unlock()
+	return &cp, nil
+}
+
+// JobResult returns the serialized result of a completed job.
+func (d *Daemon) JobResult(token, jobID string) ([]byte, error) {
+	j, err := d.JobStatus(token, jobID)
+	if err != nil {
+		return nil, err
+	}
+	switch j.State {
+	case JobCompleted:
+		d.mu.Lock()
+		res := d.jobs[jobID].result
+		d.mu.Unlock()
+		return res, nil
+	case JobFailed:
+		return nil, fmt.Errorf("daemon: job failed: %s", j.Error)
+	case JobCancelled:
+		return nil, errors.New("daemon: job was cancelled")
+	default:
+		return nil, qrmi.ErrResultNotReady
+	}
+}
+
+// --- admin plane ---
+
+// AdminAuthorized checks the admin token.
+func (d *Daemon) AdminAuthorized(token string) bool {
+	return d.cfg.AdminToken != "" && token == d.cfg.AdminToken
+}
+
+// StatusReport is the admin overview.
+type StatusReport struct {
+	Device       device.Snapshot          `json:"device"`
+	Sessions     int                      `json:"sessions"`
+	QueuedByName map[string]int           `json:"queued_by_class"`
+	Running      string                   `json:"running_job,omitempty"`
+	Preemptions  int                      `json:"preemptions_total"`
+	MeanWait     map[string]time.Duration `json:"mean_wait_by_class"`
+	// JobsBySource counts all jobs ever accepted per intake path, so the
+	// hosting site can see how much work arrives via Slurm versus a cloud
+	// interface (§3.3 envisions multiple sources feeding one daemon).
+	JobsBySource map[string]int `json:"jobs_by_source"`
+}
+
+// AdminStatus summarizes the whole node.
+func (d *Daemon) AdminStatus() StatusReport {
+	snap := d.cfg.Device.AdminSnapshot()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rep := StatusReport{
+		Device:   snap,
+		Sessions: len(d.sessions),
+		QueuedByName: map[string]int{
+			"production": d.queue.LenClass(sched.ClassProduction),
+			"test":       d.queue.LenClass(sched.ClassTest),
+			"dev":        d.queue.LenClass(sched.ClassDev),
+		},
+		Preemptions:  d.preemptTotal,
+		MeanWait:     make(map[string]time.Duration),
+		JobsBySource: make(map[string]int),
+	}
+	for _, j := range d.jobs {
+		rep.JobsBySource[j.Source]++
+	}
+	if d.running != nil {
+		rep.Running = d.running.ID
+	}
+	for class, waits := range d.waitByClass {
+		var sum time.Duration
+		for _, w := range waits {
+			sum += w
+		}
+		rep.MeanWait[class.String()] = sum / time.Duration(len(waits))
+	}
+	return rep
+}
+
+// ListJobs returns all job snapshots, newest first, for the admin plane.
+func (d *Daemon) ListJobs() []*Job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Job, 0, len(d.jobs))
+	for _, j := range d.jobs {
+		cp := *j
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].SubmittedAt > out[b].SubmittedAt })
+	return out
+}
+
+// LowLevelOp executes a gated low-level control operation (§2.5): only
+// allowlisted operations pass, providing the safeguard indirection the paper
+// argues must live at the daemon.
+func (d *Daemon) LowLevelOp(op string) (string, error) {
+	allowed := false
+	for _, a := range d.cfg.AllowedLowLevelOps {
+		if a == op {
+			allowed = true
+			break
+		}
+	}
+	if !allowed {
+		return "", fmt.Errorf("daemon: low-level op %q not allowed on this site (allowed: %v)", op, d.cfg.AllowedLowLevelOps)
+	}
+	switch op {
+	case "recalibrate":
+		d.cfg.Device.Recalibrate()
+		return "recalibrated", nil
+	case "qa_check":
+		if d.cfg.Device.RunQACheck() {
+			return "qa passed", nil
+		}
+		return "qa failed: device degraded", nil
+	case "maintenance_on":
+		d.cfg.Device.StartMaintenance()
+		return "maintenance started", nil
+	case "maintenance_off":
+		d.cfg.Device.EndMaintenance()
+		d.dispatch()
+		return "maintenance ended", nil
+	default:
+		return "", fmt.Errorf("daemon: low-level op %q allowlisted but not implemented", op)
+	}
+}
+
+func (d *Daemon) emitQueueTelemetry() {
+	if d.mQueueLen == nil && d.cfg.TSDB == nil {
+		return
+	}
+	classes := []sched.Class{sched.ClassDev, sched.ClassTest, sched.ClassProduction}
+	now := d.cfg.Clock.Now()
+	for _, c := range classes {
+		n := float64(d.queue.LenClass(c))
+		if d.mQueueLen != nil {
+			d.mQueueLen.Set(telemetry.Labels{"class": c.String()}, n)
+		}
+		if d.cfg.TSDB != nil {
+			d.cfg.TSDB.Append("daemon_queue_length", telemetry.Labels{"class": c.String()}, now, n)
+		}
+	}
+}
+
+// QueueLengths reports current queue depth by class.
+func (d *Daemon) QueueLengths() map[string]int {
+	return map[string]int{
+		"production": d.queue.LenClass(sched.ClassProduction),
+		"test":       d.queue.LenClass(sched.ClassTest),
+		"dev":        d.queue.LenClass(sched.ClassDev),
+	}
+}

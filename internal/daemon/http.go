@@ -1,0 +1,234 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"hpcqc/internal/qrmi"
+	"hpcqc/internal/sched"
+)
+
+// Handler returns the daemon's REST API:
+//
+//	POST   /api/v1/sessions                 open session {user}
+//	DELETE /api/v1/sessions                 close session (token auth)
+//	GET    /api/v1/device                   device metadata (token auth)
+//	POST   /api/v1/jobs                     submit {program, class, pattern}
+//	GET    /api/v1/jobs/{id}                job status
+//	GET    /api/v1/jobs/{id}/result         job result
+//	DELETE /api/v1/jobs/{id}                cancel
+//	GET    /metrics                         Prometheus exposition (public)
+//	GET    /healthz                         liveness (public)
+//	GET    /admin/v1/status                 admin overview (admin token)
+//	GET    /admin/v1/jobs                   all jobs (admin token)
+//	POST   /admin/v1/lowlevel/{op}          gated low-level control (admin token)
+//
+// User endpoints authenticate with "Authorization: Bearer <session token>";
+// admin endpoints with the configured admin token.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if d.cfg.Registry == nil {
+			http.Error(w, "telemetry disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_, _ = w.Write([]byte(d.cfg.Registry.Expose()))
+	})
+
+	mux.HandleFunc("POST /api/v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			User string `json:"user"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		s, err := d.OpenSession(req.User)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, s)
+	})
+	mux.HandleFunc("DELETE /api/v1/sessions", d.withSession(func(token string, w http.ResponseWriter, r *http.Request) {
+		if err := d.CloseSession(token); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
+	}))
+	mux.HandleFunc("GET /api/v1/device", d.withSession(func(token string, w http.ResponseWriter, r *http.Request) {
+		spec := d.cfg.Device.Spec()
+		calib := d.cfg.Device.CalibrationSnapshot()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"spec":        spec,
+			"calibration": calib,
+			"status":      d.cfg.Device.Status(),
+		})
+	}))
+	mux.HandleFunc("POST /api/v1/jobs", d.withSession(func(token string, w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Program            json.RawMessage `json:"program"`
+			Class              string          `json:"class"`
+			Pattern            string          `json:"pattern"`
+			Source             string          `json:"source"`
+			ExpectedQPUSeconds float64         `json:"expected_qpu_seconds"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		class, err := parseClass(req.Class)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		pattern, err := sched.ParsePattern(req.Pattern)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		j, err := d.Submit(token, SubmitRequest{
+			Program: req.Program, Class: class, Pattern: pattern,
+			Source: req.Source, ExpectedQPUSeconds: req.ExpectedQPUSeconds,
+		})
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, jobJSON(j))
+	}))
+	mux.HandleFunc("GET /api/v1/jobs/{id}", d.withSession(func(token string, w http.ResponseWriter, r *http.Request) {
+		j, err := d.JobStatus(token, r.PathValue("id"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, jobJSON(j))
+	}))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", d.withSession(func(token string, w http.ResponseWriter, r *http.Request) {
+		res, err := d.JobResult(token, r.PathValue("id"))
+		switch {
+		case err == nil:
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(res)
+		case errors.Is(err, qrmi.ErrResultNotReady):
+			writeErr(w, http.StatusConflict, err)
+		default:
+			writeErr(w, http.StatusUnprocessableEntity, err)
+		}
+	}))
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", d.withSession(func(token string, w http.ResponseWriter, r *http.Request) {
+		if err := d.CancelJob(token, r.PathValue("id"), false); err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "cancelled"})
+	}))
+
+	mux.HandleFunc("GET /admin/v1/status", d.withAdmin(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.AdminStatus())
+	}))
+	mux.HandleFunc("GET /admin/v1/jobs", d.withAdmin(func(w http.ResponseWriter, r *http.Request) {
+		jobs := d.ListJobs()
+		out := make([]map[string]any, len(jobs))
+		for i, j := range jobs {
+			out[i] = jobJSON(j)
+		}
+		writeJSON(w, http.StatusOK, out)
+	}))
+	mux.HandleFunc("POST /admin/v1/lowlevel/{op}", d.withAdmin(func(w http.ResponseWriter, r *http.Request) {
+		msg, err := d.LowLevelOp(r.PathValue("op"))
+		if err != nil {
+			writeErr(w, http.StatusForbidden, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": msg})
+	}))
+	return mux
+}
+
+// withSession authenticates the bearer session token.
+func (d *Daemon) withSession(next func(token string, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok {
+			writeErr(w, http.StatusUnauthorized, errors.New("missing bearer token"))
+			return
+		}
+		if _, err := d.session(token); err != nil {
+			writeErr(w, http.StatusUnauthorized, err)
+			return
+		}
+		next(token, w, r)
+	}
+}
+
+// withAdmin authenticates the admin token.
+func (d *Daemon) withAdmin(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		token, _ := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !d.AdminAuthorized(token) {
+			writeErr(w, http.StatusForbidden, errors.New("admin token required"))
+			return
+		}
+		next(w, r)
+	}
+}
+
+// jobJSON renders a job for API consumers including its class name.
+func jobJSON(j *Job) map[string]any {
+	out := map[string]any{
+		"id":                   j.ID,
+		"user":                 j.User,
+		"class":                j.ClassName(),
+		"state":                string(j.State),
+		"submitted_at":         j.SubmittedAt.Seconds(),
+		"preemptions":          j.Preemptions,
+		"source":               j.Source,
+		"expected_qpu_seconds": j.ExpectedQPUSeconds,
+	}
+	if j.Pattern != "" {
+		out["pattern"] = string(j.Pattern)
+	}
+	if j.StartedAt > 0 {
+		out["started_at"] = j.StartedAt.Seconds()
+	}
+	if j.FinishedAt > 0 {
+		out["finished_at"] = j.FinishedAt.Seconds()
+	}
+	if j.Error != "" {
+		out["error"] = j.Error
+	}
+	return out
+}
+
+func parseClass(s string) (sched.Class, error) {
+	switch s {
+	case "production":
+		return sched.ClassProduction, nil
+	case "test":
+		return sched.ClassTest, nil
+	case "dev", "":
+		return sched.ClassDev, nil
+	default:
+		return 0, fmt.Errorf("daemon: unknown class %q", s)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

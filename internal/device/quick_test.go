@@ -1,0 +1,128 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hpcqc/internal/qir"
+	"hpcqc/internal/simclock"
+)
+
+// quickProgram builds a small analog program with a shot count derived from
+// raw fuzz input.
+func quickProgram(shots int) *qir.Program {
+	omega := 2 * math.Pi
+	seq := qir.NewAnalogSequence(qir.LinearRegister("r", 2, 20))
+	seq.Add(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.ConstantWaveform{Dur: 200, Val: omega},
+		Detuning:  qir.ConstantWaveform{Dur: 200, Val: 0},
+	})
+	return qir.NewAnalogProgram(seq, shots)
+}
+
+// TestDeviceAccountingProperty: under any submission schedule, every task
+// terminates, wait times are non-negative and FIFO-ordered, and utilization
+// stays within [0, 1].
+func TestDeviceAccountingProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		clk := simclock.New()
+		dev, err := New(Config{Clock: clk, Seed: seed, DriftInterval: time.Hour})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%8 + 1
+		var ids []string
+		for i := 0; i < n; i++ {
+			at := time.Duration(rng.Intn(300)) * time.Second
+			shots := rng.Intn(40) + 1
+			clk.Schedule(at, fmt.Sprintf("submit-%d", i), func() {
+				if id, err := dev.Submit(quickProgram(shots)); err == nil {
+					ids = append(ids, id)
+				}
+			})
+		}
+		clk.RunUntil(6 * time.Hour)
+		for _, id := range ids {
+			st, err := dev.TaskStatus(id)
+			if err != nil || st != TaskCompleted {
+				return false
+			}
+			w, err := dev.WaitTime(id)
+			if err != nil || w < 0 {
+				return false
+			}
+			res, err := dev.TaskResult(id)
+			if err != nil || res.QPUSeconds <= 0 {
+				return false
+			}
+		}
+		u := dev.Utilization()
+		return u >= 0 && u <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeviceResultsDistributionProperty: results are true distributions —
+// counts total the requested shots and every bitstring has the register
+// width.
+func TestDeviceResultsDistributionProperty(t *testing.T) {
+	f := func(seed int64, shotsRaw uint8) bool {
+		clk := simclock.New()
+		dev, err := New(Config{Clock: clk, Seed: seed, DriftInterval: time.Hour})
+		if err != nil {
+			return false
+		}
+		shots := int(shotsRaw)%200 + 1
+		id, err := dev.Submit(quickProgram(shots))
+		if err != nil {
+			return false
+		}
+		clk.RunUntil(2 * time.Hour)
+		res, err := dev.TaskResult(id)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for bits, c := range res.Counts {
+			if len(bits) != 2 || c <= 0 {
+				return false
+			}
+			total += c
+		}
+		return total == shots
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCalibrationDriftBoundedProperty: natural calibration drift is a
+// bounded random walk — after many steps the Rabi factor stays within the
+// clamp band the model declares, whatever the seed.
+func TestCalibrationDriftBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		clk := simclock.New()
+		dev, err := New(Config{Clock: clk, Seed: seed, DriftInterval: time.Second, DriftSigma: 0.05})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 500; i++ {
+			clk.Advance(time.Second)
+			cal := dev.CalibrationSnapshot()
+			if cal.RabiFactor < 0.5 || cal.RabiFactor > 1.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,486 @@
+package emulator
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"hpcqc/internal/qir"
+)
+
+// Tensor3 is a rank-3 MPS site tensor with shape (L, P, R): left bond,
+// physical index (dimension 2), right bond. Data is indexed (l*P+p)*R+r.
+type Tensor3 struct {
+	L, P, R int
+	Data    []complex128
+}
+
+// NewTensor3 returns a zeroed tensor of the given shape.
+func NewTensor3(l, p, r int) *Tensor3 {
+	return &Tensor3{L: l, P: p, R: r, Data: make([]complex128, l*p*r)}
+}
+
+// At returns element (l, p, r).
+func (t *Tensor3) At(l, p, r int) complex128 { return t.Data[(l*t.P+p)*t.R+r] }
+
+// Set assigns element (l, p, r).
+func (t *Tensor3) Set(l, p, r int, v complex128) { t.Data[(l*t.P+p)*t.R+r] = v }
+
+// MPS is a matrix-product state on N qubits. Bond dimensions vary per bond
+// and are capped by MaxBond during two-site updates; MaxBond=1 keeps the
+// state an exact product state — the paper's mock mode for arbitrarily large
+// registers (§3.2 footnote 3).
+type MPS struct {
+	N       int
+	Sites   []*Tensor3
+	MaxBond int
+	// Cutoff discards singular values whose squared relative weight is
+	// below it, independent of MaxBond.
+	Cutoff float64
+	// TruncationError accumulates the squared weight discarded by every
+	// truncation since creation; it is the emulator's self-reported
+	// accuracy proxy, surfaced to users as per-job metadata.
+	TruncationError float64
+}
+
+// NewMPS returns |0…0⟩ on n qubits with the given bond cap.
+func NewMPS(n, maxBond int) (*MPS, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("emulator: MPS needs at least 1 qubit, got %d", n)
+	}
+	if maxBond < 1 {
+		return nil, fmt.Errorf("emulator: bond dimension must be >= 1, got %d", maxBond)
+	}
+	m := &MPS{N: n, MaxBond: maxBond, Cutoff: 1e-12, Sites: make([]*Tensor3, n)}
+	for i := range m.Sites {
+		t := NewTensor3(1, 2, 1)
+		t.Set(0, 0, 0, 1)
+		m.Sites[i] = t
+	}
+	return m, nil
+}
+
+// BondDims returns the current bond dimension at each of the N-1 bonds.
+func (m *MPS) BondDims() []int {
+	dims := make([]int, 0, m.N-1)
+	for i := 0; i < m.N-1; i++ {
+		dims = append(dims, m.Sites[i].R)
+	}
+	return dims
+}
+
+// MaxBondDim returns the largest current bond dimension.
+func (m *MPS) MaxBondDim() int {
+	max := 1
+	for _, d := range m.BondDims() {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ApplySingle applies a 2×2 unitary [[a,b],[c,d]] to qubit q. Single-site
+// gates never grow bonds and are exact at any χ.
+func (m *MPS) ApplySingle(q int, a, b, c, d complex128) {
+	t := m.Sites[q]
+	for l := 0; l < t.L; l++ {
+		for r := 0; r < t.R; r++ {
+			v0 := t.At(l, 0, r)
+			v1 := t.At(l, 1, r)
+			t.Set(l, 0, r, a*v0+b*v1)
+			t.Set(l, 1, r, c*v0+d*v1)
+		}
+	}
+}
+
+// ApplyTwoSiteAdjacent applies a 4×4 unitary to qubits (q, q+1), truncating
+// the new bond to MaxBond/Cutoff. The unitary is indexed u[p0'*2+p1'][p0*2+p1]
+// with p0 the left site. It returns the squared truncation weight discarded.
+func (m *MPS) ApplyTwoSiteAdjacent(q int, u *Matrix) (float64, error) {
+	if q < 0 || q+1 >= m.N {
+		return 0, fmt.Errorf("emulator: two-site gate at bond %d out of range", q)
+	}
+	if u.Rows != 4 || u.Cols != 4 {
+		return 0, fmt.Errorf("emulator: two-site gate must be 4×4, got %d×%d", u.Rows, u.Cols)
+	}
+	left, right := m.Sites[q], m.Sites[q+1]
+	chiL, chiR := left.L, right.R
+	// theta[l, p0, p1, r] = Σ_k left[l,p0,k]·right[k,p1,r]
+	theta := make([]complex128, chiL*2*2*chiR)
+	idx := func(l, p0, p1, r int) int { return ((l*2+p0)*2+p1)*chiR + r }
+	for l := 0; l < chiL; l++ {
+		for p0 := 0; p0 < 2; p0++ {
+			for k := 0; k < left.R; k++ {
+				lv := left.At(l, p0, k)
+				if lv == 0 {
+					continue
+				}
+				for p1 := 0; p1 < 2; p1++ {
+					for r := 0; r < chiR; r++ {
+						theta[idx(l, p0, p1, r)] += lv * right.At(k, p1, r)
+					}
+				}
+			}
+		}
+	}
+	// Apply gate on the physical pair.
+	gated := make([]complex128, len(theta))
+	for l := 0; l < chiL; l++ {
+		for r := 0; r < chiR; r++ {
+			for pOut := 0; pOut < 4; pOut++ {
+				var acc complex128
+				for pIn := 0; pIn < 4; pIn++ {
+					g := u.At(pOut, pIn)
+					if g == 0 {
+						continue
+					}
+					acc += g * theta[idx(l, pIn/2, pIn%2, r)]
+				}
+				gated[idx(l, pOut/2, pOut%2, r)] = acc
+			}
+		}
+	}
+	// Reshape to (chiL·2) × (2·chiR) and SVD.
+	mat := NewMatrix(chiL*2, 2*chiR)
+	for l := 0; l < chiL; l++ {
+		for p0 := 0; p0 < 2; p0++ {
+			for p1 := 0; p1 < 2; p1++ {
+				for r := 0; r < chiR; r++ {
+					mat.Set(l*2+p0, p1*chiR+r, gated[idx(l, p0, p1, r)])
+				}
+			}
+		}
+	}
+	svd := SVD(mat)
+	total := 0.0
+	for _, s := range svd.S {
+		total += s * s
+	}
+	trunc, discarded := TruncateSVD(svd, m.MaxBond, m.Cutoff)
+	m.TruncationError += discarded
+	chi := len(trunc.S)
+	// Rescale the kept weight back to theta's own norm. The MPS is not kept
+	// in canonical gauge, so theta's local norm is not the state norm and
+	// must be preserved as-is; truncation alone would shrink it.
+	kept := 0.0
+	for _, s := range trunc.S {
+		kept += s * s
+	}
+	scale := 1.0
+	if kept > 0 && total > 0 {
+		scale = math.Sqrt(total / kept)
+	}
+	newLeft := NewTensor3(chiL, 2, chi)
+	for l := 0; l < chiL; l++ {
+		for p0 := 0; p0 < 2; p0++ {
+			for k := 0; k < chi; k++ {
+				newLeft.Set(l, p0, k, trunc.U.At(l*2+p0, k))
+			}
+		}
+	}
+	// Absorb singular values (rescaled) into the right tensor.
+	newRight := NewTensor3(chi, 2, chiR)
+	for k := 0; k < chi; k++ {
+		sv := complex(trunc.S[k]*scale, 0)
+		for p1 := 0; p1 < 2; p1++ {
+			for r := 0; r < chiR; r++ {
+				newRight.Set(k, p1, r, sv*cmplx.Conj(trunc.V.At(p1*chiR+r, k)))
+			}
+		}
+	}
+	m.Sites[q] = newLeft
+	m.Sites[q+1] = newRight
+	return discarded, nil
+}
+
+// swapGate is the 4×4 SWAP unitary.
+func swapGate() *Matrix {
+	u := NewMatrix(4, 4)
+	u.Set(0, 0, 1)
+	u.Set(1, 2, 1)
+	u.Set(2, 1, 1)
+	u.Set(3, 3, 1)
+	return u
+}
+
+// ApplyTwoSite applies a 4×4 unitary to arbitrary qubits (a, b) with a < b,
+// routing via SWAP gates when they are not adjacent.
+func (m *MPS) ApplyTwoSite(a, b int, u *Matrix) error {
+	if a == b {
+		return fmt.Errorf("emulator: two-site gate needs distinct qubits, got %d twice", a)
+	}
+	if a > b {
+		// Conjugate the gate by SWAP instead of moving tensors.
+		sw := swapGate()
+		u = sw.Mul(u).Mul(sw)
+		a, b = b, a
+	}
+	if a < 0 || b >= m.N {
+		return fmt.Errorf("emulator: qubits (%d,%d) out of range [0,%d)", a, b, m.N)
+	}
+	sw := swapGate()
+	// Bring b next to a with swaps, apply, swap back.
+	for pos := b; pos > a+1; pos-- {
+		if _, err := m.ApplyTwoSiteAdjacent(pos-1, sw); err != nil {
+			return err
+		}
+	}
+	if _, err := m.ApplyTwoSiteAdjacent(a, u); err != nil {
+		return err
+	}
+	for pos := a + 1; pos < b; pos++ {
+		if _, err := m.ApplyTwoSiteAdjacent(pos, sw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyGate dispatches a qir gate onto the MPS.
+func (m *MPS) ApplyGate(g qir.Gate) error {
+	sq2 := complex(1/math.Sqrt2, 0)
+	single := func(a, b, c, d complex128) { m.ApplySingle(g.Qubits[0], a, b, c, d) }
+	switch g.Name {
+	case qir.GateH:
+		single(sq2, sq2, sq2, -sq2)
+	case qir.GateX:
+		single(0, 1, 1, 0)
+	case qir.GateY:
+		single(0, -1i, 1i, 0)
+	case qir.GateZ:
+		single(1, 0, 0, -1)
+	case qir.GateS:
+		single(1, 0, 0, 1i)
+	case qir.GateT:
+		single(1, 0, 0, cmplx.Exp(1i*math.Pi/4))
+	case qir.GateRX:
+		c := complex(math.Cos(g.Param/2), 0)
+		sn := complex(0, -math.Sin(g.Param/2))
+		single(c, sn, sn, c)
+	case qir.GateRY:
+		c := complex(math.Cos(g.Param/2), 0)
+		sn := complex(math.Sin(g.Param/2), 0)
+		single(c, -sn, sn, c)
+	case qir.GateRZ:
+		single(cmplx.Exp(complex(0, -g.Param/2)), 0, 0, cmplx.Exp(complex(0, g.Param/2)))
+	case qir.GateCZ:
+		u := Identity(4)
+		u.Set(3, 3, -1)
+		return m.ApplyTwoSite(g.Qubits[0], g.Qubits[1], u)
+	case qir.GateCX:
+		u := NewMatrix(4, 4)
+		u.Set(0, 0, 1)
+		u.Set(1, 1, 1)
+		u.Set(2, 3, 1)
+		u.Set(3, 2, 1)
+		return m.ApplyTwoSite(g.Qubits[0], g.Qubits[1], u)
+	default:
+		return fmt.Errorf("emulator: unsupported gate %q", g.Name)
+	}
+	return nil
+}
+
+// RunCircuit applies every gate of the circuit in order.
+func (m *MPS) RunCircuit(c *qir.Circuit) error {
+	for i := range c.Gates {
+		if err := m.ApplyGate(c.Gates[i]); err != nil {
+			return fmt.Errorf("gate %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// canonicalizeRight sweeps right-to-left turning every tensor except the
+// first into right-canonical form (Σ_p B_p B_p† = I), the precondition for
+// exact sequential sampling.
+func (m *MPS) canonicalizeRight() {
+	for i := m.N - 1; i > 0; i-- {
+		t := m.Sites[i]
+		// Reshape (L, P·R) and SVD: t = U S V†; keep Q=V† as the new
+		// right-canonical tensor, absorb U·S into the left neighbour.
+		mat := NewMatrix(t.L, t.P*t.R)
+		for l := 0; l < t.L; l++ {
+			for p := 0; p < t.P; p++ {
+				for r := 0; r < t.R; r++ {
+					mat.Set(l, p*t.R+r, t.At(l, p, r))
+				}
+			}
+		}
+		svd := SVD(mat)
+		// Drop numerically-zero singular values to keep bonds tight.
+		rank := 0
+		for _, s := range svd.S {
+			if s > 1e-14 {
+				rank++
+			}
+		}
+		if rank == 0 {
+			rank = 1
+		}
+		newT := NewTensor3(rank, t.P, t.R)
+		for k := 0; k < rank; k++ {
+			for p := 0; p < t.P; p++ {
+				for r := 0; r < t.R; r++ {
+					newT.Set(k, p, r, cmplx.Conj(svd.V.At(p*t.R+r, k)))
+				}
+			}
+		}
+		m.Sites[i] = newT
+		// left[l,p,k'] ← Σ_k left[l,p,k]·U[k,k']·S[k']
+		prev := m.Sites[i-1]
+		newPrev := NewTensor3(prev.L, prev.P, rank)
+		for l := 0; l < prev.L; l++ {
+			for p := 0; p < prev.P; p++ {
+				for kNew := 0; kNew < rank; kNew++ {
+					var acc complex128
+					for k := 0; k < prev.R; k++ {
+						acc += prev.At(l, p, k) * svd.U.At(k, kNew)
+					}
+					newPrev.Set(l, p, kNew, acc*complex(svd.S[kNew], 0))
+				}
+			}
+		}
+		m.Sites[i-1] = newPrev
+	}
+}
+
+// Norm returns ⟨ψ|ψ⟩ by full transfer-matrix contraction.
+func (m *MPS) Norm() float64 {
+	// env[(l, l')] starts as the 1×1 identity and is contracted site by site.
+	env := []complex128{1}
+	dim := 1
+	for _, t := range m.Sites {
+		newDim := t.R
+		newEnv := make([]complex128, newDim*newDim)
+		for l := 0; l < dim; l++ {
+			for lp := 0; lp < dim; lp++ {
+				e := env[l*dim+lp]
+				if e == 0 {
+					continue
+				}
+				for p := 0; p < t.P; p++ {
+					for r := 0; r < newDim; r++ {
+						a := t.At(l, p, r)
+						if a == 0 {
+							continue
+						}
+						for rp := 0; rp < newDim; rp++ {
+							newEnv[r*newDim+rp] += e * a * cmplx.Conj(t.At(lp, p, rp))
+						}
+					}
+				}
+			}
+		}
+		env = newEnv
+		dim = newDim
+	}
+	return real(env[0])
+}
+
+// Normalize rescales the state to unit norm.
+func (m *MPS) Normalize() {
+	n := m.Norm()
+	if n <= 0 {
+		return
+	}
+	scale := complex(1/math.Sqrt(n), 0)
+	t := m.Sites[0]
+	for i := range t.Data {
+		t.Data[i] *= scale
+	}
+}
+
+// Amplitude returns ⟨bits|ψ⟩ for a basis bitstring (qubit 0 leftmost).
+func (m *MPS) Amplitude(bits string) (complex128, error) {
+	if len(bits) != m.N {
+		return 0, fmt.Errorf("emulator: bitstring length %d != %d qubits", len(bits), m.N)
+	}
+	env := []complex128{1}
+	for q, t := range m.Sites {
+		p := 0
+		switch bits[q] {
+		case '0':
+		case '1':
+			p = 1
+		default:
+			return 0, fmt.Errorf("emulator: invalid bit %q at position %d", bits[q], q)
+		}
+		newEnv := make([]complex128, t.R)
+		for r := 0; r < t.R; r++ {
+			var acc complex128
+			for l := 0; l < t.L; l++ {
+				acc += env[l] * t.At(l, p, r)
+			}
+			newEnv[r] = acc
+		}
+		env = newEnv
+	}
+	return env[0], nil
+}
+
+// Sample draws measurement outcomes by exact sequential sampling after
+// right-canonicalizing. The MPS is normalized as a side effect.
+func (m *MPS) Sample(shots int, rng *rand.Rand) qir.Counts {
+	m.Normalize()
+	m.canonicalizeRight()
+	// After right-canonicalization the norm may drift slightly; fix again.
+	m.Normalize()
+	counts := make(qir.Counts)
+	bits := make([]byte, m.N)
+	for shot := 0; shot < shots; shot++ {
+		env := []complex128{1}
+		for q, t := range m.Sites {
+			// v_p[r] = Σ_l env[l]·t[l,p,r]; P(p) = ‖v_p‖².
+			var norms [2]float64
+			var vs [2][]complex128
+			for p := 0; p < 2; p++ {
+				v := make([]complex128, t.R)
+				for r := 0; r < t.R; r++ {
+					var acc complex128
+					for l := 0; l < t.L; l++ {
+						acc += env[l] * t.At(l, p, r)
+					}
+					v[r] = acc
+					norms[p] += real(acc)*real(acc) + imag(acc)*imag(acc)
+				}
+				vs[p] = v
+			}
+			total := norms[0] + norms[1]
+			p := 0
+			if total > 0 && rng.Float64()*total >= norms[0] {
+				p = 1
+			}
+			bits[q] = byte('0' + p)
+			// Normalize the conditional environment.
+			scale := complex(0, 0)
+			if norms[p] > 0 {
+				scale = complex(1/math.Sqrt(norms[p]), 0)
+			}
+			env = vs[p]
+			for i := range env {
+				env[i] *= scale
+			}
+		}
+		counts[string(bits)]++
+	}
+	return counts
+}
+
+// ToStateVector expands the MPS into a dense state for verification; only
+// valid for small N.
+func (m *MPS) ToStateVector() (*StateVector, error) {
+	sv, err := NewStateVector(m.N)
+	if err != nil {
+		return nil, err
+	}
+	for idx := range sv.Amps {
+		amp, err := m.Amplitude(bitstring(idx, m.N))
+		if err != nil {
+			return nil, err
+		}
+		sv.Amps[idx] = amp
+	}
+	return sv, nil
+}

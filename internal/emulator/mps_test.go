@@ -1,0 +1,353 @@
+package emulator
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"hpcqc/internal/qir"
+)
+
+func TestNewMPSValidation(t *testing.T) {
+	if _, err := NewMPS(0, 4); err == nil {
+		t.Fatal("0 qubits accepted")
+	}
+	if _, err := NewMPS(3, 0); err == nil {
+		t.Fatal("bond 0 accepted")
+	}
+	m, err := NewMPS(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Norm(); math.Abs(n-1) > 1e-12 {
+		t.Fatalf("initial norm = %g", n)
+	}
+	amp, _ := m.Amplitude("0000")
+	if cmplx.Abs(amp-1) > 1e-12 {
+		t.Fatalf("initial amplitude = %v", amp)
+	}
+}
+
+func TestMPSSingleQubitGates(t *testing.T) {
+	m, _ := NewMPS(1, 2)
+	m.ApplyGate(qir.Gate{Name: qir.GateX, Qubits: []int{0}})
+	amp, _ := m.Amplitude("1")
+	if cmplx.Abs(amp-1) > 1e-12 {
+		t.Fatalf("X|0> amplitude = %v", amp)
+	}
+	m, _ = NewMPS(1, 2)
+	m.ApplyGate(qir.Gate{Name: qir.GateH, Qubits: []int{0}})
+	a0, _ := m.Amplitude("0")
+	a1, _ := m.Amplitude("1")
+	if math.Abs(real(a0)-1/math.Sqrt2) > 1e-12 || math.Abs(real(a1)-1/math.Sqrt2) > 1e-12 {
+		t.Fatalf("H|0> amplitudes %v %v", a0, a1)
+	}
+}
+
+func TestMPSBellState(t *testing.T) {
+	m, _ := NewMPS(2, 4)
+	if err := m.RunCircuit(qir.NewCircuit(2).H(0).CX(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	a00, _ := m.Amplitude("00")
+	a11, _ := m.Amplitude("11")
+	a01, _ := m.Amplitude("01")
+	if math.Abs(cmplx.Abs(a00)-1/math.Sqrt2) > 1e-10 || math.Abs(cmplx.Abs(a11)-1/math.Sqrt2) > 1e-10 {
+		t.Fatalf("bell amplitudes %v %v", a00, a11)
+	}
+	if cmplx.Abs(a01) > 1e-10 {
+		t.Fatalf("cross amplitude %v", a01)
+	}
+	if got := m.MaxBondDim(); got != 2 {
+		t.Fatalf("bell bond dim = %d, want 2", got)
+	}
+}
+
+func TestMPSMatchesStateVectorRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 6; trial++ {
+		n := 3 + rng.Intn(3)
+		c := qir.NewCircuit(n)
+		for g := 0; g < 25; g++ {
+			q := rng.Intn(n)
+			switch rng.Intn(6) {
+			case 0:
+				c.H(q)
+			case 1:
+				c.RX(q, rng.Float64()*2*math.Pi)
+			case 2:
+				c.RZ(q, rng.Float64()*2*math.Pi)
+			case 3:
+				c.T(q)
+			case 4:
+				p := rng.Intn(n)
+				if p != q {
+					c.CX(p, q)
+				}
+			case 5:
+				p := rng.Intn(n)
+				if p != q {
+					c.CZ(p, q)
+				}
+			}
+		}
+		sv, _ := NewStateVector(n)
+		if err := sv.RunCircuit(c); err != nil {
+			t.Fatal(err)
+		}
+		m, _ := NewMPS(n, 64) // χ large enough to be exact at these sizes
+		if err := m.RunCircuit(c); err != nil {
+			t.Fatal(err)
+		}
+		msv, err := m.ToStateVector()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := Fidelity(sv, msv); math.Abs(f-1) > 1e-8 {
+			t.Fatalf("trial %d (n=%d): MPS/SV fidelity = %g", trial, n, f)
+		}
+	}
+}
+
+func TestMPSNonAdjacentGateRouting(t *testing.T) {
+	// CX(0, 3) requires swap routing across two intermediate sites.
+	n := 4
+	c := qir.NewCircuit(n).H(0).CX(0, 3)
+	sv, _ := NewStateVector(n)
+	sv.RunCircuit(c)
+	m, _ := NewMPS(n, 16)
+	if err := m.RunCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	msv, _ := m.ToStateVector()
+	if f := Fidelity(sv, msv); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("routed gate fidelity = %g", f)
+	}
+}
+
+func TestMPSReversedControlTarget(t *testing.T) {
+	// CX(3, 0): control below target exercises the conjugate-by-swap path.
+	n := 4
+	c := qir.NewCircuit(n).H(3).CX(3, 0)
+	sv, _ := NewStateVector(n)
+	sv.RunCircuit(c)
+	m, _ := NewMPS(n, 16)
+	if err := m.RunCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	msv, _ := m.ToStateVector()
+	if f := Fidelity(sv, msv); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("reversed gate fidelity = %g", f)
+	}
+}
+
+func TestMPSTruncationAtChi1(t *testing.T) {
+	// χ=1 cannot hold a Bell state: truncation error is recorded and the
+	// state stays a normalized product state — the paper's mock mode.
+	m, _ := NewMPS(2, 1)
+	if err := m.RunCircuit(qir.NewCircuit(2).H(0).CX(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if m.TruncationError <= 0 {
+		t.Fatal("χ=1 Bell circuit reported no truncation")
+	}
+	if got := m.MaxBondDim(); got != 1 {
+		t.Fatalf("bond grew to %d under χ=1", got)
+	}
+	if n := m.Norm(); math.Abs(n-1) > 1e-9 {
+		t.Fatalf("norm after truncation = %g", n)
+	}
+}
+
+func TestMPSSampleBell(t *testing.T) {
+	m, _ := NewMPS(2, 4)
+	m.RunCircuit(qir.NewCircuit(2).H(0).CX(0, 1))
+	counts := m.Sample(4000, rand.New(rand.NewSource(3)))
+	if counts.TotalShots() != 4000 {
+		t.Fatalf("total = %d", counts.TotalShots())
+	}
+	if counts["01"]+counts["10"] != 0 {
+		t.Fatalf("impossible outcomes: %v", counts)
+	}
+	if p := counts.Probability("00"); math.Abs(p-0.5) > 0.05 {
+		t.Fatalf("P(00) = %g", p)
+	}
+}
+
+func TestMPSSampleMatchesSV(t *testing.T) {
+	// Sampled distributions from MPS and SV agree on a random circuit.
+	n := 4
+	rng := rand.New(rand.NewSource(8))
+	c := qir.NewCircuit(n)
+	for g := 0; g < 15; g++ {
+		q := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			c.RY(q, rng.Float64()*math.Pi)
+		case 1:
+			c.H(q)
+		case 2:
+			if p := rng.Intn(n); p != q {
+				c.CZ(p, q)
+			}
+		}
+	}
+	sv, _ := NewStateVector(n)
+	sv.RunCircuit(c)
+	m, _ := NewMPS(n, 32)
+	m.RunCircuit(c)
+	shots := 20000
+	svCounts := sv.Sample(shots, rand.New(rand.NewSource(1)))
+	mpsCounts := m.Sample(shots, rand.New(rand.NewSource(2)))
+	if tvd := TotalVariationDistance(svCounts, mpsCounts); tvd > 0.03 {
+		t.Fatalf("TVD between SV and MPS samples = %g", tvd)
+	}
+}
+
+func TestMPSAmplitudeErrors(t *testing.T) {
+	m, _ := NewMPS(3, 2)
+	if _, err := m.Amplitude("01"); err == nil {
+		t.Fatal("short bitstring accepted")
+	}
+	if _, err := m.Amplitude("01x"); err == nil {
+		t.Fatal("invalid character accepted")
+	}
+}
+
+func TestMPSTwoSiteErrors(t *testing.T) {
+	m, _ := NewMPS(3, 2)
+	if _, err := m.ApplyTwoSiteAdjacent(5, swapGate()); err == nil {
+		t.Fatal("out-of-range bond accepted")
+	}
+	if _, err := m.ApplyTwoSiteAdjacent(0, NewMatrix(2, 2)); err == nil {
+		t.Fatal("wrong gate shape accepted")
+	}
+	if err := m.ApplyTwoSite(1, 1, swapGate()); err == nil {
+		t.Fatal("identical qubits accepted")
+	}
+	if err := m.ApplyGate(qir.Gate{Name: "bogus", Qubits: []int{0}}); err == nil {
+		t.Fatal("bogus gate accepted")
+	}
+}
+
+// --- Analog TEBD cross-validation ---
+
+func chainSequence(n int, spacing, omega, durNs float64) *qir.AnalogSequence {
+	seq := qir.NewAnalogSequence(qir.LinearRegister("chain", n, spacing))
+	seq.Add(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.BlackmanWaveform{Dur: durNs, Peak: omega},
+		Detuning:  qir.RampWaveform{Dur: durNs, Start: -4, Stop: 4},
+	})
+	return seq
+}
+
+func TestTEBDMatchesExactSmallChain(t *testing.T) {
+	// 10 µm spacing: nearest-neighbour interaction dominates (next-nearest
+	// is 64× weaker), so TEBD's NN truncation is a good approximation.
+	spec := qir.DefaultAnalogSpec()
+	n := 5
+	seq := chainSequence(n, 10, 2*math.Pi, 400)
+	sv, _ := NewStateVector(n)
+	if err := sv.EvolveAnalog(seq, spec.C6, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMPS(n, 32)
+	if err := m.EvolveAnalogTEBD(seq, spec.C6, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	msv, _ := m.ToStateVector()
+	f := Fidelity(sv, msv)
+	if f < 0.99 {
+		t.Fatalf("TEBD fidelity vs exact = %g", f)
+	}
+}
+
+func TestTEBDSingleAtomExact(t *testing.T) {
+	// One atom has no interactions: TEBD must match the π-pulse exactly.
+	omega := 2 * math.Pi
+	tPi := math.Pi / omega * 1000
+	m, _ := NewMPS(1, 1)
+	if err := m.EvolveAnalogTEBD(singleAtomSequence(omega, tPi), 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	amp, _ := m.Amplitude("1")
+	if p := real(amp)*real(amp) + imag(amp)*imag(amp); math.Abs(p-1) > 1e-4 {
+		t.Fatalf("TEBD pi pulse: P(r) = %g", p)
+	}
+}
+
+func TestTEBDChi1IsProductState(t *testing.T) {
+	spec := qir.DefaultAnalogSpec()
+	n := 8
+	seq := chainSequence(n, 6, 2*math.Pi, 300)
+	m, _ := NewMPS(n, 1)
+	if err := m.EvolveAnalogTEBD(seq, spec.C6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MaxBondDim(); got != 1 {
+		t.Fatalf("χ=1 evolution grew bond to %d", got)
+	}
+	// Sampling still works and returns the right shot count.
+	counts := m.Sample(100, rand.New(rand.NewSource(4)))
+	if counts.TotalShots() != 100 {
+		t.Fatalf("total = %d", counts.TotalShots())
+	}
+}
+
+func TestTEBDLargeRegisterRuns(t *testing.T) {
+	// The point of the tensor-network backend: sizes far beyond exact
+	// emulation still execute (here 40 atoms, impossible at 2^40 amps).
+	spec := qir.DefaultAnalogSpec()
+	seq := chainSequence(40, 8, math.Pi, 200)
+	m, _ := NewMPS(40, 4)
+	if err := m.EvolveAnalogTEBD(seq, spec.C6, 2); err != nil {
+		t.Fatal(err)
+	}
+	counts := m.Sample(50, rand.New(rand.NewSource(5)))
+	if counts.TotalShots() != 50 {
+		t.Fatalf("total = %d", counts.TotalShots())
+	}
+	for bits := range counts {
+		if len(bits) != 40 {
+			t.Fatalf("bitstring length %d", len(bits))
+		}
+	}
+}
+
+func TestTEBDRegisterMismatch(t *testing.T) {
+	m, _ := NewMPS(3, 2)
+	if err := m.EvolveAnalogTEBD(singleAtomSequence(1, 100), 0, 1); err == nil {
+		t.Fatal("mismatched register accepted")
+	}
+}
+
+func TestExpSingleSiteUnitary(t *testing.T) {
+	// The closed-form exponential must be unitary for random parameters.
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 50; i++ {
+		a, b, c, d := expSingleSite(rng.Float64()*10, (rng.Float64()-0.5)*20, rng.Float64()*2*math.Pi, rng.Float64()*0.5)
+		// Columns orthonormal.
+		n0 := cmplx.Abs(a)*cmplx.Abs(a) + cmplx.Abs(c)*cmplx.Abs(c)
+		n1 := cmplx.Abs(b)*cmplx.Abs(b) + cmplx.Abs(d)*cmplx.Abs(d)
+		dot := cmplx.Conj(a)*b + cmplx.Conj(c)*d
+		if math.Abs(n0-1) > 1e-10 || math.Abs(n1-1) > 1e-10 || cmplx.Abs(dot) > 1e-10 {
+			t.Fatalf("not unitary: cols %g %g dot %g", n0, n1, cmplx.Abs(dot))
+		}
+	}
+}
+
+func TestExpSingleSitePiPulse(t *testing.T) {
+	// Ω·t = π at zero detuning: |0⟩ → -i|1⟩.
+	omega := 2.0
+	dt := math.Pi / omega
+	a, b, c, d := expSingleSite(omega, 0, 0, dt)
+	_ = b
+	_ = d
+	if cmplx.Abs(a) > 1e-10 {
+		t.Fatalf("pi pulse diagonal = %v", a)
+	}
+	if cmplx.Abs(c-complex(0, -1)) > 1e-10 {
+		t.Fatalf("pi pulse off-diagonal = %v", c)
+	}
+}

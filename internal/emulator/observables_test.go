@@ -1,0 +1,143 @@
+package emulator
+
+import (
+	"math"
+	"testing"
+
+	"hpcqc/internal/qir"
+)
+
+func TestMeanZ(t *testing.T) {
+	counts := qir.Counts{"00": 50, "10": 50}
+	z0, err := MeanZ(counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z0 != 0 {
+		t.Fatalf("Z0 = %g", z0)
+	}
+	z1, _ := MeanZ(counts, 1)
+	if z1 != 1 {
+		t.Fatalf("Z1 = %g", z1)
+	}
+	if _, err := MeanZ(counts, 5); err == nil {
+		t.Fatal("out-of-range qubit accepted")
+	}
+	if _, err := MeanZ(qir.Counts{}, 0); err == nil {
+		t.Fatal("empty counts accepted")
+	}
+}
+
+func TestCorrelationZZ(t *testing.T) {
+	// Perfectly correlated Bell-like counts: ⟨Z0Z1⟩=1, means 0 → C=1.
+	counts := qir.Counts{"00": 50, "11": 50}
+	c, err := CorrelationZZ(counts, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1) > 1e-12 {
+		t.Fatalf("correlated C = %g", c)
+	}
+	// Product state: C = 0.
+	counts = qir.Counts{"00": 25, "01": 25, "10": 25, "11": 25}
+	c, _ = CorrelationZZ(counts, 0, 1)
+	if math.Abs(c) > 1e-12 {
+		t.Fatalf("uncorrelated C = %g", c)
+	}
+	// Anticorrelated: C = −1.
+	counts = qir.Counts{"01": 50, "10": 50}
+	c, _ = CorrelationZZ(counts, 0, 1)
+	if math.Abs(c+1) > 1e-12 {
+		t.Fatalf("anticorrelated C = %g", c)
+	}
+	if _, err := CorrelationZZ(counts, 0, 9); err == nil {
+		t.Fatal("out-of-range pair accepted")
+	}
+}
+
+func TestRydbergDensity(t *testing.T) {
+	counts := qir.Counts{"10": 50, "11": 50}
+	d, err := RydbergDensity(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.75) > 1e-12 {
+		t.Fatalf("density = %g", d)
+	}
+	if _, err := RydbergDensity(qir.Counts{}); err == nil {
+		t.Fatal("empty counts accepted")
+	}
+}
+
+func TestStaggeredMagnetizationExtremes(t *testing.T) {
+	neel := qir.Counts{"10101": 100}
+	m, err := StaggeredMagnetization(neel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-1) > 1e-12 {
+		t.Fatalf("Néel m = %g", m)
+	}
+	uniform := qir.Counts{"11111": 100}
+	m, _ = StaggeredMagnetization(uniform)
+	if math.Abs(m-0.2) > 1e-12 { // |Σ(−1)^i(−1)| = 1 of 5
+		t.Fatalf("uniform m = %g", m)
+	}
+}
+
+func TestStructureFactorPeaksAtPi(t *testing.T) {
+	neel := qir.Counts{"101010": 100}
+	sPi, err := StructureFactor(neel, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, _ := StructureFactor(neel, 0)
+	// k=π: every excited site at even positions contributes coherently.
+	if sPi <= s0 {
+		t.Fatalf("S(π)=%g not above S(0)=%g for Néel state", sPi, s0)
+	}
+	if _, err := StructureFactor(qir.Counts{}, 1); err == nil {
+		t.Fatal("empty counts accepted")
+	}
+}
+
+func TestDomainWallDensity(t *testing.T) {
+	perfect := qir.Counts{"1010": 10}
+	d, err := DomainWallDensity(perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("perfect order walls = %g", d)
+	}
+	ferro := qir.Counts{"1111": 10}
+	d, _ = DomainWallDensity(ferro)
+	if d != 1 {
+		t.Fatalf("ferro walls = %g", d)
+	}
+	if _, err := DomainWallDensity(qir.Counts{"1": 5}); err == nil {
+		t.Fatal("single qubit accepted")
+	}
+	if _, err := DomainWallDensity(qir.Counts{}); err == nil {
+		t.Fatal("empty counts accepted")
+	}
+}
+
+func TestObservablesOnRealBellState(t *testing.T) {
+	b := NewSVBackend(SVConfig{})
+	res, err := b.Run(qir.NewDigitalProgram(qir.NewCircuit(2).H(0).CX(0, 1), 10000), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CorrelationZZ(res.Counts, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 0.95 {
+		t.Fatalf("Bell ZZ correlation = %g", c)
+	}
+	z, _ := MeanZ(res.Counts, 0)
+	if math.Abs(z) > 0.05 {
+		t.Fatalf("Bell single-qubit Z = %g", z)
+	}
+}

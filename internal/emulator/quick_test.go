@@ -1,0 +1,311 @@
+package emulator
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hpcqc/internal/qir"
+)
+
+// randomUnitary2 builds an arbitrary SU(2) element from three Euler angles.
+func randomUnitary2(alpha, beta, gamma float64) (a, b, c, d complex128) {
+	ca, sa := math.Cos(alpha/2), math.Sin(alpha/2)
+	ephi := cmplx.Exp(complex(0, beta))
+	epsi := cmplx.Exp(complex(0, gamma))
+	a = complex(ca, 0) * ephi
+	b = complex(-sa, 0) * epsi
+	c = complex(sa, 0) * cmplx.Conj(epsi)
+	d = complex(ca, 0) * cmplx.Conj(ephi)
+	return
+}
+
+// TestSVNormPreservedProperty: arbitrary sequences of single- and two-qubit
+// unitaries keep the dense state normalized — the invariant every
+// measurement probability depends on.
+func TestSVNormPreservedProperty(t *testing.T) {
+	f := func(seed int64, nRaw, ops uint8) bool {
+		n := int(nRaw)%6 + 2
+		rng := rand.New(rand.NewSource(seed))
+		sv, err := NewStateVector(n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(ops)%40+5; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				a, b, c, d := randomUnitary2(rng.Float64()*math.Pi, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi)
+				sv.ApplySingle(rng.Intn(n), a, b, c, d)
+			case 1:
+				p, q := rng.Intn(n), rng.Intn(n)
+				if p != q {
+					sv.ApplyCX(p, q)
+				}
+			default:
+				p, q := rng.Intn(n), rng.Intn(n)
+				if p != q {
+					sv.ApplyCZ(p, q)
+				}
+			}
+		}
+		return math.Abs(sv.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSVProbabilitiesSumProperty: probabilities always form a distribution,
+// whatever circuit ran.
+func TestSVProbabilitiesSumProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%5 + 2
+		rng := rand.New(rand.NewSource(seed))
+		c := qir.NewCircuit(n)
+		for i := 0; i < 12; i++ {
+			q := rng.Intn(n)
+			switch rng.Intn(4) {
+			case 0:
+				c.H(q)
+			case 1:
+				c.RX(q, rng.Float64()*math.Pi)
+			case 2:
+				c.RZ(q, rng.Float64()*math.Pi)
+			default:
+				c.CX(q, (q+1)%n)
+			}
+		}
+		sv, err := NewStateVector(n)
+		if err != nil {
+			return false
+		}
+		if err := sv.RunCircuit(c); err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, p := range sv.Probabilities() {
+			if p < -1e-12 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMPSNormAndAgreementProperty: an untruncated MPS (χ large enough for
+// the register) stays normalized under random gates and agrees with the
+// dense simulation amplitude for amplitude.
+func TestMPSNormAndAgreementProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%4 + 2 // ≤5 qubits: χ=8 is exact
+		rng := rand.New(rand.NewSource(seed))
+		c := qir.NewCircuit(n)
+		for i := 0; i < 10; i++ {
+			q := rng.Intn(n)
+			switch rng.Intn(4) {
+			case 0:
+				c.H(q)
+			case 1:
+				c.RX(q, rng.Float64()*math.Pi)
+			case 2:
+				c.RZ(q, rng.Float64()*2*math.Pi)
+			default:
+				if q < n-1 {
+					c.CX(q, q+1)
+				} else {
+					c.CZ(q-1, q)
+				}
+			}
+		}
+		m, err := NewMPS(n, 8)
+		if err != nil {
+			return false
+		}
+		if err := m.RunCircuit(c); err != nil {
+			return false
+		}
+		if math.Abs(m.Norm()-1) > 1e-9 {
+			return false
+		}
+		sv, err := NewStateVector(n)
+		if err != nil {
+			return false
+		}
+		if err := sv.RunCircuit(c); err != nil {
+			return false
+		}
+		msv, err := m.ToStateVector()
+		if err != nil {
+			return false
+		}
+		return Fidelity(sv, msv) > 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSVDReconstructionProperty: U·diag(S)·Vᴴ rebuilds the original matrix,
+// and singular values come out non-negative and sorted — the linear-algebra
+// contract the MPS truncation stands on.
+func TestSVDReconstructionProperty(t *testing.T) {
+	f := func(seed int64, rRaw, cRaw uint8) bool {
+		rows := int(rRaw)%6 + 1
+		cols := int(cRaw)%6 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				a.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+			}
+		}
+		res := SVD(a)
+		for i := 1; i < len(res.S); i++ {
+			if res.S[i] > res.S[i-1]+1e-12 || res.S[i] < 0 {
+				return false
+			}
+		}
+		// Reconstruct and compare entrywise.
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				var sum complex128
+				for k := range res.S {
+					sum += res.U.At(i, k) * complex(res.S[k], 0) * cmplx.Conj(res.V.At(j, k))
+				}
+				if cmplx.Abs(sum-a.At(i, j)) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncateSVDWeightProperty: the discarded weight TruncateSVD reports
+// equals the squared singular values it dropped relative to the total
+// squared weight, and keeping every value discards nothing.
+func TestTruncateSVDWeightProperty(t *testing.T) {
+	f := func(seed int64, keepRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewMatrix(6, 6)
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 6; j++ {
+				a.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+			}
+		}
+		res := SVD(a)
+		full, discardedNone := TruncateSVD(res, 0, 0)
+		if discardedNone != 0 || len(full.S) != len(res.S) {
+			return false
+		}
+		keep := int(keepRaw)%len(res.S) + 1
+		truncated, discarded := TruncateSVD(res, keep, 0)
+		if len(truncated.S) > keep {
+			return false
+		}
+		dropped, total := 0.0, 0.0
+		for i, s := range res.S {
+			total += s * s
+			if i >= len(truncated.S) {
+				dropped += s * s
+			}
+		}
+		want := dropped / total
+		return math.Abs(discarded-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTVDMetricProperty: total variation distance behaves like a metric on
+// counts — zero on identical data, symmetric, bounded by [0, 1].
+func TestTVDMetricProperty(t *testing.T) {
+	f := func(aRaw, bRaw []uint8) bool {
+		mk := func(raw []uint8) qir.Counts {
+			counts := qir.Counts{}
+			for i, v := range raw {
+				key := []string{"00", "01", "10", "11"}[i%4]
+				counts[key] += int(v)%50 + 1
+			}
+			if len(counts) == 0 {
+				counts["00"] = 1
+			}
+			return counts
+		}
+		a, b := mk(aRaw), mk(bRaw)
+		dab := TotalVariationDistance(a, b)
+		dba := TotalVariationDistance(b, a)
+		if math.Abs(dab-dba) > 1e-12 {
+			return false
+		}
+		if dab < -1e-12 || dab > 1+1e-12 {
+			return false
+		}
+		return TotalVariationDistance(a, a) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSamplingConsistencyProperty: empirical sampling frequencies converge
+// on the state's true probabilities (loose 3σ-style bound at 4096 shots).
+func TestSamplingConsistencyProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%3 + 1
+		rng := rand.New(rand.NewSource(seed))
+		sv, err := NewStateVector(n)
+		if err != nil {
+			return false
+		}
+		for q := 0; q < n; q++ {
+			a, b, c, d := randomUnitary2(rng.Float64()*math.Pi, 0, 0)
+			sv.ApplySingle(q, a, b, c, d)
+		}
+		const shots = 4096
+		counts := sv.Sample(shots, rng)
+		probs := sv.Probabilities()
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != shots {
+			return false
+		}
+		for idx, p := range probs {
+			key := bitKey(idx, n)
+			freq := float64(counts[key]) / shots
+			sigma := math.Sqrt(p*(1-p)/shots) + 1e-9
+			if math.Abs(freq-p) > 6*sigma+0.01 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bitKey renders basis index idx as an n-bit string, qubit 0 leftmost.
+func bitKey(idx, n int) string {
+	buf := make([]byte, n)
+	for q := 0; q < n; q++ {
+		if idx&(1<<(n-1-q)) != 0 {
+			buf[q] = '1'
+		} else {
+			buf[q] = '0'
+		}
+	}
+	return string(buf)
+}

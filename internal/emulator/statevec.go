@@ -1,0 +1,367 @@
+package emulator
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"hpcqc/internal/qir"
+)
+
+// MaxStateVectorQubits bounds the exact backend; beyond this the state no
+// longer fits a development machine and the tensor-network backend takes
+// over, exactly the hand-off the paper's workflow (Figure 1) describes.
+const MaxStateVectorQubits = 20
+
+// StateVector is a dense 2^n amplitude vector. Qubit 0 is the highest-order
+// bit of the basis index, matching the "qubit 0 leftmost" bitstring
+// convention in qir.Counts.
+type StateVector struct {
+	N    int
+	Amps []complex128
+}
+
+// NewStateVector returns |0…0⟩ on n qubits.
+func NewStateVector(n int) (*StateVector, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("emulator: state vector needs at least 1 qubit, got %d", n)
+	}
+	if n > MaxStateVectorQubits {
+		return nil, fmt.Errorf("emulator: %d qubits exceeds state-vector limit of %d", n, MaxStateVectorQubits)
+	}
+	amps := make([]complex128, 1<<uint(n))
+	amps[0] = 1
+	return &StateVector{N: n, Amps: amps}, nil
+}
+
+// bitOf returns the value of qubit q in basis index idx.
+func (s *StateVector) bitOf(idx, q int) int {
+	return (idx >> uint(s.N-1-q)) & 1
+}
+
+// Norm returns ⟨ψ|ψ⟩.
+func (s *StateVector) Norm() float64 {
+	var sum float64
+	for _, a := range s.Amps {
+		sum += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return sum
+}
+
+// Normalize rescales to unit norm.
+func (s *StateVector) Normalize() {
+	n := math.Sqrt(s.Norm())
+	if n == 0 {
+		return
+	}
+	inv := complex(1/n, 0)
+	for i := range s.Amps {
+		s.Amps[i] *= inv
+	}
+}
+
+// ApplySingle applies a 2×2 unitary u = [[a,b],[c,d]] to qubit q.
+func (s *StateVector) ApplySingle(q int, a, b, c, d complex128) {
+	stride := 1 << uint(s.N-1-q)
+	for base := 0; base < len(s.Amps); base += stride * 2 {
+		for off := 0; off < stride; off++ {
+			i0 := base + off
+			i1 := i0 + stride
+			a0, a1 := s.Amps[i0], s.Amps[i1]
+			s.Amps[i0] = a*a0 + b*a1
+			s.Amps[i1] = c*a0 + d*a1
+		}
+	}
+}
+
+// ApplyCZ applies a controlled-Z between qubits p and q.
+func (s *StateVector) ApplyCZ(p, q int) {
+	for i := range s.Amps {
+		if s.bitOf(i, p) == 1 && s.bitOf(i, q) == 1 {
+			s.Amps[i] = -s.Amps[i]
+		}
+	}
+}
+
+// ApplyCX applies a controlled-X with the given control and target.
+func (s *StateVector) ApplyCX(ctrl, tgt int) {
+	tStride := 1 << uint(s.N-1-tgt)
+	for i := range s.Amps {
+		if s.bitOf(i, ctrl) == 1 && s.bitOf(i, tgt) == 0 {
+			j := i + tStride
+			s.Amps[i], s.Amps[j] = s.Amps[j], s.Amps[i]
+		}
+	}
+}
+
+// ApplyGate dispatches a qir gate onto the state.
+func (s *StateVector) ApplyGate(g qir.Gate) error {
+	sq2 := complex(1/math.Sqrt2, 0)
+	switch g.Name {
+	case qir.GateH:
+		s.ApplySingle(g.Qubits[0], sq2, sq2, sq2, -sq2)
+	case qir.GateX:
+		s.ApplySingle(g.Qubits[0], 0, 1, 1, 0)
+	case qir.GateY:
+		s.ApplySingle(g.Qubits[0], 0, -1i, 1i, 0)
+	case qir.GateZ:
+		s.ApplySingle(g.Qubits[0], 1, 0, 0, -1)
+	case qir.GateS:
+		s.ApplySingle(g.Qubits[0], 1, 0, 0, 1i)
+	case qir.GateT:
+		s.ApplySingle(g.Qubits[0], 1, 0, 0, cmplx.Exp(1i*math.Pi/4))
+	case qir.GateRX:
+		c := complex(math.Cos(g.Param/2), 0)
+		sn := complex(0, -math.Sin(g.Param/2))
+		s.ApplySingle(g.Qubits[0], c, sn, sn, c)
+	case qir.GateRY:
+		c := complex(math.Cos(g.Param/2), 0)
+		sn := complex(math.Sin(g.Param/2), 0)
+		s.ApplySingle(g.Qubits[0], c, -sn, sn, c)
+	case qir.GateRZ:
+		em := cmplx.Exp(complex(0, -g.Param/2))
+		ep := cmplx.Exp(complex(0, g.Param/2))
+		s.ApplySingle(g.Qubits[0], em, 0, 0, ep)
+	case qir.GateCZ:
+		s.ApplyCZ(g.Qubits[0], g.Qubits[1])
+	case qir.GateCX:
+		s.ApplyCX(g.Qubits[0], g.Qubits[1])
+	default:
+		return fmt.Errorf("emulator: unsupported gate %q", g.Name)
+	}
+	return nil
+}
+
+// RunCircuit applies every gate of the circuit in order.
+func (s *StateVector) RunCircuit(c *qir.Circuit) error {
+	for i := range c.Gates {
+		if err := s.ApplyGate(c.Gates[i]); err != nil {
+			return fmt.Errorf("gate %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Probabilities returns |ψ_i|² for every basis state.
+func (s *StateVector) Probabilities() []float64 {
+	p := make([]float64, len(s.Amps))
+	for i, a := range s.Amps {
+		p[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return p
+}
+
+// Sample draws `shots` measurement outcomes using the supplied RNG and
+// returns them as counts keyed by bitstring (qubit 0 leftmost).
+func (s *StateVector) Sample(shots int, rng *rand.Rand) qir.Counts {
+	probs := s.Probabilities()
+	cdf := make([]float64, len(probs))
+	sum := 0.0
+	for i, p := range probs {
+		sum += p
+		cdf[i] = sum
+	}
+	counts := make(qir.Counts)
+	for shot := 0; shot < shots; shot++ {
+		r := rng.Float64() * sum
+		idx := searchCDF(cdf, r)
+		counts[bitstring(idx, s.N)]++
+	}
+	return counts
+}
+
+// searchCDF returns the first index whose cumulative value exceeds r.
+func searchCDF(cdf []float64, r float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] > r {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// bitstring renders basis index idx on n qubits, qubit 0 leftmost.
+func bitstring(idx, n int) string {
+	b := make([]byte, n)
+	for q := 0; q < n; q++ {
+		if (idx>>uint(n-1-q))&1 == 1 {
+			b[q] = '1'
+		} else {
+			b[q] = '0'
+		}
+	}
+	return string(b)
+}
+
+// Fidelity returns |⟨a|b⟩|².
+func Fidelity(a, b *StateVector) float64 {
+	if a.N != b.N {
+		return 0
+	}
+	var dot complex128
+	for i := range a.Amps {
+		dot += cmplx.Conj(a.Amps[i]) * b.Amps[i]
+	}
+	return real(dot)*real(dot) + imag(dot)*imag(dot)
+}
+
+// rydbergHamiltonian holds the precomputed pieces of
+//
+//	H/ħ = Σ_i Ω(t)/2 (cosφ σx_i − sinφ σy_i) − Σ_i δ_i(t) n_i + Σ_{i<j} V_ij n_i n_j
+//
+// over the register, with V_ij = C6 / r_ij^6.
+type rydbergHamiltonian struct {
+	n           int
+	interaction []float64 // per basis state: Σ_{i<j} V_ij n_i n_j
+	popcount    []int     // per basis state: Σ n_i
+}
+
+// newRydbergHamiltonian precomputes the diagonal interaction energies.
+func newRydbergHamiltonian(reg *qir.Register, c6 float64) *rydbergHamiltonian {
+	n := reg.NumQubits()
+	dim := 1 << uint(n)
+	vij := make([][]float64, n)
+	for i := range vij {
+		vij[i] = make([]float64, n)
+		for j := range vij[i] {
+			if i != j {
+				r := reg.Atoms[i].Distance(reg.Atoms[j])
+				if r > 0 {
+					vij[i][j] = c6 / math.Pow(r, 6)
+				}
+			}
+		}
+	}
+	h := &rydbergHamiltonian{n: n, interaction: make([]float64, dim), popcount: make([]int, dim)}
+	for s := 0; s < dim; s++ {
+		pc := 0
+		var u float64
+		for i := 0; i < n; i++ {
+			if (s>>uint(n-1-i))&1 == 0 {
+				continue
+			}
+			pc++
+			for j := i + 1; j < n; j++ {
+				if (s>>uint(n-1-j))&1 == 1 {
+					u += vij[i][j]
+				}
+			}
+		}
+		h.interaction[s] = u
+		h.popcount[s] = pc
+	}
+	return h
+}
+
+// apply computes out = -i·H(t)·ψ where amp/det/phase are the instantaneous
+// global drive values and localDet[i] is each atom's extra detuning.
+func (h *rydbergHamiltonian) apply(psi, out []complex128, amp, det, phase float64, localDet []float64) {
+	halfOmega := amp / 2
+	drive := complex(halfOmega*math.Cos(phase), -halfOmega*math.Sin(phase))
+	driveConj := complex(halfOmega*math.Cos(phase), halfOmega*math.Sin(phase))
+	for s := range out {
+		out[s] = 0
+	}
+	dim := len(psi)
+	for s := 0; s < dim; s++ {
+		a := psi[s]
+		if a == 0 {
+			continue
+		}
+		// Diagonal: interactions minus detuning on excited atoms.
+		diag := h.interaction[s] - det*float64(h.popcount[s])
+		if localDet != nil {
+			for i := 0; i < h.n; i++ {
+				if (s>>uint(h.n-1-i))&1 == 1 {
+					diag -= localDet[i]
+				}
+			}
+		}
+		out[s] += complex(0, -1) * complex(diag, 0) * a
+		// Off-diagonal: Ω/2 couples each atom's |g⟩↔|r⟩.
+		if halfOmega != 0 {
+			for i := 0; i < h.n; i++ {
+				flipped := s ^ (1 << uint(h.n-1-i))
+				if (s>>uint(h.n-1-i))&1 == 0 {
+					out[flipped] += complex(0, -1) * drive * a
+				} else {
+					out[flipped] += complex(0, -1) * driveConj * a
+				}
+			}
+		}
+	}
+}
+
+// EvolveAnalog integrates the Schrödinger equation for the sequence using
+// fixed-step RK4. dtNs is the integration step in nanoseconds; 1–2 ns is
+// accurate for production drive strengths.
+func (s *StateVector) EvolveAnalog(seq *qir.AnalogSequence, c6, dtNs float64) error {
+	if seq.Register.NumQubits() != s.N {
+		return fmt.Errorf("emulator: register has %d atoms, state has %d qubits", seq.Register.NumQubits(), s.N)
+	}
+	if dtNs <= 0 {
+		dtNs = 1
+	}
+	h := newRydbergHamiltonian(seq.Register, c6)
+	total := seq.Duration()
+	dim := len(s.Amps)
+	k1 := make([]complex128, dim)
+	k2 := make([]complex128, dim)
+	k3 := make([]complex128, dim)
+	k4 := make([]complex128, dim)
+	tmp := make([]complex128, dim)
+	localDet := make([]float64, s.N)
+	_, hasLocal := seq.Channels[qir.LocalDetuning]
+
+	sampleLocal := func(t float64) []float64 {
+		if !hasLocal {
+			return nil
+		}
+		for i := range localDet {
+			localDet[i] = seq.LocalDetuningAt(i, t)
+		}
+		return localDet
+	}
+
+	for t := 0.0; t < total; t += dtNs {
+		step := dtNs
+		if t+step > total {
+			step = total - t
+		}
+		dtUs := step / 1000 // rates are rad/µs, time in ns
+		// RK4 stages with drive sampled at t, t+dt/2, t+dt.
+		amp0, det0, ph0 := seq.GlobalDrive(t)
+		ld0 := sampleLocal(t)
+		h.apply(s.Amps, k1, amp0, det0, ph0, ld0)
+
+		ampM, detM, phM := seq.GlobalDrive(t + step/2)
+		ldM := sampleLocal(t + step/2)
+		for i := range tmp {
+			tmp[i] = s.Amps[i] + complex(dtUs/2, 0)*k1[i]
+		}
+		h.apply(tmp, k2, ampM, detM, phM, ldM)
+		for i := range tmp {
+			tmp[i] = s.Amps[i] + complex(dtUs/2, 0)*k2[i]
+		}
+		h.apply(tmp, k3, ampM, detM, phM, ldM)
+
+		amp1, det1, ph1 := seq.GlobalDrive(t + step)
+		ld1 := sampleLocal(t + step)
+		for i := range tmp {
+			tmp[i] = s.Amps[i] + complex(dtUs, 0)*k3[i]
+		}
+		h.apply(tmp, k4, amp1, det1, ph1, ld1)
+
+		c := complex(dtUs/6, 0)
+		for i := range s.Amps {
+			s.Amps[i] += c * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+	}
+	s.Normalize()
+	return nil
+}

@@ -1,0 +1,344 @@
+package emulator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hpcqc/internal/qir"
+)
+
+func TestNewStateVectorBounds(t *testing.T) {
+	if _, err := NewStateVector(0); err == nil {
+		t.Fatal("0 qubits accepted")
+	}
+	if _, err := NewStateVector(MaxStateVectorQubits + 1); err == nil {
+		t.Fatal("oversized state accepted")
+	}
+	sv, err := NewStateVector(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sv.Amps) != 8 || sv.Amps[0] != 1 {
+		t.Fatalf("initial state wrong: %v", sv.Amps)
+	}
+}
+
+func TestBellState(t *testing.T) {
+	sv, _ := NewStateVector(2)
+	if err := sv.RunCircuit(qir.NewCircuit(2).H(0).CX(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	probs := sv.Probabilities()
+	// |00⟩ and |11⟩ each at 1/2.
+	if math.Abs(probs[0]-0.5) > 1e-12 || math.Abs(probs[3]-0.5) > 1e-12 {
+		t.Fatalf("probs = %v", probs)
+	}
+	if probs[1] > 1e-12 || probs[2] > 1e-12 {
+		t.Fatalf("cross terms nonzero: %v", probs)
+	}
+}
+
+func TestGHZState(t *testing.T) {
+	n := 5
+	sv, _ := NewStateVector(n)
+	c := qir.NewCircuit(n).H(0)
+	for i := 0; i < n-1; i++ {
+		c.CX(i, i+1)
+	}
+	if err := sv.RunCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	probs := sv.Probabilities()
+	if math.Abs(probs[0]-0.5) > 1e-10 || math.Abs(probs[len(probs)-1]-0.5) > 1e-10 {
+		t.Fatalf("GHZ endpoints: %g %g", probs[0], probs[len(probs)-1])
+	}
+}
+
+func TestPauliAlgebra(t *testing.T) {
+	// X then X is identity; Z on |0> is identity; HZH = X.
+	sv, _ := NewStateVector(1)
+	sv.RunCircuit(qir.NewCircuit(1).X(0).X(0))
+	if math.Abs(real(sv.Amps[0])-1) > 1e-12 {
+		t.Fatal("XX != I")
+	}
+	sv, _ = NewStateVector(1)
+	sv.RunCircuit(qir.NewCircuit(1).H(0).Z(0).H(0))
+	// HZH|0> = X|0> = |1>
+	if math.Abs(real(sv.Amps[1])-1) > 1e-12 {
+		t.Fatalf("HZH != X: %v", sv.Amps)
+	}
+}
+
+func TestRotationGates(t *testing.T) {
+	// RX(π)|0⟩ = -i|1⟩ up to global phase: probability 1 on |1⟩.
+	sv, _ := NewStateVector(1)
+	sv.RunCircuit(qir.NewCircuit(1).RX(0, math.Pi))
+	if p := sv.Probabilities(); math.Abs(p[1]-1) > 1e-12 {
+		t.Fatalf("RX(pi) probs = %v", p)
+	}
+	// RY(π/2)|0⟩ has equal probabilities.
+	sv, _ = NewStateVector(1)
+	sv.RunCircuit(qir.NewCircuit(1).RY(0, math.Pi/2))
+	p := sv.Probabilities()
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[1]-0.5) > 1e-12 {
+		t.Fatalf("RY(pi/2) probs = %v", p)
+	}
+	// RZ only adds phases: probabilities unchanged.
+	sv, _ = NewStateVector(1)
+	sv.RunCircuit(qir.NewCircuit(1).H(0).RZ(0, 1.234))
+	p = sv.Probabilities()
+	if math.Abs(p[0]-0.5) > 1e-12 {
+		t.Fatalf("RZ changed probabilities: %v", p)
+	}
+}
+
+func TestSTGates(t *testing.T) {
+	// S·S = Z up to measurement: (HS S H)|0> = HZH|0> = |1>.
+	sv, _ := NewStateVector(1)
+	sv.RunCircuit(qir.NewCircuit(1).H(0).S(0).S(0).H(0))
+	if p := sv.Probabilities(); math.Abs(p[1]-1) > 1e-12 {
+		t.Fatalf("HSSH != X: %v", p)
+	}
+	// T·T = S: HTTSSH|0> should flip through Z again... simply check T^4 = Z.
+	sv, _ = NewStateVector(1)
+	sv.RunCircuit(qir.NewCircuit(1).H(0).T(0).T(0).T(0).T(0).H(0))
+	if p := sv.Probabilities(); math.Abs(p[1]-1) > 1e-12 {
+		t.Fatalf("HT^4H != X: %v", p)
+	}
+}
+
+func TestCZSymmetric(t *testing.T) {
+	a, _ := NewStateVector(2)
+	a.RunCircuit(qir.NewCircuit(2).H(0).H(1).CZ(0, 1))
+	b, _ := NewStateVector(2)
+	b.RunCircuit(qir.NewCircuit(2).H(0).H(1).CZ(1, 0))
+	if f := Fidelity(a, b); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("CZ not symmetric: fidelity %g", f)
+	}
+}
+
+func TestUnsupportedGate(t *testing.T) {
+	sv, _ := NewStateVector(1)
+	if err := sv.ApplyGate(qir.Gate{Name: "bogus", Qubits: []int{0}}); err == nil {
+		t.Fatal("bogus gate accepted")
+	}
+}
+
+func TestNormPreservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sv, _ := NewStateVector(4)
+	c := qir.NewCircuit(4)
+	for i := 0; i < 30; i++ {
+		q := rng.Intn(4)
+		switch rng.Intn(5) {
+		case 0:
+			c.H(q)
+		case 1:
+			c.RX(q, rng.Float64()*2*math.Pi)
+		case 2:
+			c.RZ(q, rng.Float64()*2*math.Pi)
+		case 3:
+			c.CX(q, (q+1)%4)
+		case 4:
+			c.CZ(q, (q+1)%4)
+		}
+	}
+	if err := sv.RunCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	if n := sv.Norm(); math.Abs(n-1) > 1e-10 {
+		t.Fatalf("norm drifted to %g", n)
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	sv, _ := NewStateVector(2)
+	sv.RunCircuit(qir.NewCircuit(2).H(0).CX(0, 1))
+	rng := rand.New(rand.NewSource(5))
+	counts := sv.Sample(10000, rng)
+	if counts.TotalShots() != 10000 {
+		t.Fatalf("total = %d", counts.TotalShots())
+	}
+	if counts["01"]+counts["10"] != 0 {
+		t.Fatalf("impossible outcomes sampled: %v", counts)
+	}
+	p00 := counts.Probability("00")
+	if math.Abs(p00-0.5) > 0.03 {
+		t.Fatalf("P(00) = %g, want ~0.5", p00)
+	}
+}
+
+func TestSampleDeterministicWithSeed(t *testing.T) {
+	sv, _ := NewStateVector(3)
+	sv.RunCircuit(qir.NewCircuit(3).H(0).H(1).H(2))
+	a := sv.Sample(100, rand.New(rand.NewSource(42)))
+	b := sv.Sample(100, rand.New(rand.NewSource(42)))
+	if len(a) != len(b) {
+		t.Fatal("seeded samples differ")
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("seeded samples differ at %s: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+func TestBitstringConvention(t *testing.T) {
+	// Qubit 0 is leftmost: X on qubit 0 of 3 gives "100".
+	sv, _ := NewStateVector(3)
+	sv.RunCircuit(qir.NewCircuit(3).X(0))
+	counts := sv.Sample(10, rand.New(rand.NewSource(1)))
+	if counts["100"] != 10 {
+		t.Fatalf("counts = %v, want all 100", counts)
+	}
+}
+
+// --- Analog evolution physics checks ---
+
+// singleAtomSequence drives one atom resonantly at Rabi frequency omega for
+// the given duration.
+func singleAtomSequence(omega, durNs float64) *qir.AnalogSequence {
+	seq := qir.NewAnalogSequence(qir.LinearRegister("one", 1, 10))
+	seq.Add(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.ConstantWaveform{Dur: durNs, Val: omega},
+		Detuning:  qir.ConstantWaveform{Dur: durNs, Val: 0},
+	})
+	return seq
+}
+
+func TestRabiOscillation(t *testing.T) {
+	// Resonant drive: P(excited) = sin²(Ωt/2). Pick Ωt = π → P = 1.
+	omega := 2 * math.Pi // rad/µs
+	tPi := math.Pi / omega * 1000
+	sv, _ := NewStateVector(1)
+	if err := sv.EvolveAnalog(singleAtomSequence(omega, tPi), 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	p := sv.Probabilities()
+	if math.Abs(p[1]-1) > 1e-4 {
+		t.Fatalf("pi pulse: P(r) = %g, want 1", p[1])
+	}
+	// Half that duration: P = 1/2.
+	sv, _ = NewStateVector(1)
+	sv.EvolveAnalog(singleAtomSequence(omega, tPi/2), 0, 0.5)
+	p = sv.Probabilities()
+	if math.Abs(p[1]-0.5) > 1e-4 {
+		t.Fatalf("pi/2 pulse: P(r) = %g, want 0.5", p[1])
+	}
+}
+
+func TestDetunedRabiReducedContrast(t *testing.T) {
+	// With detuning δ = Ω the max excited population is Ω²/(Ω²+δ²) = 1/2.
+	omega := 2 * math.Pi
+	seq := qir.NewAnalogSequence(qir.LinearRegister("one", 1, 10))
+	// Generalized Rabi frequency sqrt(Ω²+δ²): drive for its half period.
+	gen := math.Sqrt(2) * omega
+	tHalf := math.Pi / gen * 1000
+	seq.Add(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.ConstantWaveform{Dur: tHalf, Val: omega},
+		Detuning:  qir.ConstantWaveform{Dur: tHalf, Val: omega},
+	})
+	sv, _ := NewStateVector(1)
+	if err := sv.EvolveAnalog(seq, 0, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	p := sv.Probabilities()
+	if math.Abs(p[1]-0.5) > 1e-3 {
+		t.Fatalf("detuned peak: P(r) = %g, want 0.5", p[1])
+	}
+}
+
+func TestRydbergBlockade(t *testing.T) {
+	// Two atoms close together: the doubly-excited state is blockaded.
+	spec := qir.DefaultAnalogSpec()
+	omega := 2 * math.Pi
+	reg := qir.LinearRegister("pair", 2, 5) // 5 µm: V = C6/5^6 >> Ω
+	seq := qir.NewAnalogSequence(reg)
+	// Collective enhancement: pair oscillates at √2·Ω between |gg⟩ and the
+	// symmetric single-excitation state. Drive a collective π pulse.
+	tPi := math.Pi / (math.Sqrt(2) * omega) * 1000
+	seq.Add(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.ConstantWaveform{Dur: tPi, Val: omega},
+		Detuning:  qir.ConstantWaveform{Dur: tPi, Val: 0},
+	})
+	sv, _ := NewStateVector(2)
+	if err := sv.EvolveAnalog(seq, spec.C6, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	p := sv.Probabilities()
+	// |rr⟩ (index 3) strongly suppressed; single excitation shared.
+	if p[3] > 0.01 {
+		t.Fatalf("blockade violated: P(rr) = %g", p[3])
+	}
+	if sum := p[1] + p[2]; math.Abs(sum-1) > 0.05 {
+		t.Fatalf("collective pi pulse: P(one excitation) = %g", sum)
+	}
+}
+
+func TestNoBlockadeFarApart(t *testing.T) {
+	// Atoms far apart behave independently: π pulse excites both.
+	omega := 2 * math.Pi
+	reg := qir.LinearRegister("far", 2, 100) // V negligible at 100 µm
+	seq := qir.NewAnalogSequence(reg)
+	tPi := math.Pi / omega * 1000
+	seq.Add(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.ConstantWaveform{Dur: tPi, Val: omega},
+		Detuning:  qir.ConstantWaveform{Dur: tPi, Val: 0},
+	})
+	sv, _ := NewStateVector(2)
+	spec := qir.DefaultAnalogSpec()
+	if err := sv.EvolveAnalog(seq, spec.C6, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	p := sv.Probabilities()
+	if p[3] < 0.98 {
+		t.Fatalf("independent atoms: P(rr) = %g, want ~1", p[3])
+	}
+}
+
+func TestLocalDetuningBreaksSymmetry(t *testing.T) {
+	// Strong local detuning on atom 0 shifts it out of resonance, so only
+	// atom 1 is excited by a resonant π pulse.
+	omega := 2 * math.Pi
+	reg := qir.LinearRegister("pair", 2, 100)
+	seq := qir.NewAnalogSequence(reg)
+	tPi := math.Pi / omega * 1000
+	seq.Add(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.ConstantWaveform{Dur: tPi, Val: omega},
+		Detuning:  qir.ConstantWaveform{Dur: tPi, Val: 0},
+	})
+	seq.Add(qir.LocalDetuning, qir.Pulse{
+		Amplitude: qir.ConstantWaveform{Dur: tPi, Val: 0},
+		Detuning:  qir.ConstantWaveform{Dur: tPi, Val: 40 * omega},
+		Targets:   []int{0},
+	})
+	sv, _ := NewStateVector(2)
+	if err := sv.EvolveAnalog(seq, 0, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	p := sv.Probabilities()
+	// Expect |01>: atom 0 ground, atom 1 excited → index 0b01 = 1.
+	if p[1] < 0.95 {
+		t.Fatalf("local detuning: P(01) = %g, probs %v", p[1], p)
+	}
+}
+
+func TestEvolveRegisterMismatch(t *testing.T) {
+	sv, _ := NewStateVector(3)
+	if err := sv.EvolveAnalog(singleAtomSequence(1, 100), 0, 1); err == nil {
+		t.Fatal("mismatched register accepted")
+	}
+}
+
+func TestFidelitySelf(t *testing.T) {
+	sv, _ := NewStateVector(2)
+	sv.RunCircuit(qir.NewCircuit(2).H(0).CX(0, 1))
+	if f := Fidelity(sv, sv); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("self fidelity = %g", f)
+	}
+	other, _ := NewStateVector(3)
+	if f := Fidelity(sv, other); f != 0 {
+		t.Fatalf("mismatched-size fidelity = %g", f)
+	}
+}

@@ -1,0 +1,108 @@
+package emulator
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"hpcqc/internal/qir"
+)
+
+// expSingleSite returns exp(-i·dt·H) for the single-atom drive Hamiltonian
+//
+//	H = [[0, Ω/2·e^{iφ}], [Ω/2·e^{-iφ}, -δ]]
+//
+// in the {|g⟩, |r⟩} basis, with dt in µs and rates in rad/µs. The closed
+// form uses H = λI + v·σ with |v| the generalized Rabi frequency.
+func expSingleSite(omega, delta, phase, dtUs float64) (a, b, c, d complex128) {
+	lambda := -delta / 2
+	vx := omega / 2 * math.Cos(phase)
+	vy := -omega / 2 * math.Sin(phase)
+	vz := delta / 2
+	vnorm := math.Sqrt(vx*vx + vy*vy + vz*vz)
+	pref := cmplx.Exp(complex(0, -lambda*dtUs))
+	if vnorm == 0 {
+		return pref, 0, 0, pref
+	}
+	cos := complex(math.Cos(vnorm*dtUs), 0)
+	isin := complex(0, -math.Sin(vnorm*dtUs))
+	nx, ny, nz := vx/vnorm, vy/vnorm, vz/vnorm
+	// exp(-i dt (λI + |v| n·σ)) = e^{-iλdt}(cos I − i sin n·σ)
+	a = pref * (cos + isin*complex(nz, 0))
+	b = pref * isin * complex(nx, -ny)
+	c = pref * isin * complex(nx, ny)
+	d = pref * (cos - isin*complex(nz, 0))
+	return a, b, c, d
+}
+
+// interactionGate returns exp(-i·dt·V·n⊗n): a diagonal phase on |rr⟩.
+func interactionGate(v, dtUs float64) *Matrix {
+	u := Identity(4)
+	u.Set(3, 3, cmplx.Exp(complex(0, -v*dtUs)))
+	return u
+}
+
+// EvolveAnalogTEBD integrates the analog sequence with second-order
+// Trotterized TEBD. Interactions are truncated to nearest neighbours in the
+// register's site ordering — a controlled approximation that is accurate for
+// chain-like registers where the C6/r^6 tail decays by ≥64× per extra site,
+// and exactly the regime the vendor's tensor-network emulator targets. At
+// MaxBond=1 the entangling part degenerates to mean-field-free product
+// evolution, reproducing the paper's "mock QPU" mode.
+func (m *MPS) EvolveAnalogTEBD(seq *qir.AnalogSequence, c6, dtNs float64) error {
+	if seq.Register.NumQubits() != m.N {
+		return fmt.Errorf("emulator: register has %d atoms, MPS has %d qubits", seq.Register.NumQubits(), m.N)
+	}
+	if dtNs <= 0 {
+		dtNs = 2
+	}
+	// Precompute nearest-neighbour interaction strengths along the chain.
+	vBond := make([]float64, m.N-1)
+	for i := range vBond {
+		r := seq.Register.Atoms[i].Distance(seq.Register.Atoms[i+1])
+		if r > 0 {
+			vBond[i] = c6 / math.Pow(r, 6)
+		}
+	}
+	_, hasLocal := seq.Channels[qir.LocalDetuning]
+	total := seq.Duration()
+	for t := 0.0; t < total; t += dtNs {
+		step := dtNs
+		if t+step > total {
+			step = total - t
+		}
+		dtUs := step / 1000
+		mid := t + step/2
+		amp, det, phase := seq.GlobalDrive(mid)
+
+		applyHalfSingles := func() {
+			for q := 0; q < m.N; q++ {
+				delta := det
+				if hasLocal {
+					delta += seq.LocalDetuningAt(q, mid)
+				}
+				a, b, c, d := expSingleSite(amp, delta, phase, dtUs/2)
+				m.ApplySingle(q, a, b, c, d)
+			}
+		}
+
+		// Second-order Trotter: half singles, full interactions, half singles.
+		applyHalfSingles()
+		if m.MaxBond > 1 {
+			// Even bonds then odd bonds (they commute within a layer).
+			for parity := 0; parity < 2; parity++ {
+				for q := parity; q < m.N-1; q += 2 {
+					if vBond[q] == 0 {
+						continue
+					}
+					if _, err := m.ApplyTwoSiteAdjacent(q, interactionGate(vBond[q], dtUs)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		applyHalfSingles()
+	}
+	m.Normalize()
+	return nil
+}

@@ -1,0 +1,133 @@
+// Package qir defines the quantum intermediate representation shared by every
+// SDK frontend and every execution backend in the stack.
+//
+// The IR has two program families, mirroring the device families discussed in
+// the paper: analog sequences (neutral-atom pulse programs, the production
+// regime of the Pasqal QPU) and digital circuits (the roadmap regime). Both
+// lower from SDK frontends and both validate against a DeviceSpec so that a
+// program accepted during development is still valid at the point of
+// execution, where calibration state may have drifted.
+package qir
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Position is a 2D atom coordinate in micrometres. Neutral-atom registers are
+// planar arrays of optical tweezers; 2D coordinates are sufficient for every
+// production layout.
+type Position struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Distance returns the Euclidean distance in micrometres between p and q.
+func (p Position) Distance(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Register is a named set of trap positions holding one atom each. The order
+// of Atoms defines qubit indices used by sequences and result bitstrings.
+type Register struct {
+	Name  string     `json:"name"`
+	Atoms []Position `json:"atoms"`
+}
+
+// NumQubits returns the number of atoms in the register.
+func (r *Register) NumQubits() int { return len(r.Atoms) }
+
+// MinSpacing returns the smallest pairwise distance in the register, or 0 for
+// registers with fewer than two atoms.
+func (r *Register) MinSpacing() float64 {
+	if len(r.Atoms) < 2 {
+		return 0
+	}
+	min := math.Inf(1)
+	for i := 0; i < len(r.Atoms); i++ {
+		for j := i + 1; j < len(r.Atoms); j++ {
+			if d := r.Atoms[i].Distance(r.Atoms[j]); d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}
+
+// Validate checks structural invariants: a non-empty name, at least one atom,
+// finite coordinates and no two atoms at identical positions.
+func (r *Register) Validate() error {
+	if r.Name == "" {
+		return errors.New("qir: register name must not be empty")
+	}
+	if len(r.Atoms) == 0 {
+		return errors.New("qir: register must contain at least one atom")
+	}
+	for i, a := range r.Atoms {
+		if math.IsNaN(a.X) || math.IsInf(a.X, 0) || math.IsNaN(a.Y) || math.IsInf(a.Y, 0) {
+			return fmt.Errorf("qir: atom %d has non-finite coordinates", i)
+		}
+	}
+	for i := 0; i < len(r.Atoms); i++ {
+		for j := i + 1; j < len(r.Atoms); j++ {
+			if r.Atoms[i].Distance(r.Atoms[j]) == 0 {
+				return fmt.Errorf("qir: atoms %d and %d occupy the same position", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// LinearRegister returns n atoms on a line with the given spacing (µm).
+func LinearRegister(name string, n int, spacing float64) *Register {
+	atoms := make([]Position, n)
+	for i := range atoms {
+		atoms[i] = Position{X: float64(i) * spacing}
+	}
+	return &Register{Name: name, Atoms: atoms}
+}
+
+// SquareRegister returns an side×side square lattice with the given spacing.
+func SquareRegister(name string, side int, spacing float64) *Register {
+	atoms := make([]Position, 0, side*side)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			atoms = append(atoms, Position{X: float64(x) * spacing, Y: float64(y) * spacing})
+		}
+	}
+	return &Register{Name: name, Atoms: atoms}
+}
+
+// TriangularRegister returns n atoms filling a triangular lattice row by row.
+func TriangularRegister(name string, n int, spacing float64) *Register {
+	atoms := make([]Position, 0, n)
+	rowLen := int(math.Ceil(math.Sqrt(float64(n))))
+	h := spacing * math.Sqrt(3) / 2
+	for i := 0; len(atoms) < n; i++ {
+		row := i / rowLen
+		col := i % rowLen
+		x := float64(col) * spacing
+		if row%2 == 1 {
+			x += spacing / 2
+		}
+		atoms = append(atoms, Position{X: x, Y: float64(row) * h})
+	}
+	return &Register{Name: name, Atoms: atoms}
+}
+
+// RingRegister returns n atoms evenly spaced on a circle whose radius is
+// chosen so that neighbouring atoms sit `spacing` apart.
+func RingRegister(name string, n int, spacing float64) *Register {
+	if n == 1 {
+		return &Register{Name: name, Atoms: []Position{{}}}
+	}
+	radius := spacing / (2 * math.Sin(math.Pi/float64(n)))
+	atoms := make([]Position, n)
+	for i := range atoms {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		atoms[i] = Position{X: radius * math.Cos(theta), Y: radius * math.Sin(theta)}
+	}
+	return &Register{Name: name, Atoms: atoms}
+}

@@ -1,0 +1,126 @@
+package qir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearRegister(t *testing.T) {
+	r := LinearRegister("line", 5, 6)
+	if got := r.NumQubits(); got != 5 {
+		t.Fatalf("NumQubits = %d, want 5", got)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := r.MinSpacing(); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("MinSpacing = %g, want 6", got)
+	}
+}
+
+func TestSquareRegister(t *testing.T) {
+	r := SquareRegister("sq", 3, 5)
+	if got := r.NumQubits(); got != 9 {
+		t.Fatalf("NumQubits = %d, want 9", got)
+	}
+	if got := r.MinSpacing(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("MinSpacing = %g, want 5", got)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestTriangularRegister(t *testing.T) {
+	r := TriangularRegister("tri", 7, 5)
+	if got := r.NumQubits(); got != 7 {
+		t.Fatalf("NumQubits = %d, want 7", got)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Triangular lattice: nearest neighbours are exactly `spacing` apart.
+	if got := r.MinSpacing(); got < 4.99 {
+		t.Fatalf("MinSpacing = %g, want >= 5", got)
+	}
+}
+
+func TestRingRegisterSpacing(t *testing.T) {
+	for _, n := range []int{2, 3, 6, 10} {
+		r := RingRegister("ring", n, 5)
+		if got := r.NumQubits(); got != n {
+			t.Fatalf("n=%d: NumQubits = %d", n, got)
+		}
+		// Adjacent atoms on the ring must be `spacing` apart.
+		d := r.Atoms[0].Distance(r.Atoms[1])
+		if math.Abs(d-5) > 1e-9 {
+			t.Fatalf("n=%d: neighbour distance = %g, want 5", n, d)
+		}
+	}
+}
+
+func TestRingRegisterSingleAtom(t *testing.T) {
+	r := RingRegister("one", 1, 5)
+	if got := r.NumQubits(); got != 1 {
+		t.Fatalf("NumQubits = %d, want 1", got)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestRegisterValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		reg  Register
+	}{
+		{"empty name", Register{Atoms: []Position{{}}}},
+		{"no atoms", Register{Name: "r"}},
+		{"duplicate atoms", Register{Name: "r", Atoms: []Position{{1, 1}, {1, 1}}}},
+		{"nan coordinate", Register{Name: "r", Atoms: []Position{{math.NaN(), 0}}}},
+		{"inf coordinate", Register{Name: "r", Atoms: []Position{{0, math.Inf(1)}}}},
+	}
+	for _, c := range cases {
+		if err := c.reg.Validate(); err == nil {
+			t.Errorf("%s: Validate did not fail", c.name)
+		}
+	}
+}
+
+func TestMinSpacingDegenerate(t *testing.T) {
+	r := Register{Name: "r", Atoms: []Position{{0, 0}}}
+	if got := r.MinSpacing(); got != 0 {
+		t.Fatalf("MinSpacing single atom = %g, want 0", got)
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		// Clamp to a sane range to avoid overflow artefacts.
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e6)
+		}
+		a := Position{clamp(ax), clamp(ay)}
+		b := Position{clamp(bx), clamp(by)}
+		return math.Abs(a.Distance(b)-b.Distance(a)) < 1e-9 && a.Distance(b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Position{float64(ax), float64(ay)}
+		b := Position{float64(bx), float64(by)}
+		c := Position{float64(cx), float64(cy)}
+		return a.Distance(c) <= a.Distance(b)+b.Distance(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

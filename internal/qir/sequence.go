@@ -1,0 +1,265 @@
+package qir
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ChannelType identifies the physical drive a pulse targets.
+type ChannelType string
+
+const (
+	// GlobalRydberg drives all atoms uniformly on the ground-Rydberg
+	// transition; it is the workhorse channel of analog devices.
+	GlobalRydberg ChannelType = "rydberg_global"
+	// LocalDetuning applies per-atom detuning (DMM-style addressing).
+	LocalDetuning ChannelType = "detuning_local"
+)
+
+// Pulse is one segment of drive on a channel: amplitude (Rabi) and detuning
+// waveforms played simultaneously, with a fixed carrier phase in radians.
+type Pulse struct {
+	Amplitude Waveform
+	Detuning  Waveform
+	Phase     float64
+	// Targets lists atom indices for local channels; empty means all atoms.
+	Targets []int
+}
+
+// Duration returns the pulse duration: the longer of the two waveforms.
+func (p *Pulse) Duration() float64 {
+	d := p.Amplitude.Duration()
+	if dd := p.Detuning.Duration(); dd > d {
+		d = dd
+	}
+	return d
+}
+
+// AnalogSequence is a full analog program: a register plus a time-ordered
+// list of pulses per channel. Pulses on the same channel play back to back.
+type AnalogSequence struct {
+	Register *Register
+	Channels map[ChannelType][]Pulse
+	// Metadata carries SDK provenance (which frontend produced the
+	// sequence) so results can report it back per job.
+	Metadata map[string]string
+}
+
+// NewAnalogSequence returns an empty sequence over the register.
+func NewAnalogSequence(reg *Register) *AnalogSequence {
+	return &AnalogSequence{
+		Register: reg,
+		Channels: make(map[ChannelType][]Pulse),
+		Metadata: make(map[string]string),
+	}
+}
+
+// Add appends a pulse to the channel.
+func (s *AnalogSequence) Add(ch ChannelType, p Pulse) {
+	s.Channels[ch] = append(s.Channels[ch], p)
+}
+
+// Duration returns the total sequence duration: the maximum summed pulse
+// duration across channels, in ns.
+func (s *AnalogSequence) Duration() float64 {
+	var max float64
+	for _, pulses := range s.Channels {
+		var d float64
+		for i := range pulses {
+			d += pulses[i].Duration()
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Validate checks the sequence against structural invariants and, when spec
+// is non-nil, against the execution target's capabilities. This is the check
+// the paper's runtime performs at the point of execution so that calibration
+// drift or a device swap is caught before the QPU burns a slot on it.
+func (s *AnalogSequence) Validate(spec *DeviceSpec) error {
+	if s.Register == nil {
+		return errors.New("qir: sequence has no register")
+	}
+	if err := s.Register.Validate(); err != nil {
+		return err
+	}
+	if len(s.Channels) == 0 {
+		return errors.New("qir: sequence declares no channels")
+	}
+	n := s.Register.NumQubits()
+	for ch, pulses := range s.Channels {
+		if len(pulses) == 0 {
+			return fmt.Errorf("qir: channel %s declared but has no pulses", ch)
+		}
+		for i := range pulses {
+			p := &pulses[i]
+			if p.Amplitude == nil || p.Detuning == nil {
+				return fmt.Errorf("qir: channel %s pulse %d has nil waveform", ch, i)
+			}
+			if p.Duration() <= 0 {
+				return fmt.Errorf("qir: channel %s pulse %d has non-positive duration", ch, i)
+			}
+			for _, t := range p.Targets {
+				if t < 0 || t >= n {
+					return fmt.Errorf("qir: channel %s pulse %d targets atom %d outside register of %d", ch, i, t, n)
+				}
+			}
+			if ch == GlobalRydberg && len(p.Targets) != 0 {
+				return fmt.Errorf("qir: global channel pulse %d must not list targets", i)
+			}
+		}
+	}
+	if spec == nil {
+		return nil
+	}
+	return s.validateAgainst(spec)
+}
+
+func (s *AnalogSequence) validateAgainst(spec *DeviceSpec) error {
+	if n := s.Register.NumQubits(); n > spec.MaxQubits {
+		return fmt.Errorf("qir: register of %d atoms exceeds device %s limit of %d", n, spec.Name, spec.MaxQubits)
+	}
+	if s.Register.NumQubits() > 1 {
+		if sp := s.Register.MinSpacing(); sp < spec.MinAtomSpacing {
+			return fmt.Errorf("qir: atom spacing %.2fµm below device %s minimum %.2fµm", sp, spec.Name, spec.MinAtomSpacing)
+		}
+	}
+	if d := s.Duration(); d > spec.MaxSequenceDuration {
+		return fmt.Errorf("qir: sequence duration %.0fns exceeds device %s limit %.0fns", d, spec.Name, spec.MaxSequenceDuration)
+	}
+	const samples = 256
+	for ch, pulses := range s.Channels {
+		if ch == LocalDetuning && !spec.SupportsLocalDetuning {
+			return fmt.Errorf("qir: device %s does not support local detuning", spec.Name)
+		}
+		for i := range pulses {
+			p := &pulses[i]
+			if a := MaxAbs(p.Amplitude, samples); a > spec.MaxRabi {
+				return fmt.Errorf("qir: channel %s pulse %d amplitude %.3f exceeds device %s max Rabi %.3f", ch, i, a, spec.Name, spec.MaxRabi)
+			}
+			if d := MaxAbs(p.Detuning, samples); d > spec.MaxDetuning {
+				return fmt.Errorf("qir: channel %s pulse %d detuning %.3f exceeds device %s max %.3f", ch, i, d, spec.Name, spec.MaxDetuning)
+			}
+			if spec.MaxSlope > 0 {
+				if sl := MaxSlope(p.Amplitude, samples); sl > spec.MaxSlope {
+					return fmt.Errorf("qir: channel %s pulse %d amplitude slope %.4f exceeds device %s bandwidth %.4f", ch, i, sl, spec.Name, spec.MaxSlope)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GlobalDrive samples the global channel at time t (ns), returning Rabi
+// amplitude, detuning (rad/µs) and phase (rad). Emulators and the device
+// model consume the sequence through this accessor.
+func (s *AnalogSequence) GlobalDrive(t float64) (amp, det, phase float64) {
+	pulses := s.Channels[GlobalRydberg]
+	var offset float64
+	for i := range pulses {
+		p := &pulses[i]
+		d := p.Duration()
+		if t <= offset+d {
+			local := t - offset
+			return p.Amplitude.Value(local), p.Detuning.Value(local), p.Phase
+		}
+		offset += d
+	}
+	return 0, 0, 0
+}
+
+// LocalDetuningAt samples the local-detuning channel for atom q at time t.
+func (s *AnalogSequence) LocalDetuningAt(q int, t float64) float64 {
+	pulses := s.Channels[LocalDetuning]
+	var offset float64
+	for i := range pulses {
+		p := &pulses[i]
+		d := p.Duration()
+		if t <= offset+d {
+			if len(p.Targets) == 0 {
+				return p.Detuning.Value(t - offset)
+			}
+			for _, target := range p.Targets {
+				if target == q {
+					return p.Detuning.Value(t - offset)
+				}
+			}
+			return 0
+		}
+		offset += d
+	}
+	return 0
+}
+
+// serializedPulse is the JSON form of a Pulse.
+type serializedPulse struct {
+	Amplitude json.RawMessage `json:"amplitude"`
+	Detuning  json.RawMessage `json:"detuning"`
+	Phase     float64         `json:"phase"`
+	Targets   []int           `json:"targets,omitempty"`
+}
+
+type serializedSequence struct {
+	Register *Register                         `json:"register"`
+	Channels map[ChannelType][]serializedPulse `json:"channels"`
+	Metadata map[string]string                 `json:"metadata,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *AnalogSequence) MarshalJSON() ([]byte, error) {
+	out := serializedSequence{
+		Register: s.Register,
+		Channels: make(map[ChannelType][]serializedPulse, len(s.Channels)),
+		Metadata: s.Metadata,
+	}
+	for ch, pulses := range s.Channels {
+		sp := make([]serializedPulse, len(pulses))
+		for i := range pulses {
+			amp, err := MarshalWaveform(pulses[i].Amplitude)
+			if err != nil {
+				return nil, err
+			}
+			det, err := MarshalWaveform(pulses[i].Detuning)
+			if err != nil {
+				return nil, err
+			}
+			sp[i] = serializedPulse{Amplitude: amp, Detuning: det, Phase: pulses[i].Phase, Targets: pulses[i].Targets}
+		}
+		out.Channels[ch] = sp
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *AnalogSequence) UnmarshalJSON(data []byte) error {
+	var in serializedSequence
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("qir: decoding sequence: %w", err)
+	}
+	s.Register = in.Register
+	s.Metadata = in.Metadata
+	if s.Metadata == nil {
+		s.Metadata = make(map[string]string)
+	}
+	s.Channels = make(map[ChannelType][]Pulse, len(in.Channels))
+	for ch, pulses := range in.Channels {
+		ps := make([]Pulse, len(pulses))
+		for i := range pulses {
+			amp, err := UnmarshalWaveform(pulses[i].Amplitude)
+			if err != nil {
+				return err
+			}
+			det, err := UnmarshalWaveform(pulses[i].Detuning)
+			if err != nil {
+				return err
+			}
+			ps[i] = Pulse{Amplitude: amp, Detuning: det, Phase: pulses[i].Phase, Targets: pulses[i].Targets}
+		}
+		s.Channels[ch] = ps
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package qir
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func testSequence(n int) *AnalogSequence {
+	seq := NewAnalogSequence(LinearRegister("r", n, 6))
+	seq.Add(GlobalRydberg, Pulse{
+		Amplitude: BlackmanWaveform{Dur: 1000, Peak: 6},
+		Detuning:  ConstantWaveform{Dur: 1000, Val: -2},
+	})
+	return seq
+}
+
+func TestSequenceDuration(t *testing.T) {
+	seq := testSequence(4)
+	seq.Add(GlobalRydberg, Pulse{
+		Amplitude: ConstantWaveform{Dur: 500, Val: 1},
+		Detuning:  ConstantWaveform{Dur: 500, Val: 0},
+	})
+	if got := seq.Duration(); got != 1500 {
+		t.Fatalf("Duration = %g, want 1500", got)
+	}
+}
+
+func TestSequenceDurationUsesLongerWaveform(t *testing.T) {
+	seq := NewAnalogSequence(LinearRegister("r", 2, 6))
+	seq.Add(GlobalRydberg, Pulse{
+		Amplitude: ConstantWaveform{Dur: 300, Val: 1},
+		Detuning:  ConstantWaveform{Dur: 800, Val: 0},
+	})
+	if got := seq.Duration(); got != 800 {
+		t.Fatalf("Duration = %g, want 800 (longer of the two waveforms)", got)
+	}
+}
+
+func TestSequenceValidateOK(t *testing.T) {
+	spec := DefaultAnalogSpec()
+	if err := testSequence(4).Validate(&spec); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSequenceValidateNilSpecStructuralOnly(t *testing.T) {
+	if err := testSequence(4).Validate(nil); err != nil {
+		t.Fatalf("Validate(nil): %v", err)
+	}
+}
+
+func TestSequenceValidateErrors(t *testing.T) {
+	spec := DefaultAnalogSpec()
+
+	t.Run("no register", func(t *testing.T) {
+		s := &AnalogSequence{Channels: map[ChannelType][]Pulse{}}
+		if err := s.Validate(&spec); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("no channels", func(t *testing.T) {
+		s := NewAnalogSequence(LinearRegister("r", 2, 6))
+		if err := s.Validate(&spec); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("too many qubits", func(t *testing.T) {
+		s := testSequence(spec.MaxQubits + 1)
+		if err := s.Validate(&spec); err == nil || !strings.Contains(err.Error(), "exceeds") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("atoms too close", func(t *testing.T) {
+		s := NewAnalogSequence(LinearRegister("r", 2, spec.MinAtomSpacing/2))
+		s.Add(GlobalRydberg, Pulse{Amplitude: ConstantWaveform{Dur: 100, Val: 1}, Detuning: ConstantWaveform{Dur: 100}})
+		if err := s.Validate(&spec); err == nil || !strings.Contains(err.Error(), "spacing") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("amplitude too strong", func(t *testing.T) {
+		s := NewAnalogSequence(LinearRegister("r", 2, 6))
+		s.Add(GlobalRydberg, Pulse{Amplitude: ConstantWaveform{Dur: 100, Val: spec.MaxRabi * 2}, Detuning: ConstantWaveform{Dur: 100}})
+		if err := s.Validate(&spec); err == nil || !strings.Contains(err.Error(), "Rabi") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("detuning too strong", func(t *testing.T) {
+		s := NewAnalogSequence(LinearRegister("r", 2, 6))
+		s.Add(GlobalRydberg, Pulse{Amplitude: ConstantWaveform{Dur: 100, Val: 1}, Detuning: ConstantWaveform{Dur: 100, Val: -spec.MaxDetuning * 2}})
+		if err := s.Validate(&spec); err == nil || !strings.Contains(err.Error(), "detuning") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("too long", func(t *testing.T) {
+		s := NewAnalogSequence(LinearRegister("r", 2, 6))
+		s.Add(GlobalRydberg, Pulse{Amplitude: ConstantWaveform{Dur: spec.MaxSequenceDuration * 2, Val: 1}, Detuning: ConstantWaveform{Dur: 100}})
+		if err := s.Validate(&spec); err == nil || !strings.Contains(err.Error(), "duration") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("local detuning unsupported", func(t *testing.T) {
+		s := testSequence(2)
+		s.Add(LocalDetuning, Pulse{Amplitude: ConstantWaveform{Dur: 100}, Detuning: ConstantWaveform{Dur: 100, Val: 1}, Targets: []int{0}})
+		if err := s.Validate(&spec); err == nil || !strings.Contains(err.Error(), "local detuning") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("target out of range", func(t *testing.T) {
+		s := testSequence(2)
+		s.Add(LocalDetuning, Pulse{Amplitude: ConstantWaveform{Dur: 100}, Detuning: ConstantWaveform{Dur: 100, Val: 1}, Targets: []int{5}})
+		if err := s.Validate(nil); err == nil || !strings.Contains(err.Error(), "outside register") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("global channel with targets", func(t *testing.T) {
+		s := NewAnalogSequence(LinearRegister("r", 2, 6))
+		s.Add(GlobalRydberg, Pulse{Amplitude: ConstantWaveform{Dur: 100, Val: 1}, Detuning: ConstantWaveform{Dur: 100}, Targets: []int{0}})
+		if err := s.Validate(nil); err == nil || !strings.Contains(err.Error(), "must not list targets") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("slope exceeds bandwidth", func(t *testing.T) {
+		tight := spec
+		tight.MaxSlope = 0.001
+		s := NewAnalogSequence(LinearRegister("r", 2, 6))
+		s.Add(GlobalRydberg, Pulse{Amplitude: RampWaveform{Dur: 100, Start: 0, Stop: 10}, Detuning: ConstantWaveform{Dur: 100}})
+		if err := s.Validate(&tight); err == nil || !strings.Contains(err.Error(), "slope") {
+			t.Fatalf("got %v", err)
+		}
+	})
+}
+
+func TestGlobalDriveSampling(t *testing.T) {
+	seq := NewAnalogSequence(LinearRegister("r", 2, 6))
+	seq.Add(GlobalRydberg, Pulse{
+		Amplitude: ConstantWaveform{Dur: 100, Val: 2},
+		Detuning:  ConstantWaveform{Dur: 100, Val: -1},
+		Phase:     0.5,
+	})
+	seq.Add(GlobalRydberg, Pulse{
+		Amplitude: ConstantWaveform{Dur: 100, Val: 4},
+		Detuning:  ConstantWaveform{Dur: 100, Val: 3},
+	})
+	amp, det, phase := seq.GlobalDrive(50)
+	if amp != 2 || det != -1 || phase != 0.5 {
+		t.Fatalf("drive at t=50: %g %g %g", amp, det, phase)
+	}
+	amp, det, _ = seq.GlobalDrive(150)
+	if amp != 4 || det != 3 {
+		t.Fatalf("drive at t=150: %g %g", amp, det)
+	}
+	amp, det, _ = seq.GlobalDrive(900)
+	if amp != 0 || det != 0 {
+		t.Fatalf("drive past end: %g %g", amp, det)
+	}
+}
+
+func TestLocalDetuningTargeting(t *testing.T) {
+	seq := NewAnalogSequence(LinearRegister("r", 3, 6))
+	seq.Add(LocalDetuning, Pulse{
+		Amplitude: ConstantWaveform{Dur: 100},
+		Detuning:  ConstantWaveform{Dur: 100, Val: -7},
+		Targets:   []int{1},
+	})
+	if got := seq.LocalDetuningAt(1, 50); got != -7 {
+		t.Fatalf("target atom detuning = %g", got)
+	}
+	if got := seq.LocalDetuningAt(0, 50); got != 0 {
+		t.Fatalf("non-target atom detuning = %g", got)
+	}
+	if got := seq.LocalDetuningAt(1, 500); got != 0 {
+		t.Fatalf("past-end detuning = %g", got)
+	}
+}
+
+func TestLocalDetuningEmptyTargetsHitsAll(t *testing.T) {
+	seq := NewAnalogSequence(LinearRegister("r", 3, 6))
+	seq.Add(LocalDetuning, Pulse{
+		Amplitude: ConstantWaveform{Dur: 100},
+		Detuning:  ConstantWaveform{Dur: 100, Val: 2},
+	})
+	for q := 0; q < 3; q++ {
+		if got := seq.LocalDetuningAt(q, 50); got != 2 {
+			t.Fatalf("atom %d detuning = %g, want 2", q, got)
+		}
+	}
+}
+
+func TestSequenceJSONRoundTrip(t *testing.T) {
+	seq := testSequence(3)
+	seq.Metadata["sdk"] = "pulsesdk"
+	seq.Add(LocalDetuning, Pulse{
+		Amplitude: ConstantWaveform{Dur: 200},
+		Detuning:  RampWaveform{Dur: 200, Start: 0, Stop: -5},
+		Targets:   []int{0, 2},
+	})
+	data, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got AnalogSequence
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Register.NumQubits() != 3 {
+		t.Fatalf("register lost: %d atoms", got.Register.NumQubits())
+	}
+	if got.Metadata["sdk"] != "pulsesdk" {
+		t.Fatalf("metadata lost: %v", got.Metadata)
+	}
+	if len(got.Channels[GlobalRydberg]) != 1 || len(got.Channels[LocalDetuning]) != 1 {
+		t.Fatalf("channels lost: %v", got.Channels)
+	}
+	if math.Abs(got.Duration()-seq.Duration()) > 1e-9 {
+		t.Fatalf("duration changed: %g vs %g", got.Duration(), seq.Duration())
+	}
+	ld := got.Channels[LocalDetuning][0]
+	if len(ld.Targets) != 2 || ld.Targets[0] != 0 || ld.Targets[1] != 2 {
+		t.Fatalf("targets lost: %v", ld.Targets)
+	}
+}

@@ -1,0 +1,185 @@
+package qrmi
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"hpcqc/internal/device"
+	"hpcqc/internal/qir"
+	"hpcqc/internal/simclock"
+)
+
+// DeviceResource adapts the on-premises QPU device model to the QRMI
+// contract — the paper's "on-premises QPU connection" device (§3.2 item 1).
+//
+// The device executes on a simulation clock. When AutoAdvance is set, status
+// polls advance that clock, so a plain poll loop drives the simulation the
+// way wall-clock time drives a real device; when unset, the surrounding
+// harness owns the clock (the experiment drivers do this).
+type DeviceResource struct {
+	dev   *device.Device
+	clock *simclock.Clock
+	// AutoAdvance moves the clock forward by this much per status poll.
+	AutoAdvance time.Duration
+
+	mu      sync.Mutex
+	tokens  map[string]bool
+	nextTok int
+}
+
+// NewDeviceResource wraps an existing device and its clock.
+func NewDeviceResource(dev *device.Device, clock *simclock.Clock) *DeviceResource {
+	return &DeviceResource{dev: dev, clock: clock, tokens: make(map[string]bool)}
+}
+
+// Device exposes the underlying device for admin tooling.
+func (r *DeviceResource) Device() *device.Device { return r.dev }
+
+// Clock exposes the simulation clock driving the device.
+func (r *DeviceResource) Clock() *simclock.Clock { return r.clock }
+
+// Target implements Resource.
+func (r *DeviceResource) Target() string { return r.dev.Spec().Name }
+
+// Metadata implements Resource: spec, live calibration and status — the
+// device characteristics the workflow fetches before submission (Figure 1).
+func (r *DeviceResource) Metadata() (map[string]string, error) {
+	spec := r.dev.Spec()
+	rawSpec, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	calib := r.dev.CalibrationSnapshot()
+	rawCalib, err := json.Marshal(calib)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]string{
+		"spec":         string(rawSpec),
+		"kind":         "qpu",
+		"status":       string(r.dev.Status()),
+		"calibration":  string(rawCalib),
+		"queue_length": strconv.Itoa(r.dev.QueueLength()),
+	}, nil
+}
+
+// Acquire implements Resource. The device queue serializes execution, so
+// multiple holders are safe.
+func (r *DeviceResource) Acquire() (string, error) {
+	if r.dev.Status() == device.StatusMaintenance {
+		return "", fmt.Errorf("qrmi: device %s is in maintenance", r.Target())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextTok++
+	tok := fmt.Sprintf("qpu-token-%d", r.nextTok)
+	r.tokens[tok] = true
+	return tok, nil
+}
+
+// Release implements Resource.
+func (r *DeviceResource) Release(token string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.tokens[token] {
+		return fmt.Errorf("qrmi: unknown token %q", token)
+	}
+	delete(r.tokens, token)
+	return nil
+}
+
+// TaskStart implements Resource.
+func (r *DeviceResource) TaskStart(payload []byte) (string, error) {
+	r.mu.Lock()
+	held := len(r.tokens) > 0
+	r.mu.Unlock()
+	if !held {
+		return "", ErrNotAcquired
+	}
+	prog, err := decodeProgram(payload)
+	if err != nil {
+		return "", err
+	}
+	return r.dev.Submit(prog)
+}
+
+// TaskStop implements Resource.
+func (r *DeviceResource) TaskStop(taskID string) error {
+	return r.dev.Cancel(taskID)
+}
+
+// TaskStatus implements Resource.
+func (r *DeviceResource) TaskStatus(taskID string) (TaskState, error) {
+	if r.AutoAdvance > 0 {
+		r.clock.Advance(r.AutoAdvance)
+	}
+	st, err := r.dev.TaskStatus(taskID)
+	if err != nil {
+		return "", err
+	}
+	return mapDeviceState(st), nil
+}
+
+// TaskResult implements Resource.
+func (r *DeviceResource) TaskResult(taskID string) ([]byte, error) {
+	st, err := r.dev.TaskStatus(taskID)
+	if err != nil {
+		return nil, err
+	}
+	switch mapDeviceState(st) {
+	case StateCompleted:
+		res, err := r.dev.TaskResult(taskID)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	case StateFailed:
+		_, err := r.dev.TaskResult(taskID)
+		return nil, err
+	default:
+		return nil, ErrResultNotReady
+	}
+}
+
+func mapDeviceState(st device.TaskState) TaskState {
+	switch st {
+	case device.TaskQueued:
+		return StateQueued
+	case device.TaskRunning:
+		return StateRunning
+	case device.TaskCompleted:
+		return StateCompleted
+	case device.TaskCancelled:
+		return StateCancelled
+	default:
+		return StateFailed
+	}
+}
+
+func init() {
+	// qpu-direct: a self-contained device on its own clock, advanced by
+	// status polls. Suitable for single-process use (qrun against a local
+	// mock device); multi-user setups share a device via the daemon.
+	RegisterFactory("qpu-direct", func(cfg map[string]string) (Resource, error) {
+		clk := simclock.New()
+		seed := parseSeed(cfg)
+		devCfg := device.Config{Clock: clk, Seed: seed}
+		// qpu_digital=true models the roadmap gate-model device.
+		if cfg["qpu_digital"] == "true" || cfg["qpu_digital"] == "1" {
+			devCfg.Spec = qir.DefaultDigitalSpec()
+		}
+		dev, err := device.New(devCfg)
+		if err != nil {
+			return nil, err
+		}
+		r := NewDeviceResource(dev, clk)
+		r.AutoAdvance = time.Second
+		if v, err := strconv.ParseFloat(cfg["qpu_poll_advance_s"], 64); err == nil && v > 0 {
+			r.AutoAdvance = simclock.Seconds(v)
+		}
+		return r, nil
+	})
+}

@@ -1,0 +1,85 @@
+package qrmi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"hpcqc/internal/qir"
+)
+
+// decodeProgram parses a serialized program payload.
+func decodeProgram(payload []byte) (*qir.Program, error) {
+	var prog qir.Program
+	if err := json.Unmarshal(payload, &prog); err != nil {
+		return nil, fmt.Errorf("qrmi: decoding program: %w", err)
+	}
+	return &prog, nil
+}
+
+// EncodeProgram serializes a program for TaskStart.
+func EncodeProgram(p *qir.Program) ([]byte, error) {
+	return json.Marshal(p)
+}
+
+// DecodeResult parses a TaskResult payload.
+func DecodeResult(payload []byte) (*qir.Result, error) {
+	var res qir.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return nil, fmt.Errorf("qrmi: decoding result: %w", err)
+	}
+	return &res, nil
+}
+
+// SpecFromMetadata extracts the DeviceSpec from a Metadata map.
+func SpecFromMetadata(md map[string]string) (*qir.DeviceSpec, error) {
+	raw, ok := md["spec"]
+	if !ok {
+		return nil, errors.New("qrmi: metadata has no spec")
+	}
+	var spec qir.DeviceSpec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		return nil, fmt.Errorf("qrmi: decoding spec: %w", err)
+	}
+	return &spec, nil
+}
+
+// RunProgram drives the full QRMI lifecycle for one program: acquire, start,
+// poll until terminal (bounded by maxPolls), fetch result, release. It is
+// the blocking convenience every CLI and example uses.
+func RunProgram(r Resource, p *qir.Program, maxPolls int) (*qir.Result, error) {
+	if maxPolls <= 0 {
+		maxPolls = 1 << 20
+	}
+	payload, err := EncodeProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	token, err := r.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = r.Release(token) }()
+
+	taskID, err := r.TaskStart(payload)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < maxPolls; i++ {
+		st, err := r.TaskStatus(taskID)
+		if err != nil {
+			return nil, err
+		}
+		if st.Terminal() {
+			if st == StateCancelled {
+				return nil, fmt.Errorf("qrmi: task %s was cancelled", taskID)
+			}
+			raw, err := r.TaskResult(taskID)
+			if err != nil {
+				return nil, err
+			}
+			return DecodeResult(raw)
+		}
+	}
+	return nil, fmt.Errorf("qrmi: task %s did not finish within %d polls", taskID, maxPolls)
+}

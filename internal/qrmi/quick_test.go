@@ -1,0 +1,113 @@
+package qrmi
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hpcqc/internal/qir"
+)
+
+// TestConfigFromEnvironProperty: every QRMI_-prefixed entry round-trips into
+// the config map lower-cased, everything else is excluded, and parsing never
+// panics on arbitrary input.
+func TestConfigFromEnvironProperty(t *testing.T) {
+	f := func(keys []string, vals []string) bool {
+		var environ []string
+		want := map[string]string{}
+		for i, k := range keys {
+			v := ""
+			if i < len(vals) {
+				v = vals[i]
+			}
+			// Sanitize into an environ-shaped key.
+			k = strings.Map(func(r rune) rune {
+				if r == '=' || r == 0 {
+					return '_'
+				}
+				return r
+			}, k)
+			v = strings.ReplaceAll(v, "\x00", "")
+			entry := "QRMI_" + strings.ToUpper(k) + "=" + v
+			environ = append(environ, entry, "OTHER_"+k+"="+v)
+			want[strings.ToLower(strings.ToUpper(k))] = v
+		}
+		cfg := ConfigFromEnviron(environ)
+		for k, v := range want {
+			if cfg[k] != v {
+				return false
+			}
+		}
+		for k := range cfg {
+			if strings.HasPrefix(k, "other_") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeConfigLastWinsProperty: merge order is respected and inputs are
+// never mutated.
+func TestMergeConfigLastWinsProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		a := map[string]string{}
+		b := map[string]string{}
+		for i := 0; i < int(n)%8+1; i++ {
+			key := fmt.Sprintf("k%d", i)
+			a[key] = "a"
+			if i%2 == 0 {
+				b[key] = "b"
+			}
+		}
+		aLen, bLen := len(a), len(b)
+		out := MergeConfig(a, b)
+		if len(a) != aLen || len(b) != bLen {
+			return false
+		}
+		for k := range a {
+			want := "a"
+			if _, shadowed := b[k]; shadowed {
+				want = "b"
+			}
+			if out[k] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeDecodeProgramProperty: any valid pi-pulse-shaped program
+// round-trips through the QRMI payload encoding.
+func TestEncodeDecodeProgramProperty(t *testing.T) {
+	f := func(shots uint16, atoms uint8) bool {
+		n := int(atoms)%10 + 1
+		s := int(shots)%5000 + 1
+		p := piPulseProgram(s)
+		p.Analog.Register = dummyRegister(n)
+		raw, err := EncodeProgram(p)
+		if err != nil {
+			return false
+		}
+		got, err := decodeProgram(raw)
+		if err != nil {
+			return false
+		}
+		return got.Shots == s && got.NumQubits() == n && got.Kind == p.Kind
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dummyRegister(n int) *qir.Register {
+	return qir.LinearRegister("r", n, 10)
+}

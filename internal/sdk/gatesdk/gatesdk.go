@@ -1,0 +1,159 @@
+// Package gatesdk is the gate-model SDK frontend — a compact Go analogue of
+// a Qiskit-style circuit API. It builds digital circuits, transpiles them to
+// a target's native gate set, and executes through the shared runtime. On
+// analog-only production devices circuits are rejected at validation, which
+// mirrors reality: the gate SDK targets emulators and roadmap digital
+// devices (paper §4, "extended to digital devices once generally available").
+package gatesdk
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hpcqc/internal/core"
+	"hpcqc/internal/qir"
+)
+
+// Circuit wraps the IR circuit with Qiskit-flavoured builder methods.
+type Circuit struct {
+	ir *qir.Circuit
+}
+
+// New creates a circuit on n qubits.
+func New(n int) *Circuit {
+	c := qir.NewCircuit(n)
+	c.Metadata["sdk"] = "gatesdk"
+	return &Circuit{ir: c}
+}
+
+// NumQubits returns the circuit width.
+func (c *Circuit) NumQubits() int { return c.ir.NumQubits }
+
+// IR returns the underlying qir circuit.
+func (c *Circuit) IR() *qir.Circuit { return c.ir }
+
+// H, X, Y, Z, S, T apply the named single-qubit gate.
+func (c *Circuit) H(q int) *Circuit { c.ir.H(q); return c }
+func (c *Circuit) X(q int) *Circuit { c.ir.X(q); return c }
+func (c *Circuit) Y(q int) *Circuit { c.ir.Y(q); return c }
+func (c *Circuit) Z(q int) *Circuit { c.ir.Z(q); return c }
+func (c *Circuit) S(q int) *Circuit { c.ir.S(q); return c }
+func (c *Circuit) T(q int) *Circuit { c.ir.T(q); return c }
+
+// RX, RY, RZ apply parameterized rotations.
+func (c *Circuit) RX(theta float64, q int) *Circuit { c.ir.RX(q, theta); return c }
+func (c *Circuit) RY(theta float64, q int) *Circuit { c.ir.RY(q, theta); return c }
+func (c *Circuit) RZ(theta float64, q int) *Circuit { c.ir.RZ(q, theta); return c }
+
+// CX and CZ apply two-qubit gates.
+func (c *Circuit) CX(ctrl, tgt int) *Circuit { c.ir.CX(ctrl, tgt); return c }
+func (c *Circuit) CZ(a, b int) *Circuit      { c.ir.CZ(a, b); return c }
+
+// Barrier is accepted for API familiarity; the IR is already sequential so
+// it is a no-op.
+func (c *Circuit) Barrier() *Circuit { return c }
+
+// Depth and TwoQubitCount surface standard circuit cost metrics.
+func (c *Circuit) Depth() int         { return c.ir.Depth() }
+func (c *Circuit) TwoQubitCount() int { return c.ir.TwoQubitCount() }
+
+// GHZ builds the n-qubit GHZ preparation, a standard smoke-test circuit.
+func GHZ(n int) *Circuit {
+	c := New(n)
+	c.H(0)
+	for i := 0; i < n-1; i++ {
+		c.CX(i, i+1)
+	}
+	return c
+}
+
+// QAOALayer appends one QAOA layer for a ring of ZZ couplings: the gate-
+// model counterpart of the analog workloads the paper's intro motivates.
+func (c *Circuit) QAOALayer(gamma, beta float64) *Circuit {
+	n := c.ir.NumQubits
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if j == i {
+			continue
+		}
+		// exp(-i gamma Z_i Z_j) via CX-RZ-CX.
+		c.CX(i, j)
+		c.RZ(2*gamma, j)
+		c.CX(i, j)
+	}
+	for i := 0; i < n; i++ {
+		c.RX(2*beta, i)
+	}
+	return c
+}
+
+// Transpile rewrites the circuit into the target's native gate set. The only
+// non-native gate with a rewrite rule here is cx → h·cz·h; anything else
+// non-native is an error. Native sets that include cx pass through.
+func (c *Circuit) Transpile(spec *qir.DeviceSpec) (*Circuit, error) {
+	if spec == nil || len(spec.NativeGates) == 0 {
+		return c, nil
+	}
+	native := make(map[string]bool, len(spec.NativeGates))
+	for _, g := range spec.NativeGates {
+		native[g] = true
+	}
+	out := New(c.ir.NumQubits)
+	for k, v := range c.ir.Metadata {
+		out.ir.Metadata[k] = v
+	}
+	for _, g := range c.ir.Gates {
+		if native[string(g.Name)] {
+			out.ir.Gates = append(out.ir.Gates, g)
+			continue
+		}
+		switch g.Name {
+		case qir.GateCX:
+			if !native[string(qir.GateCZ)] || !native[string(qir.GateH)] {
+				return nil, fmt.Errorf("gatesdk: cannot lower cx for device %s", spec.Name)
+			}
+			out.H(g.Qubits[1]).CZ(g.Qubits[0], g.Qubits[1]).H(g.Qubits[1])
+		case qir.GateS:
+			if !native[string(qir.GateRZ)] {
+				return nil, fmt.Errorf("gatesdk: cannot lower s for device %s", spec.Name)
+			}
+			out.RZ(math.Pi/2, g.Qubits[0])
+		case qir.GateT:
+			if !native[string(qir.GateRZ)] {
+				return nil, fmt.Errorf("gatesdk: cannot lower t for device %s", spec.Name)
+			}
+			out.RZ(math.Pi/4, g.Qubits[0])
+		default:
+			return nil, fmt.Errorf("gatesdk: gate %s not native to device %s and no lowering rule", g.Name, spec.Name)
+		}
+	}
+	return out, nil
+}
+
+// Build finalizes the circuit into a program.
+func (c *Circuit) Build(shots int) (*qir.Program, error) {
+	if c.ir.NumQubits <= 0 {
+		return nil, errors.New("gatesdk: circuit has no qubits")
+	}
+	p := qir.NewDigitalProgram(c.ir, shots)
+	p.Metadata["sdk"] = "gatesdk"
+	if err := p.Validate(nil); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Run transpiles to the runtime's target, builds and executes.
+func (c *Circuit) Run(rt *core.Runtime, shots int) (*qir.Result, error) {
+	spec := rt.Spec()
+	t, err := c.Transpile(&spec)
+	if err != nil {
+		return nil, err
+	}
+	p, err := t.Build(shots)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Execute(p)
+}

@@ -1,0 +1,158 @@
+package gatesdk
+
+import (
+	"math"
+	"testing"
+
+	"hpcqc/internal/core"
+	"hpcqc/internal/qir"
+)
+
+func TestGHZOnRuntime(t *testing.T) {
+	rt, err := core.NewRuntimeFor("local-sv", "", []string{"QRMI_SEED=3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GHZ(4).Run(rt, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pEnds := res.Counts.Probability("0000") + res.Counts.Probability("1111")
+	if pEnds < 0.97 {
+		t.Fatalf("GHZ weight = %g", pEnds)
+	}
+	if res.Metadata["backend"] != "emu-sv" {
+		t.Fatalf("metadata = %v", res.Metadata)
+	}
+}
+
+func TestGHZOnMPSBackend(t *testing.T) {
+	rt, err := core.NewRuntimeFor("hpc-mps", "", []string{"QRMI_SEED=4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GHZ(10).Run(rt, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pEnds := res.Counts.Probability("0000000000") + res.Counts.Probability("1111111111")
+	if pEnds < 0.95 {
+		t.Fatalf("GHZ-10 weight on MPS = %g", pEnds)
+	}
+}
+
+func TestTranspileCXToCZ(t *testing.T) {
+	spec := qir.DefaultEmulatorSpec("target", 10)
+	spec.NativeGates = []string{"h", "cz", "rx", "rz"}
+	c := New(2).H(0).CX(0, 1)
+	out, err := c.Transpile(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cx became h-cz-h; total gates: h + (h cz h) = 4.
+	if len(out.IR().Gates) != 4 {
+		t.Fatalf("gates = %v", out.IR().Gates)
+	}
+	if err := out.IR().Validate(&spec); err != nil {
+		t.Fatalf("transpiled circuit invalid: %v", err)
+	}
+	// Physics preserved: run both on the SV runtime and compare.
+	rt, _ := core.NewRuntimeFor("local-sv", "", []string{"QRMI_SEED=6"})
+	orig, err := New(2).H(0).CX(0, 1).Build(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trans, err := out.Build(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := rt.Execute(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := rt.Execute(trans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"00", "11"} {
+		if math.Abs(r1.Counts.Probability(key)-r2.Counts.Probability(key)) > 0.05 {
+			t.Fatalf("transpile changed distribution at %s: %v vs %v", key, r1.Counts, r2.Counts)
+		}
+	}
+}
+
+func TestTranspileSTGates(t *testing.T) {
+	spec := qir.DefaultEmulatorSpec("target", 10)
+	spec.NativeGates = []string{"h", "rz", "cz"}
+	out, err := New(1).S(0).T(0).Transpile(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range out.IR().Gates {
+		if g.Name != qir.GateRZ {
+			t.Fatalf("unexpected gate %s", g.Name)
+		}
+	}
+}
+
+func TestTranspileFailsWithoutRule(t *testing.T) {
+	spec := qir.DefaultEmulatorSpec("target", 10)
+	spec.NativeGates = []string{"rz"}
+	if _, err := New(1).Y(0).Transpile(&spec); err == nil {
+		t.Fatal("unloverable gate accepted")
+	}
+	spec.NativeGates = []string{"h"} // no cz: cx cannot lower
+	if _, err := New(2).CX(0, 1).Transpile(&spec); err == nil {
+		t.Fatal("cx without cz accepted")
+	}
+}
+
+func TestTranspileNoSpecPassthrough(t *testing.T) {
+	c := New(2).H(0).CX(0, 1)
+	out, err := c.Transpile(nil)
+	if err != nil || out != c {
+		t.Fatalf("passthrough failed: %v", err)
+	}
+}
+
+func TestQAOALayerStructure(t *testing.T) {
+	c := New(4).QAOALayer(0.3, 0.7)
+	// Ring of 4: 4 ZZ couplings (3 gates each) + 4 mixers = 16 gates.
+	if got := len(c.IR().Gates); got != 16 {
+		t.Fatalf("gates = %d", got)
+	}
+	if c.TwoQubitCount() != 8 {
+		t.Fatalf("two-qubit count = %d", c.TwoQubitCount())
+	}
+	if c.Depth() == 0 {
+		t.Fatal("zero depth")
+	}
+}
+
+func TestRunRejectsOnAnalogDevice(t *testing.T) {
+	// Binding the on-prem device profile: digital circuits must be
+	// rejected at validation (the production QPU is analog).
+	rt, err := core.NewRuntimeFor("qpu-onprem", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GHZ(2).Run(rt, 10); err == nil {
+		t.Fatal("digital circuit accepted on analog device")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := New(0).Build(10); err == nil {
+		t.Fatal("empty circuit accepted")
+	}
+	p, err := New(2).H(0).Build(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Metadata["sdk"] != "gatesdk" {
+		t.Fatalf("metadata = %v", p.Metadata)
+	}
+	if (&Circuit{ir: p.Digital}).Barrier() == nil {
+		t.Fatal("barrier")
+	}
+}

@@ -1,0 +1,185 @@
+// Package kernelsdk is the kernel/offload-style SDK frontend — a compact Go
+// analogue of the CUDA-Q programming model, where quantum kernels are
+// functions applied to qubit handles and sampled with an explicit call. It
+// demonstrates that a third, differently-shaped SDK lowers to the same IR
+// and runtime as the others: the frontends differ, the execution path does
+// not (paper §2.3.1).
+package kernelsdk
+
+import (
+	"errors"
+	"fmt"
+
+	"hpcqc/internal/core"
+	"hpcqc/internal/qir"
+)
+
+// Qubit is an opaque handle inside a kernel.
+type Qubit struct {
+	index  int
+	kernel *Kernel
+}
+
+// Kernel is a quantum function under construction.
+type Kernel struct {
+	name   string
+	qubits []Qubit
+	ir     *qir.Circuit
+	err    error
+}
+
+// NewKernel allocates a kernel with n qubits.
+func NewKernel(name string, n int) (*Kernel, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("kernelsdk: kernel %q needs at least one qubit", name)
+	}
+	ir := qir.NewCircuit(n)
+	ir.Metadata["sdk"] = "kernelsdk"
+	ir.Metadata["kernel"] = name
+	k := &Kernel{name: name, ir: ir}
+	k.qubits = make([]Qubit, n)
+	for i := range k.qubits {
+		k.qubits[i] = Qubit{index: i, kernel: k}
+	}
+	return k, nil
+}
+
+// Qubits returns the kernel's qubit handles.
+func (k *Kernel) Qubits() []Qubit { return k.qubits }
+
+// Qubit returns one handle.
+func (k *Kernel) Qubit(i int) Qubit {
+	if i < 0 || i >= len(k.qubits) {
+		k.err = fmt.Errorf("kernelsdk: qubit %d out of range", i)
+		return Qubit{index: 0, kernel: k}
+	}
+	return k.qubits[i]
+}
+
+func (k *Kernel) check(q Qubit) bool {
+	if q.kernel != k {
+		k.err = errors.New("kernelsdk: qubit belongs to another kernel")
+		return false
+	}
+	return true
+}
+
+// H, X, Y, Z apply single-qubit gates to a handle.
+func (k *Kernel) H(q Qubit) *Kernel {
+	if k.check(q) {
+		k.ir.H(q.index)
+	}
+	return k
+}
+func (k *Kernel) X(q Qubit) *Kernel {
+	if k.check(q) {
+		k.ir.X(q.index)
+	}
+	return k
+}
+func (k *Kernel) Y(q Qubit) *Kernel {
+	if k.check(q) {
+		k.ir.Y(q.index)
+	}
+	return k
+}
+func (k *Kernel) Z(q Qubit) *Kernel {
+	if k.check(q) {
+		k.ir.Z(q.index)
+	}
+	return k
+}
+
+// RX, RY, RZ apply parameterized rotations.
+func (k *Kernel) RX(theta float64, q Qubit) *Kernel {
+	if k.check(q) {
+		k.ir.RX(q.index, theta)
+	}
+	return k
+}
+func (k *Kernel) RY(theta float64, q Qubit) *Kernel {
+	if k.check(q) {
+		k.ir.RY(q.index, theta)
+	}
+	return k
+}
+func (k *Kernel) RZ(theta float64, q Qubit) *Kernel {
+	if k.check(q) {
+		k.ir.RZ(q.index, theta)
+	}
+	return k
+}
+
+// CX and CZ apply two-qubit gates.
+func (k *Kernel) CX(ctrl, tgt Qubit) *Kernel {
+	if k.check(ctrl) && k.check(tgt) {
+		k.ir.CX(ctrl.index, tgt.index)
+	}
+	return k
+}
+func (k *Kernel) CZ(a, b Qubit) *Kernel {
+	if k.check(a) && k.check(b) {
+		k.ir.CZ(a.index, b.index)
+	}
+	return k
+}
+
+// ForEach applies an op to every qubit, the kernel idiom for broadcast.
+func (k *Kernel) ForEach(op func(*Kernel, Qubit)) *Kernel {
+	for _, q := range k.qubits {
+		op(k, q)
+	}
+	return k
+}
+
+// Err returns the first construction error.
+func (k *Kernel) Err() error { return k.err }
+
+// Sample executes the kernel on a runtime and returns measured counts —
+// CUDA-Q's `sample(kernel)` shape.
+func Sample(rt *core.Runtime, k *Kernel, shots int) (qir.Counts, error) {
+	res, err := SampleResult(rt, k, shots)
+	if err != nil {
+		return nil, err
+	}
+	return res.Counts, nil
+}
+
+// SampleResult is Sample returning the full result with metadata.
+func SampleResult(rt *core.Runtime, k *Kernel, shots int) (*qir.Result, error) {
+	if k.err != nil {
+		return nil, k.err
+	}
+	p := qir.NewDigitalProgram(k.ir, shots)
+	p.Metadata["sdk"] = "kernelsdk"
+	p.Metadata["kernel"] = k.name
+	if err := p.Validate(nil); err != nil {
+		return nil, err
+	}
+	return rt.Execute(p)
+}
+
+// Observe estimates ⟨Z_q⟩ for one qubit from sampled counts: the kernel-SDK
+// expectation-value idiom, implemented on top of Sample.
+func Observe(rt *core.Runtime, k *Kernel, q int, shots int) (float64, error) {
+	counts, err := Sample(rt, k, shots)
+	if err != nil {
+		return 0, err
+	}
+	if q < 0 || q >= k.ir.NumQubits {
+		return 0, fmt.Errorf("kernelsdk: qubit %d out of range", q)
+	}
+	total := counts.TotalShots()
+	if total == 0 {
+		return 0, errors.New("kernelsdk: no shots returned")
+	}
+	acc := 0
+	for bits, n := range counts {
+		if bits[q] == '0' {
+			acc += n
+		} else {
+			acc -= n
+		}
+	}
+	return float64(acc) / float64(total), nil
+}

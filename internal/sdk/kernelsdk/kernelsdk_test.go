@@ -1,0 +1,139 @@
+package kernelsdk
+
+import (
+	"math"
+	"testing"
+
+	"hpcqc/internal/core"
+)
+
+func runtimeOrDie(t *testing.T) *core.Runtime {
+	t.Helper()
+	rt, err := core.NewRuntimeFor("local-sv", "", []string{"QRMI_SEED=8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestKernelBellSample(t *testing.T) {
+	k, err := NewKernel("bell", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := k.Qubits()
+	k.H(q[0]).CX(q[0], q[1])
+	counts, err := Sample(runtimeOrDie(t), k, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["01"]+counts["10"] != 0 {
+		t.Fatalf("impossible outcomes: %v", counts)
+	}
+	if p := counts.Probability("00"); math.Abs(p-0.5) > 0.06 {
+		t.Fatalf("P(00) = %g", p)
+	}
+}
+
+func TestKernelValidation(t *testing.T) {
+	if _, err := NewKernel("bad", 0); err == nil {
+		t.Fatal("zero qubits accepted")
+	}
+	k, _ := NewKernel("a", 2)
+	other, _ := NewKernel("b", 2)
+	k.H(other.Qubit(0)) // foreign qubit
+	if k.Err() == nil {
+		t.Fatal("foreign qubit accepted")
+	}
+	if _, err := Sample(runtimeOrDie(t), k, 10); err == nil {
+		t.Fatal("sample succeeded despite error")
+	}
+}
+
+func TestKernelQubitOutOfRange(t *testing.T) {
+	k, _ := NewKernel("a", 2)
+	k.Qubit(9)
+	if k.Err() == nil {
+		t.Fatal("out-of-range qubit accepted")
+	}
+}
+
+func TestForEachBroadcast(t *testing.T) {
+	k, _ := NewKernel("plus", 3)
+	k.ForEach(func(k *Kernel, q Qubit) { k.H(q) })
+	counts, err := Sample(runtimeOrDie(t), k, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform superposition: each of 8 outcomes near 1/8.
+	if len(counts) < 8 {
+		t.Fatalf("outcomes = %d", len(counts))
+	}
+	for bits, n := range counts {
+		p := float64(n) / 4000
+		if math.Abs(p-0.125) > 0.04 {
+			t.Fatalf("P(%s) = %g", bits, p)
+		}
+	}
+}
+
+func TestObserveExpectation(t *testing.T) {
+	rt := runtimeOrDie(t)
+	// |0⟩: ⟨Z⟩ = +1.
+	k, _ := NewKernel("zero", 1)
+	z, err := Observe(rt, k, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z-1) > 1e-9 {
+		t.Fatalf("⟨Z⟩|0⟩ = %g", z)
+	}
+	// X|0⟩ = |1⟩: ⟨Z⟩ = −1.
+	k2, _ := NewKernel("one", 1)
+	k2.X(k2.Qubit(0))
+	z, err = Observe(rt, k2, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z+1) > 1e-9 {
+		t.Fatalf("⟨Z⟩|1⟩ = %g", z)
+	}
+	// H|0⟩: ⟨Z⟩ ≈ 0.
+	k3, _ := NewKernel("plus", 1)
+	k3.H(k3.Qubit(0))
+	z, err = Observe(rt, k3, 0, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z) > 0.08 {
+		t.Fatalf("⟨Z⟩|+⟩ = %g", z)
+	}
+	if _, err := Observe(rt, k3, 5, 10); err == nil {
+		t.Fatal("out-of-range observe accepted")
+	}
+}
+
+func TestRotationsViaKernel(t *testing.T) {
+	k, _ := NewKernel("rot", 1)
+	q := k.Qubit(0)
+	k.RY(math.Pi/2, q).RZ(0.3, q).RX(0, q)
+	counts, err := Sample(runtimeOrDie(t), k, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := counts.Probability("0"); math.Abs(p-0.5) > 0.05 {
+		t.Fatalf("P(0) = %g", p)
+	}
+}
+
+func TestSampleResultMetadata(t *testing.T) {
+	k, _ := NewKernel("meta", 1)
+	k.X(k.Qubit(0))
+	res, err := SampleResult(runtimeOrDie(t), k, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metadata["backend"] != "emu-sv" {
+		t.Fatalf("metadata = %v", res.Metadata)
+	}
+}

@@ -1,0 +1,163 @@
+// Package pulsesdk is the analog, pulse-level SDK frontend of the stack — a
+// compact Go analogue of Pulser [22], the native SDK for neutral-atom
+// devices. Like every frontend here it lowers to the shared IR and executes
+// through the runtime, so programs keep working when the execution target
+// changes (the paper's multi-SDK-as-first-class-citizens design, §2.3.1).
+package pulsesdk
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hpcqc/internal/core"
+	"hpcqc/internal/qir"
+)
+
+// Builder assembles an analog sequence against a device spec, validating
+// incrementally the way Pulser validates against its Device objects.
+type Builder struct {
+	spec     *qir.DeviceSpec
+	register *qir.Register
+	seq      *qir.AnalogSequence
+	declared map[qir.ChannelType]bool
+	err      error
+}
+
+// NewBuilder starts a sequence for a register on a target spec. Passing the
+// spec up front means mistakes surface while developing, not at submission.
+func NewBuilder(register *qir.Register, spec *qir.DeviceSpec) (*Builder, error) {
+	if register == nil {
+		return nil, errors.New("pulsesdk: register required")
+	}
+	if err := register.Validate(); err != nil {
+		return nil, err
+	}
+	if spec != nil {
+		if register.NumQubits() > spec.MaxQubits {
+			return nil, fmt.Errorf("pulsesdk: register of %d atoms exceeds %s limit %d", register.NumQubits(), spec.Name, spec.MaxQubits)
+		}
+		if register.NumQubits() > 1 && register.MinSpacing() < spec.MinAtomSpacing {
+			return nil, fmt.Errorf("pulsesdk: atom spacing %.2f below %s minimum %.2f", register.MinSpacing(), spec.Name, spec.MinAtomSpacing)
+		}
+	}
+	seq := qir.NewAnalogSequence(register)
+	seq.Metadata["sdk"] = "pulsesdk"
+	return &Builder{spec: spec, register: register, seq: seq, declared: make(map[qir.ChannelType]bool)}, nil
+}
+
+// DeclareChannel makes a channel available, mirroring Pulser's explicit
+// channel declaration.
+func (b *Builder) DeclareChannel(ch qir.ChannelType) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if ch == qir.LocalDetuning && b.spec != nil && !b.spec.SupportsLocalDetuning {
+		b.err = fmt.Errorf("pulsesdk: device %s has no local detuning channel", b.spec.Name)
+		return b
+	}
+	b.declared[ch] = true
+	return b
+}
+
+// AddPulse appends a raw pulse to a declared channel.
+func (b *Builder) AddPulse(ch qir.ChannelType, p qir.Pulse) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if !b.declared[ch] {
+		b.err = fmt.Errorf("pulsesdk: channel %s not declared", ch)
+		return b
+	}
+	if b.spec != nil {
+		if a := qir.MaxAbs(p.Amplitude, 128); a > b.spec.MaxRabi {
+			b.err = fmt.Errorf("pulsesdk: amplitude %.3f exceeds %s max Rabi %.3f", a, b.spec.Name, b.spec.MaxRabi)
+			return b
+		}
+		if d := qir.MaxAbs(p.Detuning, 128); d > b.spec.MaxDetuning {
+			b.err = fmt.Errorf("pulsesdk: detuning %.3f exceeds %s max %.3f", d, b.spec.Name, b.spec.MaxDetuning)
+			return b
+		}
+	}
+	b.seq.Add(ch, p)
+	return b
+}
+
+// ConstantPulse drives at fixed Rabi frequency and detuning.
+func (b *Builder) ConstantPulse(ch qir.ChannelType, durNs, rabi, detuning, phase float64) *Builder {
+	return b.AddPulse(ch, qir.Pulse{
+		Amplitude: qir.ConstantWaveform{Dur: durNs, Val: rabi},
+		Detuning:  qir.ConstantWaveform{Dur: durNs, Val: detuning},
+		Phase:     phase,
+	})
+}
+
+// BlackmanPulse drives with a smooth bell envelope at fixed detuning.
+func (b *Builder) BlackmanPulse(ch qir.ChannelType, durNs, peakRabi, detuning float64) *Builder {
+	return b.AddPulse(ch, qir.Pulse{
+		Amplitude: qir.BlackmanWaveform{Dur: durNs, Peak: peakRabi},
+		Detuning:  qir.ConstantWaveform{Dur: durNs, Val: detuning},
+	})
+}
+
+// AdiabaticRamp is the standard three-phase adiabatic protocol: rise the
+// drive under negative detuning, sweep detuning to positive, then switch the
+// drive off — the workhorse program for preparing ordered Rydberg phases.
+func (b *Builder) AdiabaticRamp(riseNs, sweepNs, fallNs, peakRabi, detFrom, detTo float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.AddPulse(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.RampWaveform{Dur: riseNs, Start: 0, Stop: peakRabi},
+		Detuning:  qir.ConstantWaveform{Dur: riseNs, Val: detFrom},
+	})
+	b.AddPulse(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.ConstantWaveform{Dur: sweepNs, Val: peakRabi},
+		Detuning:  qir.RampWaveform{Dur: sweepNs, Start: detFrom, Stop: detTo},
+	})
+	b.AddPulse(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.RampWaveform{Dur: fallNs, Start: peakRabi, Stop: 0},
+		Detuning:  qir.ConstantWaveform{Dur: fallNs, Val: detTo},
+	})
+	return b
+}
+
+// PiPulse drives a resonant π rotation at the given Rabi frequency.
+func (b *Builder) PiPulse(rabi float64) *Builder {
+	dur := math.Pi / rabi * 1000
+	return b.ConstantPulse(qir.GlobalRydberg, dur, rabi, 0, 0)
+}
+
+// LocalDetune applies detuning to selected atoms for a duration.
+func (b *Builder) LocalDetune(durNs, detuning float64, targets ...int) *Builder {
+	return b.AddPulse(qir.LocalDetuning, qir.Pulse{
+		Amplitude: qir.ConstantWaveform{Dur: durNs, Val: 0},
+		Detuning:  qir.ConstantWaveform{Dur: durNs, Val: detuning},
+		Targets:   targets,
+	})
+}
+
+// Err returns the first builder error.
+func (b *Builder) Err() error { return b.err }
+
+// Build finalizes the sequence into a program with the given shot count.
+func (b *Builder) Build(shots int) (*qir.Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := qir.NewAnalogProgram(b.seq, shots)
+	p.Metadata["sdk"] = "pulsesdk"
+	if err := p.Validate(b.spec); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Run builds and executes on a runtime in one call.
+func (b *Builder) Run(rt *core.Runtime, shots int) (*qir.Result, error) {
+	p, err := b.Build(shots)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Execute(p)
+}

@@ -1,0 +1,136 @@
+package pulsesdk
+
+import (
+	"math"
+	"testing"
+
+	"hpcqc/internal/core"
+	"hpcqc/internal/qir"
+)
+
+func spec() *qir.DeviceSpec {
+	s := qir.DefaultAnalogSpec()
+	return &s
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder(nil, spec()); err == nil {
+		t.Fatal("nil register accepted")
+	}
+	// Register exceeding the device.
+	if _, err := NewBuilder(qir.LinearRegister("r", 200, 6), spec()); err == nil {
+		t.Fatal("oversized register accepted")
+	}
+	// Atoms too close.
+	if _, err := NewBuilder(qir.LinearRegister("r", 2, 1), spec()); err == nil {
+		t.Fatal("cramped register accepted")
+	}
+}
+
+func TestUndeclaredChannelRejected(t *testing.T) {
+	b, err := NewBuilder(qir.LinearRegister("r", 2, 6), spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.ConstantPulse(qir.GlobalRydberg, 100, 1, 0, 0)
+	if b.Err() == nil {
+		t.Fatal("undeclared channel accepted")
+	}
+	if _, err := b.Build(10); err == nil {
+		t.Fatal("build succeeded despite error")
+	}
+}
+
+func TestLocalDetuningUnsupported(t *testing.T) {
+	b, _ := NewBuilder(qir.LinearRegister("r", 2, 6), spec()) // analog QPU: no local detuning
+	b.DeclareChannel(qir.LocalDetuning)
+	if b.Err() == nil {
+		t.Fatal("unsupported channel declared")
+	}
+}
+
+func TestAmplitudeBoundChecked(t *testing.T) {
+	b, _ := NewBuilder(qir.LinearRegister("r", 2, 6), spec())
+	b.DeclareChannel(qir.GlobalRydberg)
+	b.ConstantPulse(qir.GlobalRydberg, 100, spec().MaxRabi*3, 0, 0)
+	if b.Err() == nil {
+		t.Fatal("over-amplitude pulse accepted")
+	}
+}
+
+func TestBuildAndRunPiPulse(t *testing.T) {
+	rt, err := core.NewRuntimeFor("local-sv", "", []string{"QRMI_SEED=2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewBuilder(qir.LinearRegister("one", 1, 10), spec())
+	b.DeclareChannel(qir.GlobalRydberg).PiPulse(2 * math.Pi)
+	res, err := b.Run(rt, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.Counts.Probability("1"); p < 0.95 {
+		t.Fatalf("P(1) = %g", p)
+	}
+}
+
+func TestAdiabaticRampPreparesOrderedPhase(t *testing.T) {
+	// Adiabatic sweep on a 7-atom chain at blockade spacing prepares the
+	// Z2-ordered (antiferromagnetic) state. An odd chain is used because
+	// its maximally-filled ordered configuration 1010101 is unique;
+	// even chains favour edge-pinned defect states under the C6 tail.
+	rt, err := core.NewRuntimeFor("local-sv", "", []string{"QRMI_SEED=5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewBuilder(qir.LinearRegister("chain", 7, 5.5), spec())
+	omega := 2 * math.Pi
+	b.DeclareChannel(qir.GlobalRydberg).
+		AdiabaticRamp(600, 2500, 600, omega, -6*omega/4, 6*omega/4)
+	p, err := b.Build(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z2 := res.Counts.Probability("1010101"); z2 < 0.4 {
+		t.Fatalf("Z2 weight = %g, counts %v", z2, res.Counts)
+	}
+}
+
+func TestSequenceMetadataTagsSDK(t *testing.T) {
+	b, _ := NewBuilder(qir.LinearRegister("one", 1, 10), spec())
+	b.DeclareChannel(qir.GlobalRydberg).PiPulse(2 * math.Pi)
+	p, err := b.Build(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Metadata["sdk"] != "pulsesdk" || p.Analog.Metadata["sdk"] != "pulsesdk" {
+		t.Fatalf("metadata: %v / %v", p.Metadata, p.Analog.Metadata)
+	}
+}
+
+func TestLocalDetuneOnEmulator(t *testing.T) {
+	// Emulator specs support local detuning; the builder must allow it.
+	emuSpec := qir.DefaultEmulatorSpec("emu-sv", 20)
+	b, err := NewBuilder(qir.LinearRegister("pair", 2, 100), &emuSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omega := 2 * math.Pi
+	tPi := math.Pi / omega * 1000
+	b.DeclareChannel(qir.GlobalRydberg).DeclareChannel(qir.LocalDetuning)
+	b.ConstantPulse(qir.GlobalRydberg, tPi, omega, 0, 0)
+	b.LocalDetune(tPi, 15*omega, 0)
+	rt, _ := core.NewRuntimeFor("local-sv", "", nil)
+	res, err := b.Run(rt, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Atom 0 is shifted far off resonance: only atom 1 flips.
+	if p := res.Counts.Probability("01"); p < 0.9 {
+		t.Fatalf("P(01) = %g: %v", p, res.Counts)
+	}
+}

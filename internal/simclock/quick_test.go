@@ -1,0 +1,133 @@
+package simclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestEventOrderProperty: events fire in nondecreasing timestamp order, and
+// FIFO among events scheduled for the same instant — the determinism
+// guarantee every scheduling experiment rests on.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		c := New()
+		type firing struct {
+			at  time.Duration
+			seq int
+		}
+		var fired []firing
+		for i, d := range delays {
+			at := time.Duration(d%100) * time.Second // many collisions on purpose
+			i := i
+			c.Schedule(at, "e", func() {
+				fired = append(fired, firing{c.Now(), i})
+			})
+		}
+		c.Run(0)
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false // same-instant events must keep schedule order
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelProperty: cancelled events never fire; everything else does,
+// exactly once.
+func TestCancelProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		c := New()
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n)%50 + 1
+		firedBy := make([]int, count)
+		events := make([]*Event, count)
+		for i := 0; i < count; i++ {
+			i := i
+			events[i] = c.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, "e", func() {
+				firedBy[i]++
+			})
+		}
+		cancelled := map[int]bool{}
+		for i := 0; i < count/2; i++ {
+			k := rng.Intn(count)
+			c.Cancel(events[k])
+			cancelled[k] = true
+		}
+		c.Run(0)
+		for i, got := range firedBy {
+			want := 1
+			if cancelled[i] {
+				want = 0
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunUntilBoundaryProperty: RunUntil fires exactly the events at or
+// before the deadline, leaves the rest queued, and parks the clock exactly
+// on the deadline.
+func TestRunUntilBoundaryProperty(t *testing.T) {
+	f := func(delays []uint16, deadlineRaw uint16) bool {
+		c := New()
+		deadline := time.Duration(deadlineRaw%200) * time.Second
+		wantFired := 0
+		for _, d := range delays {
+			at := time.Duration(d%400) * time.Second
+			if at <= deadline {
+				wantFired++
+			}
+			c.Schedule(at, "e", func() {})
+		}
+		fired := c.RunUntil(deadline)
+		if fired != wantFired {
+			return false
+		}
+		if c.Now() != deadline {
+			return false
+		}
+		return c.Pending() == len(delays)-wantFired
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleAtClampProperty: absolute schedules in the past fire
+// immediately (clamped to now), never rewinding the clock.
+func TestScheduleAtClampProperty(t *testing.T) {
+	f := func(aheadRaw, backRaw uint16) bool {
+		c := New()
+		ahead := time.Duration(aheadRaw%100+1) * time.Second
+		c.Schedule(ahead, "warp", func() {})
+		c.Run(0)
+		was := c.Now()
+		firedAt := time.Duration(-1)
+		c.ScheduleAt(was-time.Duration(backRaw)*time.Second, "past", func() {
+			firedAt = c.Now()
+		})
+		c.Run(0)
+		return firedAt == was && c.Now() == was
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

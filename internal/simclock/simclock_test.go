@@ -1,0 +1,187 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	c := New()
+	var order []string
+	c.Schedule(3*time.Second, "c", func() { order = append(order, "c") })
+	c.Schedule(1*time.Second, "a", func() { order = append(order, "a") })
+	c.Schedule(2*time.Second, "b", func() { order = append(order, "b") })
+	if fired := c.Run(0); fired != 3 {
+		t.Fatalf("fired %d events", fired)
+	}
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if c.Now() != 3*time.Second {
+		t.Fatalf("Now = %s", c.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(time.Second, "e", func() { order = append(order, i) })
+	}
+	c.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-timestamp events reordered: %v", order)
+		}
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	c := New()
+	c.Advance(5 * time.Second)
+	fired := false
+	c.Schedule(-time.Hour, "past", func() { fired = true })
+	c.Run(0)
+	if !fired {
+		t.Fatal("past event never fired")
+	}
+	if c.Now() != 5*time.Second {
+		t.Fatalf("clock moved backwards: %s", c.Now())
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	c := New()
+	var at time.Duration
+	c.ScheduleAt(7*time.Second, "abs", func() { at = c.Now() })
+	c.Run(0)
+	if at != 7*time.Second {
+		t.Fatalf("fired at %s", at)
+	}
+	// Past absolute times clamp to now.
+	c.ScheduleAt(time.Second, "old", func() { at = c.Now() })
+	c.Run(0)
+	if at != 7*time.Second {
+		t.Fatalf("past-time event fired at %s", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	c := New()
+	fired := false
+	e := c.Schedule(time.Second, "x", func() { fired = true })
+	c.Cancel(e)
+	c.Run(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and cancel-after-fire are no-ops.
+	c.Cancel(e)
+	e2 := c.Schedule(time.Second, "y", nil)
+	c.Run(0)
+	c.Cancel(e2)
+	c.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	c := New()
+	var order []string
+	a := c.Schedule(1*time.Second, "a", func() { order = append(order, "a") })
+	b := c.Schedule(2*time.Second, "b", func() { order = append(order, "b") })
+	d := c.Schedule(3*time.Second, "d", func() { order = append(order, "d") })
+	_ = a
+	_ = d
+	c.Cancel(b)
+	c.Run(0)
+	if len(order) != 2 || order[0] != "a" || order[1] != "d" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	c := New()
+	var fired []string
+	c.Schedule(1*time.Second, "early", func() { fired = append(fired, "early") })
+	c.Schedule(10*time.Second, "late", func() { fired = append(fired, "late") })
+	n := c.RunUntil(5 * time.Second)
+	if n != 1 || len(fired) != 1 || fired[0] != "early" {
+		t.Fatalf("RunUntil fired %d, %v", n, fired)
+	}
+	if c.Now() != 5*time.Second {
+		t.Fatalf("Now = %s, want 5s", c.Now())
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("Pending = %d", c.Pending())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	count := 0
+	c.Schedule(2*time.Second, "a", func() { count++ })
+	c.Schedule(4*time.Second, "b", func() { count++ })
+	c.Advance(3 * time.Second)
+	if count != 1 || c.Now() != 3*time.Second {
+		t.Fatalf("count=%d now=%s", count, c.Now())
+	}
+	c.Advance(3 * time.Second)
+	if count != 2 || c.Now() != 6*time.Second {
+		t.Fatalf("count=%d now=%s", count, c.Now())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	c := New()
+	var times []time.Duration
+	c.Schedule(time.Second, "outer", func() {
+		times = append(times, c.Now())
+		c.Schedule(time.Second, "inner", func() {
+			times = append(times, c.Now())
+		})
+	})
+	c.Run(0)
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestRunMaxEventsBound(t *testing.T) {
+	c := New()
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		c.Schedule(time.Second, "loop", reschedule)
+	}
+	c.Schedule(time.Second, "loop", reschedule)
+	if fired := c.Run(50); fired != 50 {
+		t.Fatalf("fired %d, want 50", fired)
+	}
+	if count != 50 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	if got := Seconds(1.5); got != 1500*time.Millisecond {
+		t.Fatalf("Seconds(1.5) = %s", got)
+	}
+	if got := Seconds(-3); got != 0 {
+		t.Fatalf("Seconds(-3) = %s", got)
+	}
+	if got := Seconds(1e30); got <= 0 {
+		t.Fatalf("Seconds(huge) overflowed: %d", got)
+	}
+}
+
+func TestStringDoesNotPanic(t *testing.T) {
+	c := New()
+	c.Schedule(time.Second, "x", nil)
+	if s := c.String(); s == "" {
+		t.Fatal("empty String")
+	}
+}

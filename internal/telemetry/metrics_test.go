@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("jobs_total", "Total jobs.")
+	c.Inc(Labels{"queue": "prod"}, 1)
+	c.Inc(Labels{"queue": "prod"}, 2)
+	c.Inc(Labels{"queue": "dev"}, 5)
+	if got := c.Value(Labels{"queue": "prod"}); got != 3 {
+		t.Fatalf("prod = %g", got)
+	}
+	if got := c.Value(Labels{"queue": "dev"}); got != 5 {
+		t.Fatalf("dev = %g", got)
+	}
+	// Counters reject negative increments.
+	c.Inc(Labels{"queue": "prod"}, -10)
+	if got := c.Value(Labels{"queue": "prod"}); got != 3 {
+		t.Fatalf("negative inc applied: %g", got)
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.MustGauge("qpu_up", "QPU availability.")
+	g.Set(nil, 1)
+	if got := g.Value(nil); got != 1 {
+		t.Fatalf("got %g", got)
+	}
+	g.Add(nil, -0.5)
+	if got := g.Value(nil); got != 0.5 {
+		t.Fatalf("got %g", got)
+	}
+	// Type mismatch operations are no-ops.
+	g.Inc(nil, 5)
+	g.Observe(nil, 5)
+	if got := g.Value(nil); got != 0.5 {
+		t.Fatalf("wrong-type op applied: %g", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("latency_seconds", "Latency.", []float64{0.1, 0.5, 1, 5})
+	for i := 0; i < 100; i++ {
+		h.Observe(nil, 0.3) // all in (0.1, 0.5]
+	}
+	if got := h.HistogramCount(nil); got != 100 {
+		t.Fatalf("count = %d", got)
+	}
+	q := h.HistogramQuantile(nil, 0.5)
+	if q < 0.1 || q > 0.5 {
+		t.Fatalf("median = %g outside owning bucket", q)
+	}
+	if !math.IsNaN(h.HistogramQuantile(Labels{"x": "missing"}, 0.5)) {
+		t.Fatal("missing series quantile not NaN")
+	}
+}
+
+func TestHistogramQuantileSpread(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("d", "", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	for i := 1; i <= 1000; i++ {
+		h.Observe(nil, float64(i%10)+0.5)
+	}
+	p90 := h.HistogramQuantile(nil, 0.9)
+	if p90 < 8 || p90 > 10 {
+		t.Fatalf("p90 = %g", p90)
+	}
+	p10 := h.HistogramQuantile(nil, 0.1)
+	if p10 > 2 {
+		t.Fatalf("p10 = %g", p10)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Histogram("h", "", nil); err == nil {
+		t.Fatal("empty buckets accepted")
+	}
+	if _, err := r.Histogram("h", "", []float64{2, 1}); err == nil {
+		t.Fatal("descending buckets accepted")
+	}
+}
+
+func TestRegistryNameValidation(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "with space", "dash-name", "ünïcode"} {
+		if _, err := r.Counter(bad, ""); err == nil {
+			t.Errorf("name %q accepted", bad)
+		}
+	}
+	for _, good := range []string{"abc", "a_b_c", "ns:metric", "x9"} {
+		if _, err := r.Counter(good, ""); err != nil {
+			t.Errorf("name %q rejected", good)
+		}
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.MustCounter("same", "")
+	b := r.MustCounter("same", "")
+	if a != b {
+		t.Fatal("re-registration returned a different family")
+	}
+	if _, err := r.Gauge("same", ""); err == nil {
+		t.Fatal("type change accepted")
+	}
+}
+
+func TestExposeFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("qpu_jobs_total", "Jobs executed.")
+	c.Inc(Labels{"queue": "prod", "user": "alice"}, 7)
+	g := r.MustGauge("qpu_rabi_freq", "Calibrated Rabi frequency.")
+	g.Set(nil, 12.57)
+	h := r.MustHistogram("qpu_wait_seconds", "Queue wait.", []float64{1, 10})
+	h.Observe(nil, 0.5)
+	h.Observe(nil, 20)
+
+	out := r.Expose()
+	for _, want := range []string{
+		"# HELP qpu_jobs_total Jobs executed.",
+		"# TYPE qpu_jobs_total counter",
+		`qpu_jobs_total{queue="prod",user="alice"} 7`,
+		"# TYPE qpu_rabi_freq gauge",
+		"qpu_rabi_freq 12.57",
+		"# TYPE qpu_wait_seconds histogram",
+		`qpu_wait_seconds_bucket{le="1"} 1`,
+		`qpu_wait_seconds_bucket{le="10"} 1`,
+		`qpu_wait_seconds_bucket{le="+Inf"} 2`,
+		"qpu_wait_seconds_sum 20.5",
+		"qpu_wait_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestExposeLabelsSorted(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("m", "")
+	c.Inc(Labels{"z": "1", "a": "2"}, 1)
+	out := r.Expose()
+	if !strings.Contains(out, `m{a="2",z="1"} 1`) {
+		t.Fatalf("labels not sorted:\n%s", out)
+	}
+}
+
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("races", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc(Labels{"w": "x"}, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(Labels{"w": "x"}); got != 8000 {
+		t.Fatalf("lost updates: %g", got)
+	}
+}
+
+func TestLabelsKeyCanonical(t *testing.T) {
+	a := Labels{"x": "1", "y": "2"}
+	b := Labels{"y": "2", "x": "1"}
+	if a.key() != b.key() {
+		t.Fatal("label key not order-independent")
+	}
+	if (Labels{}).key() != "" {
+		t.Fatal("empty labels key")
+	}
+}

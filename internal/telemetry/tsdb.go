@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point is one timestamped sample.
+type Point struct {
+	At    time.Duration `json:"at"`
+	Value float64       `json:"value"`
+}
+
+// tsSeries is an append-mostly ordered sample buffer. Live samples are
+// points[start:]; eviction advances start and compacts only when the dead
+// prefix dominates the buffer, so steady-state retention eviction costs
+// amortized O(1) per append instead of one full copy per sample.
+type tsSeries struct {
+	name   string
+	labels Labels
+	points []Point
+	start  int
+}
+
+// live returns the non-evicted samples.
+func (s *tsSeries) live() []Point { return s.points[s.start:] }
+
+// TSDB is an in-memory time-series database with per-database retention and
+// on-demand downsampling — the InfluxDB stand-in behind the observability
+// stack. Timestamps are simulation-time offsets so the device model and the
+// experiments share one time base.
+type TSDB struct {
+	mu        sync.Mutex
+	series    map[string]*tsSeries
+	retention time.Duration
+	maxPoints int
+}
+
+// NewTSDB returns a database keeping up to retention of history per series
+// (0 disables age-based eviction) and at most maxPoints samples per series
+// (0 defaults to 100000).
+func NewTSDB(retention time.Duration, maxPoints int) *TSDB {
+	if maxPoints <= 0 {
+		maxPoints = 100000
+	}
+	return &TSDB{series: make(map[string]*tsSeries), retention: retention, maxPoints: maxPoints}
+}
+
+func seriesKey(name string, labels Labels) string {
+	return name + "|" + labels.key()
+}
+
+// Append stores a sample. Out-of-order samples are inserted in place, which
+// happens when multiple producers share the database.
+func (db *TSDB) Append(name string, labels Labels, at time.Duration, value float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := seriesKey(name, labels)
+	s, ok := db.series[key]
+	if !ok {
+		copied := make(Labels, len(labels))
+		for k, v := range labels {
+			copied[k] = v
+		}
+		s = &tsSeries{name: name, labels: copied}
+		db.series[key] = s
+	}
+	if live := s.live(); len(live) > 0 && live[len(live)-1].At > at {
+		// Rare out-of-order insert: binary search the position.
+		idx := s.start + sort.Search(len(live), func(i int) bool { return live[i].At > at })
+		s.points = append(s.points, Point{})
+		copy(s.points[idx+1:], s.points[idx:])
+		s.points[idx] = Point{At: at, Value: value}
+	} else {
+		s.points = append(s.points, Point{At: at, Value: value})
+	}
+	db.evictLocked(s, at)
+}
+
+func (db *TSDB) evictLocked(s *tsSeries, now time.Duration) {
+	live := s.live()
+	drop := 0
+	if db.retention > 0 {
+		cut := now - db.retention
+		drop = sort.Search(len(live), func(i int) bool { return live[i].At >= cut })
+	}
+	if over := len(live) - drop - db.maxPoints; over > 0 {
+		drop += over
+	}
+	if drop == 0 {
+		return
+	}
+	s.start += drop
+	// Compact once the dead prefix exceeds half the buffer: each surviving
+	// point is copied at most once per halving, keeping eviction amortized
+	// O(1) per append while still releasing memory.
+	if s.start > len(s.points)/2 {
+		n := copy(s.points, s.points[s.start:])
+		s.points = s.points[:n]
+		s.start = 0
+	}
+}
+
+// Query returns samples of a series within [from, to], inclusive.
+func (db *TSDB) Query(name string, labels Labels, from, to time.Duration) []Point {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.series[seriesKey(name, labels)]
+	if !ok {
+		return nil
+	}
+	live := s.live()
+	lo := sort.Search(len(live), func(i int) bool { return live[i].At >= from })
+	hi := sort.Search(len(live), func(i int) bool { return live[i].At > to })
+	out := make([]Point, hi-lo)
+	copy(out, live[lo:hi])
+	return out
+}
+
+// Latest returns the most recent sample of a series.
+func (db *TSDB) Latest(name string, labels Labels) (Point, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.series[seriesKey(name, labels)]
+	if !ok || len(s.live()) == 0 {
+		return Point{}, false
+	}
+	live := s.live()
+	return live[len(live)-1], true
+}
+
+// SeriesNames lists distinct series as "name|labelkey" strings, sorted.
+func (db *TSDB) SeriesNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.series))
+	for k := range db.series {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AggregateKind selects the reduction used by Downsample.
+type AggregateKind int
+
+const (
+	// AggMean averages samples in the window.
+	AggMean AggregateKind = iota
+	// AggMax keeps the window maximum.
+	AggMax
+	// AggMin keeps the window minimum.
+	AggMin
+	// AggLast keeps the most recent sample in the window.
+	AggLast
+	// AggCount counts samples in the window.
+	AggCount
+)
+
+// Downsample reduces a range query into fixed windows of the given width,
+// emitting one point per non-empty window stamped at the window start.
+func (db *TSDB) Downsample(name string, labels Labels, from, to, window time.Duration, kind AggregateKind) []Point {
+	if window <= 0 {
+		return db.Query(name, labels, from, to)
+	}
+	raw := db.Query(name, labels, from, to)
+	if len(raw) == 0 {
+		return nil
+	}
+	var out []Point
+	wStart := from
+	var bucket []float64
+	flush := func() {
+		if len(bucket) == 0 {
+			return
+		}
+		var v float64
+		switch kind {
+		case AggMean:
+			for _, x := range bucket {
+				v += x
+			}
+			v /= float64(len(bucket))
+		case AggMax:
+			v = bucket[0]
+			for _, x := range bucket[1:] {
+				if x > v {
+					v = x
+				}
+			}
+		case AggMin:
+			v = bucket[0]
+			for _, x := range bucket[1:] {
+				if x < v {
+					v = x
+				}
+			}
+		case AggLast:
+			v = bucket[len(bucket)-1]
+		case AggCount:
+			v = float64(len(bucket))
+		}
+		out = append(out, Point{At: wStart, Value: v})
+		bucket = bucket[:0]
+	}
+	for _, p := range raw {
+		for p.At >= wStart+window {
+			flush()
+			wStart += window
+		}
+		bucket = append(bucket, p.Value)
+	}
+	flush()
+	return out
+}
+
+// Stats summarizes a range: count, mean, min, max, stddev.
+type Stats struct {
+	Count  int
+	Mean   float64
+	Min    float64
+	Max    float64
+	StdDev float64
+}
+
+// RangeStats computes summary statistics over [from, to].
+func (db *TSDB) RangeStats(name string, labels Labels, from, to time.Duration) Stats {
+	pts := db.Query(name, labels, from, to)
+	if len(pts) == 0 {
+		return Stats{}
+	}
+	st := Stats{Count: len(pts), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sumSq float64
+	for _, p := range pts {
+		sum += p.Value
+		sumSq += p.Value * p.Value
+		if p.Value < st.Min {
+			st.Min = p.Value
+		}
+		if p.Value > st.Max {
+			st.Max = p.Value
+		}
+	}
+	st.Mean = sum / float64(st.Count)
+	variance := sumSq/float64(st.Count) - st.Mean*st.Mean
+	if variance > 0 {
+		st.StdDev = math.Sqrt(variance)
+	}
+	return st
+}
+
+// String describes the database for debugging.
+func (db *TSDB) String() string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	total := 0
+	for _, s := range db.series {
+		total += len(s.live())
+	}
+	return fmt.Sprintf("tsdb{series=%d points=%d}", len(db.series), total)
+}

@@ -1,0 +1,101 @@
+package workflow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRandomDAGTopologicalOrderProperty: for any randomly generated DAG
+// (edges only from lower- to higher-numbered steps, so acyclic by
+// construction), Execute runs every step exactly once and never before any
+// of its dependencies.
+func TestRandomDAGTopologicalOrderProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%12 + 1
+		rng := rand.New(rand.NewSource(seed))
+		wf := New()
+		deps := make([][]string, n)
+		name := func(i int) string { return fmt.Sprintf("s%d", i) }
+		for i := 0; i < n; i++ {
+			// Each step depends on a random subset of earlier steps.
+			for j := 0; j < i; j++ {
+				if rng.Intn(3) == 0 {
+					deps[i] = append(deps[i], name(j))
+				}
+			}
+			if err := wf.ClassicalStep(name(i), deps[i], func(*Context) error { return nil }); err != nil {
+				return false
+			}
+		}
+		_, rep, err := wf.Execute(nil)
+		if err != nil {
+			return false
+		}
+		if len(rep.Order) != n {
+			return false
+		}
+		pos := map[string]int{}
+		for i, s := range rep.Order {
+			if _, dup := pos[s]; dup {
+				return false // ran twice
+			}
+			pos[s] = i
+		}
+		for i := 0; i < n; i++ {
+			for _, d := range deps[i] {
+				if pos[d] >= pos[name(i)] {
+					return false // dependency ran after dependent
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomCycleAlwaysDetectedProperty: planting one back edge into an
+// otherwise forward DAG always produces a cycle error and never a partial
+// execution.
+func TestRandomCycleAlwaysDetectedProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%8 + 3
+		rng := rand.New(rand.NewSource(seed))
+		wf := New()
+		name := func(i int) string { return fmt.Sprintf("s%d", i) }
+		// Chain s0 → s1 → … → s(n-1), then close a random back edge by
+		// making some earlier step also depend on a later one.
+		back := rng.Intn(n-1) + 1 // later step index
+		early := rng.Intn(back)   // earlier step that will depend on it
+		ran := 0
+		for i := 0; i < n; i++ {
+			deps := []string{}
+			if i > 0 {
+				deps = append(deps, name(i-1))
+			}
+			if i == early {
+				deps = append(deps, name(back))
+			}
+			if err := wf.Add(Step{
+				Name:  name(i),
+				After: deps,
+				Run:   func(*Context) error { ran++; return nil },
+			}); err != nil {
+				// Forward-declared dependencies may be rejected at Add
+				// time; that also counts as detection as long as nothing
+				// ever runs.
+				continue
+			}
+		}
+		if _, _, err := wf.Execute(nil); err == nil {
+			return false
+		}
+		return ran == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

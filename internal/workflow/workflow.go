@@ -1,0 +1,221 @@
+// Package workflow is a small DAG workflow engine for hybrid
+// quantum-classical campaigns — the "workflow engine integrations" the
+// paper's discussion lists as a path to richer co-scheduling (§4). Steps
+// declare dependencies; quantum steps execute through a core.Runtime (so
+// they retarget with --qpu like everything else), classical steps are plain
+// functions; the engine runs a deterministic topological order and exposes
+// every step's outputs to its dependents.
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hpcqc/internal/core"
+	"hpcqc/internal/qir"
+)
+
+// Context carries shared state through one workflow execution.
+type Context struct {
+	// Runtime is the bound execution target for quantum steps.
+	Runtime *core.Runtime
+
+	mu      sync.Mutex
+	results map[string]*qir.Result
+	values  map[string]any
+}
+
+// Result returns a prior quantum step's result by step name.
+func (c *Context) Result(step string) (*qir.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.results[step]
+	return r, ok
+}
+
+// SetValue stores an arbitrary intermediate for dependents.
+func (c *Context) SetValue(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.values[key] = v
+}
+
+// Value fetches an intermediate stored by an earlier step.
+func (c *Context) Value(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.values[key]
+	return v, ok
+}
+
+func (c *Context) setResult(step string, r *qir.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.results[step] = r
+}
+
+// StepFunc is a step body.
+type StepFunc func(ctx *Context) error
+
+// Step is one node of the DAG.
+type Step struct {
+	Name  string
+	After []string
+	Run   StepFunc
+}
+
+// Workflow is a buildable DAG of steps.
+type Workflow struct {
+	steps map[string]*Step
+	order []string // insertion order, for deterministic scheduling
+}
+
+// New returns an empty workflow.
+func New() *Workflow {
+	return &Workflow{steps: make(map[string]*Step)}
+}
+
+// Add registers a step. Dependencies may be added before their targets; the
+// full graph is validated at Execute.
+func (w *Workflow) Add(s Step) error {
+	if s.Name == "" {
+		return errors.New("workflow: step needs a name")
+	}
+	if s.Run == nil {
+		return fmt.Errorf("workflow: step %q needs a body", s.Name)
+	}
+	if _, dup := w.steps[s.Name]; dup {
+		return fmt.Errorf("workflow: duplicate step %q", s.Name)
+	}
+	cp := s
+	w.steps[s.Name] = &cp
+	w.order = append(w.order, s.Name)
+	return nil
+}
+
+// QuantumStep registers a step that builds a program (possibly from earlier
+// results) and executes it on the workflow's runtime, storing its result
+// under the step name.
+func (w *Workflow) QuantumStep(name string, after []string, build func(ctx *Context) (*qir.Program, error)) error {
+	return w.Add(Step{
+		Name:  name,
+		After: after,
+		Run: func(ctx *Context) error {
+			if ctx.Runtime == nil {
+				return fmt.Errorf("workflow: step %q needs a runtime", name)
+			}
+			p, err := build(ctx)
+			if err != nil {
+				return fmt.Errorf("workflow: building %q: %w", name, err)
+			}
+			res, err := ctx.Runtime.Execute(p)
+			if err != nil {
+				return fmt.Errorf("workflow: executing %q: %w", name, err)
+			}
+			ctx.setResult(name, res)
+			return nil
+		},
+	})
+}
+
+// ClassicalStep registers a pure-classical step.
+func (w *Workflow) ClassicalStep(name string, after []string, fn StepFunc) error {
+	return w.Add(Step{Name: name, After: after, Run: fn})
+}
+
+// topoOrder validates the graph and returns a deterministic topological
+// order (Kahn's algorithm, insertion order among ready steps).
+func (w *Workflow) topoOrder() ([]string, error) {
+	indeg := make(map[string]int, len(w.steps))
+	dependents := make(map[string][]string)
+	for _, name := range w.order {
+		s := w.steps[name]
+		seen := make(map[string]bool, len(s.After))
+		for _, dep := range s.After {
+			if _, ok := w.steps[dep]; !ok {
+				return nil, fmt.Errorf("workflow: step %q depends on unknown step %q", name, dep)
+			}
+			if dep == name {
+				return nil, fmt.Errorf("workflow: step %q depends on itself", name)
+			}
+			if seen[dep] {
+				continue
+			}
+			seen[dep] = true
+			indeg[name]++
+			dependents[dep] = append(dependents[dep], name)
+		}
+	}
+	var ready []string
+	for _, name := range w.order {
+		if indeg[name] == 0 {
+			ready = append(ready, name)
+		}
+	}
+	var out []string
+	for len(ready) > 0 {
+		sort.SliceStable(ready, func(a, b int) bool {
+			return indexOf(w.order, ready[a]) < indexOf(w.order, ready[b])
+		})
+		name := ready[0]
+		ready = ready[1:]
+		out = append(out, name)
+		for _, dep := range dependents[name] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+	}
+	if len(out) != len(w.steps) {
+		return nil, errors.New("workflow: dependency cycle detected")
+	}
+	return out, nil
+}
+
+func indexOf(order []string, name string) int {
+	for i, n := range order {
+		if n == name {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// Report summarizes one execution.
+type Report struct {
+	// Order is the executed step order.
+	Order []string
+	// Failed names the failing step, empty on success.
+	Failed string
+}
+
+// Execute runs the workflow to completion against the runtime. Execution is
+// sequential in topological order: deterministic, and honest about the
+// single shared QPU underneath — concurrency across programs belongs to the
+// middleware's scheduler, not the client.
+func (w *Workflow) Execute(rt *core.Runtime) (*Context, *Report, error) {
+	if len(w.steps) == 0 {
+		return nil, nil, errors.New("workflow: no steps")
+	}
+	order, err := w.topoOrder()
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := &Context{
+		Runtime: rt,
+		results: make(map[string]*qir.Result),
+		values:  make(map[string]any),
+	}
+	rep := &Report{}
+	for _, name := range order {
+		rep.Order = append(rep.Order, name)
+		if err := w.steps[name].Run(ctx); err != nil {
+			rep.Failed = name
+			return ctx, rep, fmt.Errorf("workflow: step %q: %w", name, err)
+		}
+	}
+	return ctx, rep, nil
+}

@@ -1,0 +1,213 @@
+package workflow
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"hpcqc/internal/core"
+	"hpcqc/internal/emulator"
+	"hpcqc/internal/qir"
+)
+
+func testRuntime(t *testing.T) *core.Runtime {
+	t.Helper()
+	rt, err := core.NewRuntimeFor("local-sv", "", []string{"QRMI_SEED=17"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestAddValidation(t *testing.T) {
+	w := New()
+	if err := w.Add(Step{Name: "", Run: func(*Context) error { return nil }}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := w.Add(Step{Name: "a"}); err == nil {
+		t.Fatal("nil body accepted")
+	}
+	ok := Step{Name: "a", Run: func(*Context) error { return nil }}
+	if err := w.Add(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(ok); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	w := New()
+	var order []string
+	record := func(name string) StepFunc {
+		return func(*Context) error {
+			order = append(order, name)
+			return nil
+		}
+	}
+	// Diamond: a → (b, c) → d; add out of order.
+	w.Add(Step{Name: "d", After: []string{"b", "c"}, Run: record("d")})
+	w.Add(Step{Name: "b", After: []string{"a"}, Run: record("b")})
+	w.Add(Step{Name: "c", After: []string{"a"}, Run: record("c")})
+	w.Add(Step{Name: "a", Run: record("a")})
+	_, rep, err := w.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if pos["a"] > pos["b"] || pos["a"] > pos["c"] || pos["b"] > pos["d"] || pos["c"] > pos["d"] {
+		t.Fatalf("order = %v", order)
+	}
+	if len(rep.Order) != 4 || rep.Failed != "" {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	w := New()
+	noop := func(*Context) error { return nil }
+	w.Add(Step{Name: "a", After: []string{"b"}, Run: noop})
+	w.Add(Step{Name: "b", After: []string{"a"}, Run: noop})
+	if _, _, err := w.Execute(nil); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownAndSelfDependency(t *testing.T) {
+	noop := func(*Context) error { return nil }
+	w := New()
+	w.Add(Step{Name: "a", After: []string{"ghost"}, Run: noop})
+	if _, _, err := w.Execute(nil); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("err = %v", err)
+	}
+	w2 := New()
+	w2.Add(Step{Name: "a", After: []string{"a"}, Run: noop})
+	if _, _, err := w2.Execute(nil); err == nil || !strings.Contains(err.Error(), "itself") {
+		t.Fatalf("err = %v", err)
+	}
+	w3 := New()
+	if _, _, err := w3.Execute(nil); err == nil {
+		t.Fatal("empty workflow accepted")
+	}
+}
+
+func TestFailureStopsExecution(t *testing.T) {
+	w := New()
+	ran := map[string]bool{}
+	w.Add(Step{Name: "a", Run: func(*Context) error { ran["a"] = true; return nil }})
+	w.Add(Step{Name: "b", After: []string{"a"}, Run: func(*Context) error { return errors.New("boom") }})
+	w.Add(Step{Name: "c", After: []string{"b"}, Run: func(*Context) error { ran["c"] = true; return nil }})
+	_, rep, err := w.Execute(nil)
+	if err == nil || rep.Failed != "b" {
+		t.Fatalf("err=%v report=%+v", err, rep)
+	}
+	if !ran["a"] || ran["c"] {
+		t.Fatalf("ran = %v", ran)
+	}
+}
+
+func TestHybridCampaignEndToEnd(t *testing.T) {
+	// A realistic campaign: calibrate a π pulse by scanning durations
+	// (quantum), pick the best (classical), run the real experiment with
+	// the calibrated duration (quantum), then post-process (classical).
+	rt := testRuntime(t)
+	w := New()
+	omega := 2 * math.Pi
+
+	pulse := func(durNs float64, shots int) *qir.Program {
+		seq := qir.NewAnalogSequence(qir.LinearRegister("one", 1, 10))
+		seq.Add(qir.GlobalRydberg, qir.Pulse{
+			Amplitude: qir.ConstantWaveform{Dur: durNs, Val: omega},
+			Detuning:  qir.ConstantWaveform{Dur: durNs, Val: 0},
+		})
+		return qir.NewAnalogProgram(seq, shots)
+	}
+
+	durations := []float64{200, 350, 500, 650}
+	for i, dur := range durations {
+		dur := dur
+		name := scanName(i)
+		if err := w.QuantumStep(name, nil, func(*Context) (*qir.Program, error) {
+			return pulse(dur, 200), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scanSteps := make([]string, len(durations))
+	for i := range durations {
+		scanSteps[i] = scanName(i)
+	}
+	if err := w.ClassicalStep("pick-best", scanSteps, func(ctx *Context) error {
+		best, bestP := 0.0, -1.0
+		for i, dur := range durations {
+			res, ok := ctx.Result(scanName(i))
+			if !ok {
+				return errors.New("missing scan result")
+			}
+			if p := res.Counts.Probability("1"); p > bestP {
+				bestP = p
+				best = dur
+			}
+		}
+		ctx.SetValue("best_duration", best)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.QuantumStep("experiment", []string{"pick-best"}, func(ctx *Context) (*qir.Program, error) {
+		v, ok := ctx.Value("best_duration")
+		if !ok {
+			return nil, errors.New("no calibration")
+		}
+		return pulse(v.(float64), 1000), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ClassicalStep("analyze", []string{"experiment"}, func(ctx *Context) error {
+		res, _ := ctx.Result("experiment")
+		z, err := emulator.MeanZ(res.Counts, 0)
+		if err != nil {
+			return err
+		}
+		ctx.SetValue("final_z", z)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, rep, err := w.Execute(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Order) != 7 {
+		t.Fatalf("executed %d steps", len(rep.Order))
+	}
+	// The scan must have picked the duration closest to the π pulse
+	// (500 ns at Ω = 2π rad/µs).
+	best, _ := ctx.Value("best_duration")
+	if best.(float64) != 500 {
+		t.Fatalf("calibration picked %v ns, want 500", best)
+	}
+	z, _ := ctx.Value("final_z")
+	if z.(float64) > -0.9 {
+		t.Fatalf("final ⟨Z⟩ = %v, want ≈ −1", z)
+	}
+}
+
+func scanName(i int) string {
+	return "scan-" + string(rune('a'+i))
+}
+
+func TestQuantumStepRequiresRuntime(t *testing.T) {
+	w := New()
+	w.QuantumStep("q", nil, func(*Context) (*qir.Program, error) {
+		return qir.NewDigitalProgram(qir.NewCircuit(1).H(0), 10), nil
+	})
+	if _, _, err := w.Execute(nil); err == nil {
+		t.Fatal("nil runtime accepted for quantum step")
+	}
+}

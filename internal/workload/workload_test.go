@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hpcqc/internal/sched"
+	"hpcqc/internal/simclock"
+)
+
+func TestGeneratorJobShapes(t *testing.T) {
+	g := NewGenerator(1)
+	a, err := g.Job(sched.PatternQCHeavy, sched.ClassTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalQuantum() <= a.TotalClassical() {
+		t.Fatalf("QC-heavy inverted: q=%s c=%s", a.TotalQuantum(), a.TotalClassical())
+	}
+	b, _ := g.Job(sched.PatternCCHeavy, sched.ClassTest)
+	if b.TotalClassical() <= b.TotalQuantum() {
+		t.Fatalf("CC-heavy inverted: q=%s c=%s", b.TotalQuantum(), b.TotalClassical())
+	}
+	c, _ := g.Job(sched.PatternBalanced, sched.ClassTest)
+	ratio := float64(c.TotalQuantum()) / float64(c.TotalClassical())
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("balanced ratio = %g", ratio)
+	}
+	if _, err := g.Job(sched.Pattern("alien"), sched.ClassDev); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a, _ := NewGenerator(7).Job(sched.PatternBalanced, sched.ClassDev)
+	b, _ := NewGenerator(7).Job(sched.PatternBalanced, sched.ClassDev)
+	if a.TotalQuantum() != b.TotalQuantum() || a.TotalClassical() != b.TotalClassical() {
+		t.Fatal("same seed produced different jobs")
+	}
+}
+
+func TestBatchComposition(t *testing.T) {
+	g := NewGenerator(3)
+	jobs, err := g.Batch(Mix{QCHeavy: 2, CCHeavy: 3, Balanced: 1}, sched.ClassTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 6 {
+		t.Fatalf("batch size = %d", len(jobs))
+	}
+	byPattern := map[sched.Pattern]int{}
+	ids := map[string]bool{}
+	for _, j := range jobs {
+		byPattern[j.Pattern]++
+		if ids[j.ID] {
+			t.Fatalf("duplicate ID %s", j.ID)
+		}
+		ids[j.ID] = true
+	}
+	if byPattern[sched.PatternQCHeavy] != 2 || byPattern[sched.PatternCCHeavy] != 3 || byPattern[sched.PatternBalanced] != 1 {
+		t.Fatalf("composition = %v", byPattern)
+	}
+	if _, err := g.Batch(Mix{}, sched.ClassDev); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+}
+
+func TestBatchRunsOnOrchestrator(t *testing.T) {
+	g := NewGenerator(5)
+	jobs, _ := g.Batch(Mix{QCHeavy: 2, CCHeavy: 2, Balanced: 2}, sched.ClassTest)
+	clk := simclock.New()
+	o, _ := sched.NewOrchestrator(clk, sched.PolicyInterleave)
+	for _, j := range jobs {
+		if err := o.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Run(0)
+	if !o.Done() {
+		t.Fatal("batch did not finish")
+	}
+	m := o.Metrics()
+	if m.JobsCompleted != 6 || m.Makespan <= 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestSQDPipelineValidation(t *testing.T) {
+	if _, err := SQDPipeline(SQDConfig{Qubits: 1, Shots: 10, Iterations: 1}, UniformSampler(1, 1)); err == nil {
+		t.Fatal("1 qubit accepted")
+	}
+	if _, err := SQDPipeline(SQDConfig{Qubits: 4, Shots: 0, Iterations: 1}, UniformSampler(4, 1)); err == nil {
+		t.Fatal("0 shots accepted")
+	}
+	if _, err := SQDPipeline(SQDConfig{Qubits: 4, Shots: 10, Iterations: 1}, nil); err == nil {
+		t.Fatal("nil sampler accepted")
+	}
+	// Width mismatch caught.
+	if _, err := SQDPipeline(SQDConfig{Qubits: 6, Shots: 10, Iterations: 1}, UniformSampler(4, 1)); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestSQDEnergyImprovesWithBiasedSampler(t *testing.T) {
+	// The ground-biased sampler finds lower Ising energy than uniform
+	// sampling at the same budget — the SQD premise.
+	n := 10
+	cfg := SQDConfig{Qubits: n, Shots: 300, SubspaceCap: 128, Iterations: 3}
+	uniform, err := SQDPipeline(cfg, UniformSampler(n, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased, err := SQDPipeline(cfg, GroundBiasedSampler(n, 1.2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if biased.Energy >= uniform.Energy {
+		t.Fatalf("biased %g !< uniform %g", biased.Energy, uniform.Energy)
+	}
+	// Ground state of -J Σ zz on a 10-chain is -(n-1) = -9 at h-term 0;
+	// with the transverse term the subspace energy is below the classical
+	// minimum of the diagonal alone is not guaranteed, but it must be
+	// close to -9 for the biased sampler.
+	if biased.Energy > -7 {
+		t.Fatalf("biased energy = %g, want near -9", biased.Energy)
+	}
+}
+
+func TestSQDClassicalLoadScalesWithSubspace(t *testing.T) {
+	n := 8
+	small, err := SQDPipeline(SQDConfig{Qubits: n, Shots: 200, SubspaceCap: 32, Iterations: 2}, UniformSampler(n, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := SQDPipeline(SQDConfig{Qubits: n, Shots: 200, SubspaceCap: 128, Iterations: 2}, UniformSampler(n, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.ClassicalOps <= small.ClassicalOps {
+		t.Fatalf("ops: cap128=%d !> cap32=%d", big.ClassicalOps, small.ClassicalOps)
+	}
+	for _, s := range big.SubspaceSizes {
+		if s > 128 {
+			t.Fatalf("subspace exceeded cap: %v", big.SubspaceSizes)
+		}
+	}
+}
+
+func TestDiagonalizeKnownTwoLevel(t *testing.T) {
+	// Subspace {00, 11} of the 2-qubit Ising model: diagonal both -1
+	// (one ZZ bond each), no single flips connect them → energy -1.
+	energy, ops := diagonalizeSubspace([]string{"00", "11"}, 2)
+	if math.Abs(energy-(-1)) > 1e-8 {
+		t.Fatalf("energy = %g, want -1", energy)
+	}
+	if ops <= 0 {
+		t.Fatal("no ops counted")
+	}
+	// Full 2-qubit space: H = -ZZ - X1 - X2; exact ground energy of the
+	// transverse Ising pair is -(1+sqrt(...)). Compute against dense
+	// diagonalization known value: eigenvalues of
+	//   [[-1,-1,-1,0],[-1,1,0,-1],[-1,0,1,-1],[0,-1,-1,-1]]
+	// lowest is 1-2·sqrt(...)... verify variationally instead: full
+	// subspace energy must be <= the {00,11} projection.
+	full, _ := diagonalizeSubspace([]string{"00", "01", "10", "11"}, 2)
+	if full > energy+1e-9 {
+		t.Fatalf("larger subspace raised energy: %g > %g", full, energy)
+	}
+}
+
+func TestDiagonalizeEmptySubspace(t *testing.T) {
+	e, ops := diagonalizeSubspace(nil, 4)
+	if e != 0 || ops != 0 {
+		t.Fatalf("empty subspace: %g %d", e, ops)
+	}
+}
+
+func TestTopConfigurations(t *testing.T) {
+	seen := map[string]int{"a": 5, "b": 9, "c": 1, "d": 9}
+	top := topConfigurations(seen, 2)
+	if len(top) != 2 || top[0] != "b" || top[1] != "d" {
+		t.Fatalf("top = %v", top)
+	}
+	all := topConfigurations(seen, 10)
+	if len(all) != 4 {
+		t.Fatalf("all = %v", all)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	g := NewGenerator(11)
+	g.Jitter = 0.5
+	for i := 0; i < 50; i++ {
+		j, _ := g.Job(sched.PatternBalanced, sched.ClassDev)
+		for _, s := range j.Segments {
+			if s.Duration < time.Second {
+				t.Fatalf("segment below floor: %s", s.Duration)
+			}
+			if s.Duration > 2*60*time.Second {
+				t.Fatalf("segment above 1.5x nominal: %s", s.Duration)
+			}
+		}
+	}
+}
