@@ -1,0 +1,28 @@
+# Tier-1 entry points. `make test` is the fast gate (short mode, seconds);
+# `make test-full` runs everything including the ~40s experiment
+# reproductions; `make test-race` puts the race detector on the concurrent
+# fleet/scheduler/device/emulator paths.
+
+GO ?= go
+
+.PHONY: build test test-full test-race bench vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -short ./...
+
+test-full:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/daemon/... ./internal/sched/... ./internal/device/... ./internal/emulator/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+vet:
+	$(GO) vet ./...
+
+check: vet build test test-race

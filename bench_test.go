@@ -359,6 +359,71 @@ func BenchmarkDaemonDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetDispatch measures multi-partition job throughput: the same
+// batch of jobs dispatched onto fleets of 1, 2 and 4 QPU partitions under
+// least-loaded routing. The headline metric is jobs per simulated second —
+// with partitions executing concurrently on the simulation clock, throughput
+// should scale near-linearly (the acceptance bar is ≥2× at 4 partitions,
+// enforced by daemon.TestFleetThroughputScaling).
+func BenchmarkFleetDispatch(b *testing.B) {
+	omega := 2 * math.Pi
+	tPi := math.Pi / omega * 1000
+	seq := qir.NewAnalogSequence(qir.LinearRegister("r", 2, 20))
+	seq.Add(qir.GlobalRydberg, qir.Pulse{
+		Amplitude: qir.ConstantWaveform{Dur: tPi, Val: omega},
+		Detuning:  qir.ConstantWaveform{Dur: tPi, Val: 0},
+	})
+	payload, err := qir.NewAnalogProgram(seq, 20).MarshalJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const jobs = 32
+	for _, devices := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("devices%d", devices), func(b *testing.B) {
+			var makespan time.Duration
+			for i := 0; i < b.N; i++ {
+				clk := simclock.New()
+				fleet, err := device.NewFleet(devices, device.Config{Clock: clk, Seed: 1, DriftInterval: time.Hour})
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, err := daemon.NewDaemon(daemon.Config{
+					Devices: fleet.Devices(), Clock: clk,
+					AdminToken: "x", EnablePreemption: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sess, err := d.OpenSession("bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < jobs; j++ {
+					if _, err := d.Submit(sess.Token, daemon.SubmitRequest{Program: payload, Class: sched.ClassTest}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for drained := false; !drained; {
+					clk.Advance(10 * time.Second)
+					drained = true
+					for _, j := range d.ListJobs() {
+						if j.State == daemon.JobQueued || j.State == daemon.JobRunning {
+							drained = false
+							break
+						}
+					}
+					if clk.Now() > 24*time.Hour {
+						b.Fatal("fleet did not drain")
+					}
+				}
+				makespan = clk.Now()
+			}
+			b.ReportMetric(float64(jobs)/makespan.Seconds(), "jobs_per_sim_s")
+			b.ReportMetric(makespan.Seconds(), "sim_makespan_s")
+		})
+	}
+}
+
 // BenchmarkOrchestratorThroughput measures the hybrid-job scheduler on a
 // large synthetic batch.
 func BenchmarkOrchestratorThroughput(b *testing.B) {

@@ -5,10 +5,14 @@
 // Usage:
 //
 //	qcsd [-listen :8080] [-admin-token TOKEN] [-seed N] [-timescale X]
+//	     [-devices N] [-router POLICY]
 //
 // -timescale compresses simulated device time: X simulated seconds advance
 // per wall-clock second (default 10), so a 1 Hz-shot device is usable
 // interactively.
+//
+// -devices sets the number of managed QPU partitions; -router picks how
+// jobs are spread across them (round-robin, least-loaded, class-affinity).
 package main
 
 import (
@@ -25,36 +29,41 @@ import (
 	"hpcqc/internal/telemetry"
 )
 
-// node is the assembled quantum access node: the simulated device, the
+// node is the assembled quantum access node: the simulated device fleet, the
 // middleware daemon in front of it, and the shared clock that a background
 // pump advances against wall time.
 type node struct {
-	clk *simclock.Clock
-	dev *device.Device
-	d   *daemon.Daemon
+	clk   *simclock.Clock
+	fleet *device.Fleet
+	dev   *device.Device // first partition, for log lines
+	d     *daemon.Daemon
 }
 
-// newNode wires the device, daemon and observability stack exactly as the
+// newNode wires the fleet, daemon and observability stack exactly as the
 // serving binary runs them. Split from main so tests can boot the same
 // composition without sockets or flags.
-func newNode(adminToken string, seed int64, timescale float64) (*node, error) {
+func newNode(adminToken string, seed int64, timescale float64, devices int, routerPolicy string) (*node, error) {
 	if adminToken == "" {
 		return nil, fmt.Errorf("qcsd: -admin-token is required")
 	}
 	if timescale <= 0 {
 		return nil, fmt.Errorf("qcsd: -timescale must be positive, got %g", timescale)
 	}
+	router, err := daemon.NewRouter(routerPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("qcsd: %w", err)
+	}
 	clk := simclock.New()
 	reg := telemetry.NewRegistry()
 	tsdb := telemetry.NewTSDB(24*time.Hour, 0)
-	dev, err := device.New(device.Config{
+	fleet, err := device.NewFleet(devices, device.Config{
 		Clock: clk, Seed: seed, Registry: reg, TSDB: tsdb,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("qcsd: device: %w", err)
 	}
 	d, err := daemon.NewDaemon(daemon.Config{
-		Device: dev, Clock: clk,
+		Devices: fleet.Devices(), Router: router, Clock: clk,
 		AdminToken:       adminToken,
 		EnablePreemption: true,
 		Registry:         reg, TSDB: tsdb,
@@ -63,7 +72,7 @@ func newNode(adminToken string, seed int64, timescale float64) (*node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("qcsd: daemon: %w", err)
 	}
-	return &node{clk: clk, dev: dev, d: d}, nil
+	return &node{clk: clk, fleet: fleet, dev: fleet.Devices()[0], d: d}, nil
 }
 
 // pump advances simulated time by timescale seconds per wall second until
@@ -87,9 +96,11 @@ func main() {
 	adminToken := flag.String("admin-token", "", "admin API token (required)")
 	seed := flag.Int64("seed", 1, "device model seed")
 	timescale := flag.Float64("timescale", 10, "simulated seconds per wall second")
+	devices := flag.Int("devices", 1, "number of managed QPU partitions")
+	router := flag.String("router", "least-loaded", "fleet routing policy (round-robin, least-loaded, class-affinity)")
 	flag.Parse()
 
-	n, err := newNode(*adminToken, *seed, *timescale)
+	n, err := newNode(*adminToken, *seed, *timescale, *devices, *router)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -99,8 +110,8 @@ func main() {
 	defer close(stop)
 	go n.pump(*timescale, 100*time.Millisecond, stop)
 
-	log.Printf("qcsd: serving %s on %s (timescale %gx)",
-		n.dev.Spec().Name, *listen, *timescale)
+	log.Printf("qcsd: serving %s ×%d (%s routing) on %s (timescale %gx)",
+		n.dev.Spec().Name, n.fleet.Size(), n.d.RouterName(), *listen, *timescale)
 	if err := http.ListenAndServe(*listen, n.d.Handler()); err != nil {
 		log.Fatalf("qcsd: %v", err)
 	}

@@ -10,14 +10,68 @@ import (
 )
 
 func TestNewNodeValidation(t *testing.T) {
-	if _, err := newNode("", 1, 10); err == nil {
+	if _, err := newNode("", 1, 10, 1, "least-loaded"); err == nil {
 		t.Fatal("missing admin token accepted")
 	}
-	if _, err := newNode("tok", 1, 0); err == nil {
+	if _, err := newNode("tok", 1, 0, 1, "least-loaded"); err == nil {
 		t.Fatal("zero timescale accepted")
 	}
-	if _, err := newNode("tok", 1, -3); err == nil {
+	if _, err := newNode("tok", 1, -3, 1, "least-loaded"); err == nil {
 		t.Fatal("negative timescale accepted")
+	}
+	if _, err := newNode("tok", 1, 10, 0, "least-loaded"); err == nil {
+		t.Fatal("zero devices accepted")
+	}
+	if _, err := newNode("tok", 1, 10, 1, "coin-flip"); err == nil {
+		t.Fatal("unknown router policy accepted")
+	}
+}
+
+// TestNodeFleetComposition boots a multi-partition node and checks the
+// partitions surface through the fleet listing endpoint.
+func TestNodeFleetComposition(t *testing.T) {
+	n, err := newNode("secret", 7, 10, 3, "round-robin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.fleet.Size() != 3 {
+		t.Fatalf("fleet size = %d", n.fleet.Size())
+	}
+	srv := httptest.NewServer(n.d.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/api/v1/sessions", "application/json",
+		strings.NewReader(`{"user":"alice"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess struct {
+		Token string `json:"token"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	req, _ := http.NewRequest("GET", srv.URL+"/api/v1/devices", nil)
+	req.Header.Set("Authorization", "Bearer "+sess.Token)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fleet struct {
+		Router  string `json:"router"`
+		Devices []struct {
+			ID string `json:"id"`
+		} `json:"devices"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fleet); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Router != "round-robin" || len(fleet.Devices) != 3 {
+		t.Fatalf("fleet = %+v", fleet)
+	}
+	if fleet.Devices[0].ID == fleet.Devices[1].ID {
+		t.Fatalf("partition IDs not unique: %+v", fleet.Devices)
 	}
 }
 
@@ -25,7 +79,7 @@ func TestNewNodeValidation(t *testing.T) {
 // walks the public surface: health, session, device characteristics, metrics
 // and the admin plane behind the token.
 func TestNodeServesEndToEnd(t *testing.T) {
-	n, err := newNode("secret", 7, 10)
+	n, err := newNode("secret", 7, 10, 1, "least-loaded")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +148,7 @@ func TestNodeServesEndToEnd(t *testing.T) {
 // TestPumpAdvancesSimTime verifies the timescale pump: simulated time moves
 // forward by ~timescale× wall time while it runs, and stops when told.
 func TestPumpAdvancesSimTime(t *testing.T) {
-	n, err := newNode("secret", 1, 500)
+	n, err := newNode("secret", 1, 500, 1, "least-loaded")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,8 +7,40 @@
 // and site dependency (neutral-atom QPU, Slurm, cloud services) substituted
 // by faithful simulators so the complete system runs offline.
 //
+// # Fleet architecture
+//
+// The middleware daemon manages a fleet of N simulated QPU partitions
+// (device.Fleet) rather than a single device, with two independent,
+// composable policy axes:
+//
+//   - Routing ("which partition"): a daemon.Router — round-robin,
+//     least-loaded, or class-affinity — picks the target partition at
+//     submission time. qcsd selects it with -devices N -router POLICY;
+//     submissions may also pin a named partition.
+//   - Scheduling ("what order"): each partition keeps its own
+//     sched.ClassQueue with the paper's priority classes, production
+//     preemption (confined to the victim's partition), and the optional
+//     fair-share / shortest-expected-first within-class orders.
+//
+// Dispatch is concurrent across partitions — per-device queues, running
+// slots and dispatch loops — so one partition's backlog never serializes the
+// rest. QRMI resources acquire against a named partition
+// (qpu_partitions/qpu_partition config keys, or daemon.Client.Partition over
+// HTTP). Per-partition queue depths and utilization surface in the admin
+// StatusReport and the daemon_device_* gauges.
+//
+// # Testing and benchmarks
+//
+// `make test` is the fast tier-1 gate (short mode); `make test-full` adds
+// the long experiment reproductions, and `make test-race` covers the
+// concurrent fleet paths. The benchmarks in bench_test.go regenerate every
+// table and figure of the paper; BenchmarkFleetDispatch measures job
+// throughput scaling from 1 to 4 partitions (near-linear in simulated
+// time). Run with:
+//
+//	go test -bench=BenchmarkFleetDispatch -run='^$' .
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
-// results. The benchmarks in bench_test.go regenerate every table and
-// figure; `go run ./cmd/hpcsim` prints them as text tables.
+// results. `go run ./cmd/hpcsim` prints the experiment tables as text.
 package hpcqc

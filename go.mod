@@ -1,0 +1,3 @@
+module hpcqc
+
+go 1.22

@@ -22,7 +22,10 @@ type Client struct {
 	class sched.Class
 	// Pattern is the optional Table 1 hint sent with submissions.
 	Pattern sched.Pattern
-	http    *http.Client
+	// Partition pins submissions to a named fleet partition. Empty lets
+	// the daemon's router place each job.
+	Partition string
+	http      *http.Client
 }
 
 // NewClient opens a session with the daemon and returns a bound client.
@@ -118,12 +121,54 @@ func (c *Client) Metadata() (map[string]string, error) {
 }
 
 // Acquire implements qrmi.Resource: the session already holds access, so the
-// token doubles as the acquire token.
+// token doubles as the acquire token. When Partition names a partition, the
+// acquisition is verified against the daemon's fleet so a bad name fails
+// here rather than on every task start.
 func (c *Client) Acquire() (string, error) {
 	if c.token == "" {
 		return "", errors.New("daemon: no session")
 	}
+	if c.Partition != "" {
+		ids, err := c.Partitions()
+		if err != nil {
+			return "", err
+		}
+		found := false
+		for _, id := range ids {
+			if id == c.Partition {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return "", fmt.Errorf("daemon: unknown partition %q (have: %v)", c.Partition, ids)
+		}
+	}
 	return c.token, nil
+}
+
+// Partitions lists the daemon's fleet partition IDs.
+func (c *Client) Partitions() ([]string, error) {
+	code, data, err := c.do(http.MethodGet, "/api/v1/devices", nil)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, clientErr(data, code)
+	}
+	var payload struct {
+		Devices []struct {
+			ID string `json:"id"`
+		} `json:"devices"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		return nil, err
+	}
+	ids := make([]string, len(payload.Devices))
+	for i, dev := range payload.Devices {
+		ids[i] = dev.ID
+	}
+	return ids, nil
 }
 
 // Release implements qrmi.Resource as a no-op; the session persists until
@@ -143,12 +188,14 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// TaskStart implements qrmi.Resource.
+// TaskStart implements qrmi.Resource. When Partition is set the job is
+// pinned to that fleet partition; the daemon rejects unknown names.
 func (c *Client) TaskStart(payload []byte) (string, error) {
 	body, err := json.Marshal(map[string]any{
 		"program": json.RawMessage(payload),
 		"class":   c.class.String(),
 		"pattern": string(c.Pattern),
+		"device":  c.Partition,
 	})
 	if err != nil {
 		return "", err

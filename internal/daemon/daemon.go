@@ -4,6 +4,14 @@
 // level of scheduling below Slurm — priority classes with production
 // preemption — plus multi-user session management, admin operations, gated
 // low-level controls, and the telemetry endpoints of the observability stack.
+//
+// The daemon manages a fleet of QPU partitions rather than a single device.
+// Two composable policy axes govern placement: a Router picks the target
+// partition at submission time ("which instance"), and each partition's
+// sched.ClassQueue orders the work routed to it ("what order"). Dispatch is
+// concurrent across partitions — each partition has its own queue, running
+// slot and dispatch loop, guarded by per-device state — so one partition's
+// backlog never serializes the rest of the fleet.
 package daemon
 
 import (
@@ -12,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -62,6 +71,8 @@ type Job struct {
 	// via a cloud interface, …). The daemon "receives jobs from one or more
 	// sources" (§3.3); the tag keeps per-source accounting possible.
 	Source string `json:"source,omitempty"`
+	// Device is the fleet partition the job was routed to.
+	Device string `json:"device,omitempty"`
 	// ExpectedQPUSeconds is the duration hint used by shortest-first
 	// scheduling: the submitter's declared value, or the daemon's own
 	// estimate from the validated program when none was given.
@@ -84,14 +95,22 @@ func (j *Job) ClassName() string { return j.Class.String() }
 
 // Config parameterizes the daemon.
 type Config struct {
-	// Device is the managed QPU. Required.
+	// Device is the managed QPU when running a single-partition node —
+	// shorthand for a one-entry Devices slice. One of Device/Devices is
+	// required.
 	Device *device.Device
-	// Clock is the simulation clock shared with the device. Required.
+	// Devices is the managed fleet of QPU partitions sharing the clock.
+	// Device IDs must be unique.
+	Devices []*device.Device
+	// Router picks the target partition per job. Defaults to least-loaded.
+	Router Router
+	// Clock is the simulation clock shared with the devices. Required.
 	Clock *simclock.Clock
 	// AdminToken authenticates the admin plane. Required for admin APIs.
 	AdminToken string
 	// EnablePreemption lets production jobs preempt running lower-class
-	// jobs (the paper's policy; on by default via NewDaemon).
+	// jobs (the paper's policy; on by default via NewDaemon). Preemption is
+	// confined to the partition the production job was routed to.
 	EnablePreemption bool
 	// FairShare orders jobs within a class by their owner's accumulated
 	// QPU seconds (least-served first) instead of plain FIFO — the
@@ -113,18 +132,60 @@ type Config struct {
 	Seed int64
 }
 
+// deviceState is one partition's scheduling state. Its mutex guards the
+// running slot, the task→job index, the orphan buffer and the dispatch-loop
+// flags; the queue carries its own lock. Lock order: ds.mu may be taken
+// first and d.mu acquired under it, never the reverse.
+type deviceState struct {
+	id    string
+	dev   *device.Device
+	queue *sched.ClassQueue
+
+	mu      sync.Mutex
+	running *Job
+	byTask  map[string]*Job
+	// inflight counts jobs routed here but not yet visible in the queue
+	// (between route's pick and Submit's queue.Push). route() includes it
+	// in the router's load view — and serializes snapshot+pick+reserve
+	// under routeMu — so a burst of concurrent submissions cannot all act
+	// on the same pre-enqueue snapshot and herd onto one partition.
+	inflight int
+	// orphans buffers terminal task notifications that arrive before the
+	// dispatcher registers the task in byTask — possible when another
+	// goroutine advances the clock between device.Submit returning and the
+	// bookkeeping that follows it. Buffering happens only while submitting
+	// is set (dispatch is serial per device, so at most one submission is
+	// in flight), and startJob drains the whole buffer, so notifications
+	// for tasks the daemon never started cannot accumulate.
+	submitting bool
+	orphans    map[string]device.TaskState
+	// dispatching marks an active dispatch loop; wakeups counts dispatch
+	// requests so a loop that is about to exit notices work that arrived
+	// after its last queue check.
+	dispatching bool
+	wakeups     uint64
+}
+
 // Daemon is the middleware service core. The HTTP layer in http.go is a thin
 // shell over these methods, so everything is testable without sockets.
 type Daemon struct {
-	cfg Config
+	cfg    Config
+	router Router
 
+	// fleet and byDevice are immutable after NewDaemon: the partition pool
+	// (validated through device.FleetOf) with scheduling state layered on.
+	fleet    []*deviceState
+	byDevice map[string]*deviceState
+
+	// routeMu serializes route()'s snapshot+Pick+reserve so concurrent
+	// submissions cannot all act on the same load view.
+	routeMu sync.Mutex
+
+	// mu guards sessions, jobs and their fields, and the accounting maps.
 	mu       sync.Mutex
 	rng      *rand.Rand
 	sessions map[string]*Session
 	jobs     map[string]*Job
-	queue    *sched.ClassQueue
-	running  *Job
-	byTask   map[string]*Job
 	nextJob  int
 	nextSess int
 
@@ -135,12 +196,17 @@ type Daemon struct {
 
 	mJobs, mQueueLen, mSessions *telemetry.Metric
 	mWait                       *telemetry.Metric
+	mDevQueueLen, mDevUtil      *telemetry.Metric
 }
 
-// NewDaemon wires the daemon to its device.
+// NewDaemon wires the daemon to its device fleet.
 func NewDaemon(cfg Config) (*Daemon, error) {
-	if cfg.Device == nil || cfg.Clock == nil {
-		return nil, errors.New("daemon: config requires a device and a clock")
+	devices := cfg.Devices
+	if len(devices) == 0 && cfg.Device != nil {
+		devices = []*device.Device{cfg.Device}
+	}
+	if len(devices) == 0 || cfg.Clock == nil {
+		return nil, errors.New("daemon: config requires at least one device and a clock")
 	}
 	if cfg.FairShare && cfg.ShortestFirst {
 		return nil, errors.New("daemon: FairShare and ShortestFirst are mutually exclusive within-class orders")
@@ -148,15 +214,35 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 	if len(cfg.AllowedLowLevelOps) == 0 {
 		cfg.AllowedLowLevelOps = []string{"recalibrate", "qa_check"}
 	}
+	router := cfg.Router
+	if router == nil {
+		router = NewLeastLoadedRouter()
+	}
 	d := &Daemon{
 		cfg:         cfg,
+		router:      router,
+		byDevice:    make(map[string]*deviceState, len(devices)),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		sessions:    make(map[string]*Session),
 		jobs:        make(map[string]*Job),
-		queue:       sched.NewClassQueue(),
-		byTask:      make(map[string]*Job),
 		waitByClass: make(map[sched.Class][]time.Duration),
 		usageByUser: make(map[string]float64),
+	}
+	// FleetOf owns the nil-device and unique-ID invariants.
+	fleet, err := device.FleetOf(devices...)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	for _, dev := range fleet.Devices() {
+		ds := &deviceState{
+			id:      dev.ID(),
+			dev:     dev,
+			queue:   sched.NewClassQueue(),
+			byTask:  make(map[string]*Job),
+			orphans: make(map[string]device.TaskState),
+		}
+		d.fleet = append(d.fleet, ds)
+		d.byDevice[ds.id] = ds
 	}
 	if cfg.Registry != nil {
 		d.mJobs = cfg.Registry.MustCounter("daemon_jobs_total", "Daemon jobs by class and final state.")
@@ -164,10 +250,30 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 		d.mSessions = cfg.Registry.MustGauge("daemon_sessions_active", "Open user sessions.")
 		d.mWait = cfg.Registry.MustHistogram("daemon_job_wait_seconds", "Queue wait by class.",
 			[]float64{1, 5, 15, 60, 300, 1800, 7200})
+		d.mDevQueueLen = cfg.Registry.MustGauge("daemon_device_queue_length", "Queued daemon jobs by device and class.")
+		d.mDevUtil = cfg.Registry.MustGauge("daemon_device_utilization", "Per-device QPU utilization fraction.")
 	}
-	cfg.Device.SetTaskListener(d.onDeviceTask)
+	for _, ds := range d.fleet {
+		ds.dev.SetTaskListener(d.onDeviceTask)
+	}
 	return d, nil
 }
+
+// Devices lists the managed fleet in routing order.
+func (d *Daemon) Devices() []*device.Device {
+	out := make([]*device.Device, len(d.fleet))
+	for i, ds := range d.fleet {
+		out[i] = ds.dev
+	}
+	return out
+}
+
+// RouterName reports the active routing policy.
+func (d *Daemon) RouterName() string { return d.router.Name() }
+
+// primary returns the first partition — the whole fleet in single-device
+// deployments, and the back-compat answer for endpoints that predate fleets.
+func (d *Daemon) primary() *deviceState { return d.fleet[0] }
 
 // --- sessions ---
 
@@ -242,14 +348,17 @@ type SubmitRequest struct {
 	// Source labels the submission path ("slurm", "cloud", …). Empty
 	// defaults to "slurm", the primary intake the paper describes.
 	Source string
+	// Device pins the job to a named fleet partition, bypassing the
+	// router. Empty lets the router pick.
+	Device string
 	// ExpectedQPUSeconds optionally declares how long the job will hold
 	// the QPU. When zero the daemon estimates it from the program and the
-	// current device spec, so the hint is always available to the
+	// target device spec, so the hint is always available to the
 	// shortest-first policy.
 	ExpectedQPUSeconds float64
 }
 
-// Submit validates, enqueues and dispatches a job for a session.
+// Submit validates, routes, enqueues and dispatches a job for a session.
 func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	s, err := d.session(token)
 	if err != nil {
@@ -261,9 +370,25 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	if req.ExpectedQPUSeconds < 0 {
 		return nil, fmt.Errorf("daemon: negative expected QPU seconds %g", req.ExpectedQPUSeconds)
 	}
-	// Validate the program against the device spec up front so users get
-	// immediate feedback instead of a failed device task later.
-	spec := d.cfg.Device.Spec()
+	ds, err := d.route(req.Class, req.Pattern, req.Device)
+	if err != nil {
+		return nil, err
+	}
+	// The reservation lasts until this submission is enqueued (or fails),
+	// i.e. until the job is visible to the next routing snapshot; it is
+	// released eagerly right after queue.Push so the synchronous dispatch
+	// below does not double-count the job in the router's load view.
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			d.routeDone(ds)
+		}
+	}
+	defer release()
+	// Validate the program against the target device spec up front so users
+	// get immediate feedback instead of a failed device task later.
+	spec := ds.dev.Spec()
 	prog, err := decodeAndValidate(req.Program, spec)
 	if err != nil {
 		return nil, err
@@ -285,6 +410,7 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 		Class:              req.Class,
 		Pattern:            req.Pattern,
 		Source:             source,
+		Device:             ds.id,
 		ExpectedQPUSeconds: expected,
 		State:              JobQueued,
 		SubmittedAt:        d.cfg.Clock.Now(),
@@ -294,12 +420,95 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	s.Jobs = append(s.Jobs, j.ID)
 	d.mu.Unlock()
 
-	if err := d.queue.Push(d.queueItem(j)); err != nil {
+	if err := ds.queue.Push(d.queueItem(j)); err != nil {
 		return nil, err
 	}
+	release()
 	d.emitQueueTelemetry()
-	d.dispatch()
+	d.dispatchDevice(ds)
 	return d.jobSnapshot(j.ID)
+}
+
+// route picks the target partition and reserves an in-flight slot on it (the
+// caller must release via routeDone once the job is enqueued or abandoned).
+// An explicit pin wins; otherwise the router chooses from a point-in-time
+// fleet snapshot whose load view includes other submissions still in flight.
+// The chosen class and pattern travel on a throwaway job record so routers
+// can specialize without the daemon pre-creating the real one.
+func (d *Daemon) route(class sched.Class, pattern sched.Pattern, pin string) (*deviceState, error) {
+	d.routeMu.Lock()
+	defer d.routeMu.Unlock()
+	var picked *deviceState
+	switch {
+	case pin != "":
+		ds, err := d.lookupDevice(pin)
+		if err != nil {
+			return nil, err
+		}
+		picked = ds
+	case len(d.fleet) == 1:
+		picked = d.fleet[0]
+	default:
+		infos := make([]DeviceInfo, len(d.fleet))
+		for i, ds := range d.fleet {
+			info := DeviceInfo{
+				ID:     ds.id,
+				Index:  i,
+				Status: ds.dev.Status(),
+			}
+			ds.mu.Lock()
+			info.Queued = ds.queue.Len() + ds.inflight
+			if ds.running != nil {
+				info.Busy = true
+				info.RunningClass = ds.running.Class
+			}
+			ds.mu.Unlock()
+			infos[i] = info
+		}
+		idx := d.router.Pick(&Job{Class: class, Pattern: pattern}, infos)
+		if idx < 0 || idx >= len(d.fleet) {
+			return nil, fmt.Errorf("daemon: router %q picked invalid device index %d", d.router.Name(), idx)
+		}
+		picked = d.fleet[idx]
+	}
+	picked.mu.Lock()
+	picked.inflight++
+	picked.mu.Unlock()
+	return picked, nil
+}
+
+// routeDone releases a route reservation once the job is in the partition's
+// queue (visible to the next routing snapshot) or the submission failed.
+func (d *Daemon) routeDone(ds *deviceState) {
+	ds.mu.Lock()
+	ds.inflight--
+	ds.mu.Unlock()
+}
+
+func (d *Daemon) deviceIDs() []string {
+	out := make([]string, len(d.fleet))
+	for i, ds := range d.fleet {
+		out[i] = ds.id
+	}
+	return out
+}
+
+// lookupDevice resolves a partition ID, listing the valid IDs on a miss.
+func (d *Daemon) lookupDevice(id string) (*deviceState, error) {
+	ds, ok := d.byDevice[id]
+	if !ok {
+		return nil, fmt.Errorf("daemon: unknown device %q (have: %s)", id, strings.Join(d.deviceIDs(), ", "))
+	}
+	return ds, nil
+}
+
+// queueLens snapshots a partition queue's depth by class name.
+func queueLens(q *sched.ClassQueue) map[string]int {
+	return map[string]int{
+		"production": q.LenClass(sched.ClassProduction),
+		"test":       q.LenClass(sched.ClassTest),
+		"dev":        q.LenClass(sched.ClassDev),
+	}
 }
 
 // queueItem builds the scheduler item for a job, carrying the class,
@@ -326,118 +535,234 @@ func decodeAndValidate(payload []byte, spec qir.DeviceSpec) (*qir.Program, error
 	return prog, nil
 }
 
-// dispatch sends the next queued job to the device, preempting a running
-// lower-class job when a production job waits and preemption is enabled.
-func (d *Daemon) dispatch() {
-	for {
-		// Hold the queue through maintenance windows: jobs wait rather
-		// than fail, and maintenance_off re-dispatches.
-		if d.cfg.Device.Status() == device.StatusMaintenance {
-			return
-		}
-		d.mu.Lock()
-		next := d.queue.Peek()
-		if next == nil {
-			d.mu.Unlock()
-			return
-		}
-		if d.running != nil {
-			if d.cfg.EnablePreemption && sched.ShouldPreempt(next.Class, d.running.Class) {
-				victim := d.running
-				taskID := victim.DeviceTask
-				d.mu.Unlock()
-				// Cancelling the device task triggers onDeviceTask,
-				// which requeues the victim and re-dispatches.
-				d.markPreempted(victim)
-				_ = d.cfg.Device.Cancel(taskID)
-				return
-			}
-			d.mu.Unlock()
-			return
-		}
-		var item *sched.Item
-		switch {
-		case d.cfg.FairShare:
-			// Least-served user first within the class, FIFO on ties.
-			item = d.queue.PopBy(func(a, b *sched.Item) bool {
-				ua := d.usageByUser[a.Payload.(*Job).User]
-				ub := d.usageByUser[b.Payload.(*Job).User]
-				if ua != ub {
-					return ua < ub
-				}
-				return a.Enqueued < b.Enqueued
-			})
-		case d.cfg.ShortestFirst:
-			// Expected-duration hint ordering (§3.5), class priority first.
-			item = d.queue.PopBy(sched.ShortestExpectedFirst)
-		default:
-			item = d.queue.Pop()
-		}
-		if item == nil {
-			d.mu.Unlock()
-			return
-		}
-		j := item.Payload.(*Job)
-		if j.State != JobQueued {
-			d.mu.Unlock()
-			continue
-		}
-		payload := j.payload
-		d.mu.Unlock()
-
-		prog, err := decodeAndValidate(payload, d.cfg.Device.Spec())
-		if err == nil {
-			var taskID string
-			taskID, err = d.cfg.Device.Submit(prog)
-			if err == nil {
-				d.mu.Lock()
-				j.State = JobRunning
-				j.StartedAt = d.cfg.Clock.Now()
-				j.DeviceTask = taskID
-				d.running = j
-				d.byTask[taskID] = j
-				wait := j.StartedAt - j.SubmittedAt
-				d.waitByClass[j.Class] = append(d.waitByClass[j.Class], wait)
-				if d.mWait != nil {
-					d.mWait.Observe(telemetry.Labels{"class": j.Class.String()}, wait.Seconds())
-				}
-				d.mu.Unlock()
-				d.emitQueueTelemetry()
-				return
-			}
-		}
-		// Submission failed (validation drift, maintenance window, ...).
-		d.finishJob(j, JobFailed, nil, err)
-	}
-}
-
-// markPreempted flags a running job as preempted before its device task is
-// cancelled, so onDeviceTask requeues instead of finalizing it.
-func (d *Daemon) markPreempted(j *Job) {
-	d.mu.Lock()
-	j.Preemptions++
-	d.preemptTotal++
-	d.mu.Unlock()
-}
-
-// onDeviceTask is the device listener: terminal device tasks finish or
-// requeue their daemon job and trigger the next dispatch.
-func (d *Daemon) onDeviceTask(taskID string, state device.TaskState) {
-	d.mu.Lock()
-	j, ok := d.byTask[taskID]
-	if !ok {
-		d.mu.Unlock()
+// dispatchDevice runs the partition's dispatch loop, or — when a loop is
+// already active on another goroutine — records a wakeup so that loop
+// re-checks the queue before exiting. This keeps dispatch serial per device
+// while different partitions dispatch fully concurrently.
+func (d *Daemon) dispatchDevice(ds *deviceState) {
+	ds.mu.Lock()
+	ds.wakeups++
+	if ds.dispatching {
+		ds.mu.Unlock()
 		return
 	}
-	delete(d.byTask, taskID)
-	if d.running == j {
-		d.running = nil
+	ds.dispatching = true
+	ds.mu.Unlock()
+	for {
+		ds.mu.Lock()
+		seen := ds.wakeups
+		ds.mu.Unlock()
+		progress := d.dispatchOnce(ds)
+		ds.mu.Lock()
+		if !progress && ds.wakeups == seen {
+			ds.dispatching = false
+			ds.mu.Unlock()
+			return
+		}
+		ds.mu.Unlock()
 	}
+}
+
+// dispatchOnce makes one dispatch attempt on the partition: preempt a
+// running lower-class job when a production job waits, or start the next
+// queued job if the partition is idle. It reports whether it changed state
+// (and the loop should try again).
+func (d *Daemon) dispatchOnce(ds *deviceState) bool {
+	// Hold the queue through maintenance windows: jobs wait rather than
+	// fail, and maintenance_off re-dispatches.
+	if ds.dev.Status() == device.StatusMaintenance {
+		return false
+	}
+	next := ds.queue.Peek()
+	if next == nil {
+		return false
+	}
+	// Re-check the peeked job under d.mu: a concurrent CancelJob flips the
+	// state before removing the queue entry, so a terminal state here means
+	// the item is a leftover — drop it rather than let a dead production
+	// job preempt live work.
+	if nj, ok := next.Payload.(*Job); ok {
+		d.mu.Lock()
+		stale := nj.State != JobQueued
+		d.mu.Unlock()
+		if stale {
+			ds.queue.Remove(nj.ID)
+			return true
+		}
+	}
+	ds.mu.Lock()
+	if run := ds.running; run != nil {
+		if d.cfg.EnablePreemption && sched.ShouldPreempt(next.Class, run.Class) {
+			d.mu.Lock()
+			// Re-verify the waiting job under the same d.mu hold that
+			// CancelJob uses to flip states: between the head check above
+			// and here it may have been cancelled, and a dead job must
+			// not get a victim preempted on its behalf.
+			if nj, ok := next.Payload.(*Job); ok && nj.State != JobQueued {
+				d.mu.Unlock()
+				ds.mu.Unlock()
+				ds.queue.Remove(next.ID)
+				return true
+			}
+			taskID := run.DeviceTask
+			run.Preemptions++
+			d.preemptTotal++
+			d.mu.Unlock()
+			ds.mu.Unlock()
+			// Cancelling the device task triggers onDeviceTask, which
+			// requeues the victim on this partition and wakes the loop.
+			_ = ds.dev.Cancel(taskID)
+			return true
+		}
+		ds.mu.Unlock()
+		return false
+	}
+	ds.mu.Unlock()
+
+	item := d.popNext(ds)
+	if item == nil {
+		return false
+	}
+	j := item.Payload.(*Job)
+	d.mu.Lock()
+	if j.State != JobQueued {
+		d.mu.Unlock()
+		return true // stale item (cancelled while queued); try the next one
+	}
+	payload := j.payload
 	d.mu.Unlock()
 
+	prog, err := decodeAndValidate(payload, ds.dev.Spec())
+	if err == nil {
+		ds.mu.Lock()
+		ds.submitting = true
+		ds.mu.Unlock()
+		var taskID string
+		taskID, err = ds.dev.Submit(prog)
+		if err == nil {
+			d.startJob(ds, j, taskID)
+			d.emitQueueTelemetry()
+			return true
+		}
+		ds.mu.Lock()
+		ds.submitting = false
+		ds.mu.Unlock()
+	}
+	// Submission failed (validation drift, maintenance window, ...).
+	d.finishJob(j, JobFailed, nil, err)
+	return true
+}
+
+// popNext removes the next item under the configured within-class order.
+func (d *Daemon) popNext(ds *deviceState) *sched.Item {
+	switch {
+	case d.cfg.FairShare:
+		// Least-served user first within the class, FIFO on ties. The
+		// usage map is snapshotted outside the queue lock so the
+		// comparator never nests d.mu inside it.
+		d.mu.Lock()
+		usage := make(map[string]float64, len(d.usageByUser))
+		for u, v := range d.usageByUser {
+			usage[u] = v
+		}
+		d.mu.Unlock()
+		return ds.queue.PopBy(func(a, b *sched.Item) bool {
+			ua := usage[a.Payload.(*Job).User]
+			ub := usage[b.Payload.(*Job).User]
+			if ua != ub {
+				return ua < ub
+			}
+			return a.Enqueued < b.Enqueued
+		})
+	case d.cfg.ShortestFirst:
+		// Expected-duration hint ordering (§3.5), class priority first.
+		return ds.queue.PopBy(sched.ShortestExpectedFirst)
+	default:
+		return ds.queue.Pop()
+	}
+}
+
+// startJob records a successful device submission. If the task's terminal
+// notification already raced ahead (another goroutine advanced the clock),
+// the buffered orphan state is settled immediately; if the job was cancelled
+// between dispatchOnce's queued-state check and the device submission, the
+// device task is withdrawn instead of resurrecting the job.
+func (d *Daemon) startJob(ds *deviceState, j *Job, taskID string) {
+	now := d.cfg.Clock.Now()
+	ds.mu.Lock()
+	ds.submitting = false
+	st, orphaned := ds.orphans[taskID]
+	// Drain the buffer wholesale: with serial per-device dispatch, any
+	// other entry is a stray from a task the daemon never started.
+	clear(ds.orphans)
+	if !orphaned {
+		// Register even a cancelled job's task so the device's
+		// cancellation callback flows through the normal settleTask path
+		// (which sees the terminal job state and leaves it alone).
+		ds.running = j
+		ds.byTask[taskID] = j
+	}
+	d.mu.Lock()
+	cancelled := j.State != JobQueued
+	if !cancelled && !orphaned {
+		// Orphaned tasks already finished, so `now` is post-completion —
+		// marking them running or recording a queue wait here would
+		// inflate the wait metrics by the execution time; settleTask
+		// finalizes them directly from queued.
+		j.State = JobRunning
+		j.StartedAt = now
+		j.DeviceTask = taskID
+		wait := now - j.SubmittedAt
+		d.waitByClass[j.Class] = append(d.waitByClass[j.Class], wait)
+		if d.mWait != nil {
+			d.mWait.Observe(telemetry.Labels{"class": j.Class.String()}, wait.Seconds())
+		}
+	}
+	d.mu.Unlock()
+	ds.mu.Unlock()
+	switch {
+	case orphaned:
+		d.settleTask(ds, j, taskID, st)
+	case cancelled:
+		_ = ds.dev.Cancel(taskID)
+	}
+}
+
+// onDeviceTask is the fleet-wide device listener: terminal device tasks are
+// routed to their partition by device ID, then finish or requeue their
+// daemon job and trigger that partition's next dispatch.
+func (d *Daemon) onDeviceTask(deviceID, taskID string, state device.TaskState) {
+	ds, ok := d.byDevice[deviceID]
+	if !ok {
+		return
+	}
+	ds.mu.Lock()
+	j, ok := ds.byTask[taskID]
+	if !ok {
+		// While a submission is in flight, this may be its terminal state
+		// racing ahead of registration — buffer it for startJob to
+		// consume. Otherwise the task is not ours (e.g. a pre-existing
+		// task on a FleetOf-wrapped device); ignore it.
+		if ds.submitting {
+			ds.orphans[taskID] = state
+		}
+		ds.mu.Unlock()
+		return
+	}
+	delete(ds.byTask, taskID)
+	if ds.running == j {
+		ds.running = nil
+	}
+	ds.mu.Unlock()
+	d.settleTask(ds, j, taskID, state)
+}
+
+// settleTask finalizes or requeues a job whose device task reached a
+// terminal state, then re-dispatches the partition.
+func (d *Daemon) settleTask(ds *deviceState, j *Job, taskID string, state device.TaskState) {
 	switch state {
 	case device.TaskCompleted:
-		res, err := d.cfg.Device.TaskResult(taskID)
+		res, err := ds.dev.TaskResult(taskID)
 		if err != nil {
 			d.finishJob(j, JobFailed, nil, err)
 		} else if raw, mErr := json.Marshal(res); mErr != nil {
@@ -449,35 +774,42 @@ func (d *Daemon) onDeviceTask(taskID string, state device.TaskState) {
 			d.finishJob(j, JobCompleted, raw, nil)
 		}
 	case device.TaskFailed:
-		_, err := d.cfg.Device.TaskResult(taskID)
+		_, err := ds.dev.TaskResult(taskID)
 		d.finishJob(j, JobFailed, nil, err)
 	case device.TaskCancelled:
 		d.mu.Lock()
 		preempted := j.Preemptions > 0 && j.State == JobRunning
 		wasCancelled := j.State == JobCancelled
 		if preempted {
-			// Back to the queue; seniority (original submit time) is
-			// preserved inside its class by FIFO on re-push.
+			// Back to this partition's queue; seniority (original submit
+			// time) is preserved inside its class by FIFO on re-push.
 			j.State = JobQueued
 			j.DeviceTask = ""
 		}
 		d.mu.Unlock()
 		if preempted {
-			_ = d.queue.Push(d.queueItem(j))
+			_ = ds.queue.Push(d.queueItem(j))
 		} else if !wasCancelled {
 			d.finishJob(j, JobCancelled, nil, nil)
 		}
 	}
 	d.emitQueueTelemetry()
-	d.dispatch()
+	d.dispatchDevice(ds)
 }
 
 // finishJob finalizes a job's terminal state.
 func (d *Daemon) finishJob(j *Job, state JobState, result []byte, err error) {
 	d.mu.Lock()
+	d.finishLocked(j, state, result, err)
+	d.mu.Unlock()
+}
+
+// finishLocked is finishJob under an already-held d.mu — the single place a
+// job turns terminal. It reports whether the transition happened (false when
+// the job already reached a terminal state).
+func (d *Daemon) finishLocked(j *Job, state JobState, result []byte, err error) bool {
 	if j.State == JobCompleted || j.State == JobFailed || j.State == JobCancelled {
-		d.mu.Unlock()
-		return
+		return false
 	}
 	j.State = state
 	j.FinishedAt = d.cfg.Clock.Now()
@@ -488,7 +820,7 @@ func (d *Daemon) finishJob(j *Job, state JobState, result []byte, err error) {
 	if d.mJobs != nil {
 		d.mJobs.Inc(telemetry.Labels{"class": j.Class.String(), "state": string(state)}, 1)
 	}
-	d.mu.Unlock()
+	return true
 }
 
 // CancelJob cancels a queued or running job. Sessions may cancel their own
@@ -504,20 +836,24 @@ func (d *Daemon) CancelJob(token, jobID string, force bool) error {
 		d.mu.Unlock()
 		return errors.New("daemon: job belongs to another session")
 	}
+	ds := d.byDevice[j.Device]
 	switch j.State {
 	case JobQueued:
-		d.queue.Remove(jobID)
+		// Flip to cancelled under the same lock hold as the state check so
+		// a concurrent dispatcher popping the item sees the terminal state
+		// and skips it; the queue entry is then removed best-effort.
+		d.finishLocked(j, JobCancelled, nil, nil)
 		d.mu.Unlock()
-		d.finishJob(j, JobCancelled, nil, nil)
+		if ds != nil {
+			ds.queue.Remove(jobID)
+		}
 	case JobRunning:
 		taskID := j.DeviceTask
-		j.State = JobCancelled // mark first so onDeviceTask won't requeue
-		j.FinishedAt = d.cfg.Clock.Now()
-		if d.mJobs != nil {
-			d.mJobs.Inc(telemetry.Labels{"class": j.Class.String(), "state": string(JobCancelled)}, 1)
-		}
+		d.finishLocked(j, JobCancelled, nil, nil) // mark first so settleTask won't requeue
 		d.mu.Unlock()
-		_ = d.cfg.Device.Cancel(taskID)
+		if ds != nil {
+			_ = ds.dev.Cancel(taskID)
+		}
 	default:
 		d.mu.Unlock()
 		return fmt.Errorf("daemon: job %s already %s", jobID, j.State)
@@ -582,9 +918,23 @@ func (d *Daemon) AdminAuthorized(token string) bool {
 	return d.cfg.AdminToken != "" && token == d.cfg.AdminToken
 }
 
-// StatusReport is the admin overview.
+// DeviceReport is the per-partition slice of the admin overview: the device
+// snapshot (which carries status and utilization) plus this partition's
+// daemon-level queue depths.
+type DeviceReport struct {
+	ID           string          `json:"id"`
+	Device       device.Snapshot `json:"device"`
+	QueuedByName map[string]int  `json:"queued_by_class"`
+	Running      string          `json:"running_job,omitempty"`
+}
+
+// StatusReport is the admin overview. The top-level Device/QueuedByName/
+// Running fields aggregate the fleet (Device is the first partition, kept
+// for single-device consumers); Devices carries the per-partition detail.
 type StatusReport struct {
 	Device       device.Snapshot          `json:"device"`
+	Devices      []DeviceReport           `json:"devices"`
+	Router       string                   `json:"router"`
 	Sessions     int                      `json:"sessions"`
 	QueuedByName map[string]int           `json:"queued_by_class"`
 	Running      string                   `json:"running_job,omitempty"`
@@ -598,26 +948,38 @@ type StatusReport struct {
 
 // AdminStatus summarizes the whole node.
 func (d *Daemon) AdminStatus() StatusReport {
-	snap := d.cfg.Device.AdminSnapshot()
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	rep := StatusReport{
-		Device:   snap,
-		Sessions: len(d.sessions),
-		QueuedByName: map[string]int{
-			"production": d.queue.LenClass(sched.ClassProduction),
-			"test":       d.queue.LenClass(sched.ClassTest),
-			"dev":        d.queue.LenClass(sched.ClassDev),
-		},
-		Preemptions:  d.preemptTotal,
+		Router:       d.router.Name(),
+		QueuedByName: map[string]int{"production": 0, "test": 0, "dev": 0},
 		MeanWait:     make(map[string]time.Duration),
 		JobsBySource: make(map[string]int),
 	}
+	for _, ds := range d.fleet {
+		dr := DeviceReport{
+			ID:           ds.id,
+			Device:       ds.dev.AdminSnapshot(),
+			QueuedByName: queueLens(ds.queue),
+		}
+		ds.mu.Lock()
+		if ds.running != nil {
+			dr.Running = ds.running.ID
+		}
+		ds.mu.Unlock()
+		for name, n := range dr.QueuedByName {
+			rep.QueuedByName[name] += n
+		}
+		if rep.Running == "" && dr.Running != "" {
+			rep.Running = dr.Running
+		}
+		rep.Devices = append(rep.Devices, dr)
+	}
+	rep.Device = rep.Devices[0].Device
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rep.Sessions = len(d.sessions)
+	rep.Preemptions = d.preemptTotal
 	for _, j := range d.jobs {
 		rep.JobsBySource[j.Source]++
-	}
-	if d.running != nil {
-		rep.Running = d.running.ID
 	}
 	for class, waits := range d.waitByClass {
 		var sum time.Duration
@@ -642,10 +1004,24 @@ func (d *Daemon) ListJobs() []*Job {
 	return out
 }
 
-// LowLevelOp executes a gated low-level control operation (§2.5): only
-// allowlisted operations pass, providing the safeguard indirection the paper
-// argues must live at the daemon.
+// LowLevelOp executes a gated low-level control operation (§2.5) across the
+// whole fleet: only allowlisted operations pass, providing the safeguard
+// indirection the paper argues must live at the daemon.
 func (d *Daemon) LowLevelOp(op string) (string, error) {
+	return d.lowLevelOp(op, d.fleet)
+}
+
+// LowLevelOpDevice executes a gated low-level control operation on one named
+// partition.
+func (d *Daemon) LowLevelOpDevice(op, deviceID string) (string, error) {
+	ds, err := d.lookupDevice(deviceID)
+	if err != nil {
+		return "", err
+	}
+	return d.lowLevelOp(op, []*deviceState{ds})
+}
+
+func (d *Daemon) lowLevelOp(op string, targets []*deviceState) (string, error) {
 	allowed := false
 	for _, a := range d.cfg.AllowedLowLevelOps {
 		if a == op {
@@ -658,19 +1034,31 @@ func (d *Daemon) LowLevelOp(op string) (string, error) {
 	}
 	switch op {
 	case "recalibrate":
-		d.cfg.Device.Recalibrate()
+		for _, ds := range targets {
+			ds.dev.Recalibrate()
+		}
 		return "recalibrated", nil
 	case "qa_check":
-		if d.cfg.Device.RunQACheck() {
+		healthy := true
+		for _, ds := range targets {
+			if !ds.dev.RunQACheck() {
+				healthy = false
+			}
+		}
+		if healthy {
 			return "qa passed", nil
 		}
 		return "qa failed: device degraded", nil
 	case "maintenance_on":
-		d.cfg.Device.StartMaintenance()
+		for _, ds := range targets {
+			ds.dev.StartMaintenance()
+		}
 		return "maintenance started", nil
 	case "maintenance_off":
-		d.cfg.Device.EndMaintenance()
-		d.dispatch()
+		for _, ds := range targets {
+			ds.dev.EndMaintenance()
+			d.dispatchDevice(ds)
+		}
 		return "maintenance ended", nil
 	default:
 		return "", fmt.Errorf("daemon: low-level op %q allowlisted but not implemented", op)
@@ -683,22 +1071,49 @@ func (d *Daemon) emitQueueTelemetry() {
 	}
 	classes := []sched.Class{sched.ClassDev, sched.ClassTest, sched.ClassProduction}
 	now := d.cfg.Clock.Now()
+	totals := make(map[sched.Class]float64, len(classes))
+	for _, ds := range d.fleet {
+		for _, c := range classes {
+			n := float64(ds.queue.LenClass(c))
+			totals[c] += n
+			if d.mDevQueueLen != nil {
+				d.mDevQueueLen.Set(telemetry.Labels{"device": ds.id, "class": c.String()}, n)
+			}
+			if d.cfg.TSDB != nil {
+				d.cfg.TSDB.Append("daemon_device_queue_length",
+					telemetry.Labels{"device": ds.id, "class": c.String()}, now, n)
+			}
+		}
+		if d.mDevUtil != nil {
+			d.mDevUtil.Set(telemetry.Labels{"device": ds.id}, ds.dev.Utilization())
+		}
+	}
 	for _, c := range classes {
-		n := float64(d.queue.LenClass(c))
 		if d.mQueueLen != nil {
-			d.mQueueLen.Set(telemetry.Labels{"class": c.String()}, n)
+			d.mQueueLen.Set(telemetry.Labels{"class": c.String()}, totals[c])
 		}
 		if d.cfg.TSDB != nil {
-			d.cfg.TSDB.Append("daemon_queue_length", telemetry.Labels{"class": c.String()}, now, n)
+			d.cfg.TSDB.Append("daemon_queue_length", telemetry.Labels{"class": c.String()}, now, totals[c])
 		}
 	}
 }
 
-// QueueLengths reports current queue depth by class.
+// QueueLengths reports current queue depth by class, summed over the fleet.
 func (d *Daemon) QueueLengths() map[string]int {
-	return map[string]int{
-		"production": d.queue.LenClass(sched.ClassProduction),
-		"test":       d.queue.LenClass(sched.ClassTest),
-		"dev":        d.queue.LenClass(sched.ClassDev),
+	out := map[string]int{"production": 0, "test": 0, "dev": 0}
+	for _, ds := range d.fleet {
+		for name, n := range queueLens(ds.queue) {
+			out[name] += n
+		}
 	}
+	return out
+}
+
+// QueueLengthsByDevice reports per-partition queue depth by class.
+func (d *Daemon) QueueLengthsByDevice() map[string]map[string]int {
+	out := make(map[string]map[string]int, len(d.fleet))
+	for _, ds := range d.fleet {
+		out[ds.id] = queueLens(ds.queue)
+	}
+	return out
 }

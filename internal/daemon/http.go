@@ -15,8 +15,9 @@ import (
 //
 //	POST   /api/v1/sessions                 open session {user}
 //	DELETE /api/v1/sessions                 close session (token auth)
-//	GET    /api/v1/device                   device metadata (token auth)
-//	POST   /api/v1/jobs                     submit {program, class, pattern}
+//	GET    /api/v1/device                   first-partition metadata (token auth)
+//	GET    /api/v1/devices                  fleet partition listing (token auth)
+//	POST   /api/v1/jobs                     submit {program, class, pattern, device}
 //	GET    /api/v1/jobs/{id}                job status
 //	GET    /api/v1/jobs/{id}/result         job result
 //	DELETE /api/v1/jobs/{id}                cancel
@@ -24,7 +25,8 @@ import (
 //	GET    /healthz                         liveness (public)
 //	GET    /admin/v1/status                 admin overview (admin token)
 //	GET    /admin/v1/jobs                   all jobs (admin token)
-//	POST   /admin/v1/lowlevel/{op}          gated low-level control (admin token)
+//	POST   /admin/v1/lowlevel/{op}          gated low-level control (admin token);
+//	                                        ?device=ID targets one partition
 //
 // User endpoints authenticate with "Authorization: Bearer <session token>";
 // admin endpoints with the configured admin token.
@@ -65,13 +67,28 @@ func (d *Daemon) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
 	}))
 	mux.HandleFunc("GET /api/v1/device", d.withSession(func(token string, w http.ResponseWriter, r *http.Request) {
-		spec := d.cfg.Device.Spec()
-		calib := d.cfg.Device.CalibrationSnapshot()
+		dev := d.primary().dev
 		writeJSON(w, http.StatusOK, map[string]any{
-			"spec":        spec,
-			"calibration": calib,
-			"status":      d.cfg.Device.Status(),
+			"id":          dev.ID(),
+			"spec":        dev.Spec(),
+			"calibration": dev.CalibrationSnapshot(),
+			"status":      dev.Status(),
 		})
+	}))
+	mux.HandleFunc("GET /api/v1/devices", d.withSession(func(token string, w http.ResponseWriter, r *http.Request) {
+		queues := d.QueueLengthsByDevice()
+		out := make([]map[string]any, 0, len(d.fleet))
+		for _, dev := range d.Devices() {
+			out = append(out, map[string]any{
+				"id":          dev.ID(),
+				"spec":        dev.Spec(),
+				"calibration": dev.CalibrationSnapshot(),
+				"status":      dev.Status(),
+				"queued":      queues[dev.ID()],
+				"utilization": dev.Utilization(),
+			})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"router": d.RouterName(), "devices": out})
 	}))
 	mux.HandleFunc("POST /api/v1/jobs", d.withSession(func(token string, w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -79,6 +96,7 @@ func (d *Daemon) Handler() http.Handler {
 			Class              string          `json:"class"`
 			Pattern            string          `json:"pattern"`
 			Source             string          `json:"source"`
+			Device             string          `json:"device"`
 			ExpectedQPUSeconds float64         `json:"expected_qpu_seconds"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -97,7 +115,8 @@ func (d *Daemon) Handler() http.Handler {
 		}
 		j, err := d.Submit(token, SubmitRequest{
 			Program: req.Program, Class: class, Pattern: pattern,
-			Source: req.Source, ExpectedQPUSeconds: req.ExpectedQPUSeconds,
+			Source: req.Source, Device: req.Device,
+			ExpectedQPUSeconds: req.ExpectedQPUSeconds,
 		})
 		if err != nil {
 			writeErr(w, http.StatusUnprocessableEntity, err)
@@ -145,7 +164,13 @@ func (d *Daemon) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	}))
 	mux.HandleFunc("POST /admin/v1/lowlevel/{op}", d.withAdmin(func(w http.ResponseWriter, r *http.Request) {
-		msg, err := d.LowLevelOp(r.PathValue("op"))
+		var msg string
+		var err error
+		if dev := r.URL.Query().Get("device"); dev != "" {
+			msg, err = d.LowLevelOpDevice(r.PathValue("op"), dev)
+		} else {
+			msg, err = d.LowLevelOp(r.PathValue("op"))
+		}
 		if err != nil {
 			writeErr(w, http.StatusForbidden, err)
 			return
@@ -197,6 +222,9 @@ func jobJSON(j *Job) map[string]any {
 	}
 	if j.Pattern != "" {
 		out["pattern"] = string(j.Pattern)
+	}
+	if j.Device != "" {
+		out["device"] = j.Device
 	}
 	if j.StartedAt > 0 {
 		out["started_at"] = j.StartedAt.Seconds()

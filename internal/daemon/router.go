@@ -1,0 +1,173 @@
+package daemon
+
+import (
+	"fmt"
+	"sync"
+
+	"hpcqc/internal/device"
+	"hpcqc/internal/sched"
+)
+
+// Routing and scheduling are independent policy axes over the fleet: a
+// Router answers "which partition" at submission time, and each partition's
+// sched.ClassQueue answers "what order" on that partition. Keeping the axes
+// composable means any router works with any within-class order (FIFO,
+// fair-share, shortest-expected-first) without either policy knowing about
+// the other.
+
+// DeviceInfo is the router's point-in-time view of one fleet partition.
+type DeviceInfo struct {
+	// ID is the device's fleet-unique identifier.
+	ID string
+	// Index is the partition's position in the daemon's fleet slice.
+	Index int
+	// Status is the device availability state at pick time.
+	Status device.Status
+	// Queued counts jobs waiting in this partition's class queues.
+	Queued int
+	// Busy reports whether a job occupies the partition right now.
+	Busy bool
+	// RunningClass is the class of the occupying job; valid only when Busy.
+	RunningClass sched.Class
+}
+
+// load is the scalar the least-loaded policy minimizes.
+func (i DeviceInfo) load() int {
+	n := i.Queued
+	if i.Busy {
+		n++
+	}
+	return n
+}
+
+// Router picks the target partition for a job. Pick must return an index
+// into infos; infos always has at least one entry and is ordered by fleet
+// index. Routers should avoid partitions in maintenance when any other is
+// available (jobs routed to a maintenance partition wait for it to return).
+// Pick may be called concurrently.
+type Router interface {
+	// Name identifies the policy for logs and status reports.
+	Name() string
+	// Pick selects the partition index for the job.
+	Pick(job *Job, infos []DeviceInfo) int
+}
+
+// eligible returns the indices of partitions not in maintenance, or every
+// index when the whole fleet is down (the job then waits out the window,
+// matching single-device semantics).
+func eligible(infos []DeviceInfo) []int {
+	out := make([]int, 0, len(infos))
+	for i, info := range infos {
+		if info.Status != device.StatusMaintenance {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		for i := range infos {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// roundRobinRouter cycles through eligible partitions in submission order.
+type roundRobinRouter struct {
+	mu   sync.Mutex
+	next int
+}
+
+// NewRoundRobinRouter spreads submissions evenly across the fleet
+// irrespective of load — the cheapest policy, and a fair baseline when jobs
+// are similar in size.
+func NewRoundRobinRouter() Router { return &roundRobinRouter{} }
+
+func (r *roundRobinRouter) Name() string { return "round-robin" }
+
+func (r *roundRobinRouter) Pick(_ *Job, infos []DeviceInfo) int {
+	el := eligible(infos)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := el[r.next%len(el)]
+	r.next++
+	return idx
+}
+
+// leastLoadedRouter picks the partition with the fewest queued-plus-running
+// jobs; ties break to the lowest fleet index for determinism.
+type leastLoadedRouter struct{}
+
+// NewLeastLoadedRouter balances by instantaneous backlog — the default
+// policy, and the right one under heterogeneous job sizes.
+func NewLeastLoadedRouter() Router { return leastLoadedRouter{} }
+
+func (leastLoadedRouter) Name() string { return "least-loaded" }
+
+func (leastLoadedRouter) Pick(_ *Job, infos []DeviceInfo) int {
+	el := eligible(infos)
+	best := el[0]
+	for _, i := range el[1:] {
+		if infos[i].load() < infos[best].load() {
+			best = i
+		}
+	}
+	return best
+}
+
+// classAffinityRouter gives each priority class a home partition so
+// production traffic is isolated from dev churn: production jobs land on
+// partition 0, test on 1, dev on 2. Fleets smaller than the class count
+// spill the overflow classes across the non-production partitions (never
+// back onto partition 0, which would defeat the isolation), and a home in
+// maintenance falls back to the least-loaded eligible partition.
+type classAffinityRouter struct{}
+
+// NewClassAffinityRouter isolates classes onto dedicated partitions, trading
+// some load balance for fewer cross-class preemptions.
+func NewClassAffinityRouter() Router { return classAffinityRouter{} }
+
+func (classAffinityRouter) Name() string { return "class-affinity" }
+
+func (classAffinityRouter) Pick(j *Job, infos []DeviceInfo) int {
+	home := int(sched.ClassProduction - j.Class)
+	if home < 0 {
+		// Out-of-range classes (possible for direct Pick callers; Submit
+		// validates before routing) fall back to load balancing.
+		return leastLoadedRouter{}.Pick(j, infos)
+	}
+	if home < len(infos) {
+		if infos[home].Status != device.StatusMaintenance {
+			return home
+		}
+		return leastLoadedRouter{}.Pick(j, infos)
+	}
+	// Overflow class on a small fleet: least-loaded among the
+	// non-production partitions, keeping partition 0 clear for production.
+	best := -1
+	for i := 1; i < len(infos); i++ {
+		if infos[i].Status == device.StatusMaintenance {
+			continue
+		}
+		if best == -1 || infos[i].load() < infos[best].load() {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return leastLoadedRouter{}.Pick(j, infos)
+}
+
+// NewRouter builds a router by policy name ("round-robin", "least-loaded",
+// "class-affinity") — the switch behind qcsd's -router flag.
+func NewRouter(policy string) (Router, error) {
+	switch policy {
+	case "round-robin":
+		return NewRoundRobinRouter(), nil
+	case "least-loaded", "":
+		return NewLeastLoadedRouter(), nil
+	case "class-affinity":
+		return NewClassAffinityRouter(), nil
+	default:
+		return nil, fmt.Errorf("daemon: unknown router policy %q (round-robin, least-loaded, class-affinity)", policy)
+	}
+}

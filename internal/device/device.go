@@ -72,6 +72,10 @@ type Calibration struct {
 
 // Config parameterizes the device model.
 type Config struct {
+	// ID names this device within a fleet of partitions. Defaults to the
+	// spec name, which keeps single-device deployments unchanged; NewFleet
+	// assigns per-partition IDs so a daemon can route by device.
+	ID string
 	// Spec describes the hardware envelope; defaults to DefaultAnalogSpec.
 	Spec qir.DeviceSpec
 	// Clock drives all timing. Required.
@@ -105,6 +109,7 @@ type task struct {
 // Device is the simulated QPU.
 type Device struct {
 	cfg  Config
+	id   string
 	spec qir.DeviceSpec
 
 	mu      sync.Mutex
@@ -126,7 +131,7 @@ type Device struct {
 	maintWindows int
 
 	// listener is notified on task terminal transitions (see SetTaskListener).
-	listener func(taskID string, state TaskState)
+	listener func(deviceID, taskID string, state TaskState)
 
 	// telemetry handles (nil-safe)
 	mQueueLen, mRabi, mDetOff, mStatus *telemetry.Metric
@@ -134,9 +139,11 @@ type Device struct {
 }
 
 // SetTaskListener installs a callback invoked whenever a task reaches a
-// terminal state (completed, failed, cancelled). The middleware daemon uses
-// it to drive its second-level dispatch without polling.
-func (d *Device) SetTaskListener(fn func(taskID string, state TaskState)) {
+// terminal state (completed, failed, cancelled). The callback receives the
+// device ID so one listener can route completions across a fleet of
+// partitions. The middleware daemon uses it to drive its second-level
+// dispatch without polling.
+func (d *Device) SetTaskListener(fn func(deviceID, taskID string, state TaskState)) {
 	d.mu.Lock()
 	d.listener = fn
 	d.mu.Unlock()
@@ -163,8 +170,12 @@ func New(cfg Config) (*Device, error) {
 	if cfg.QAInterval <= 0 {
 		cfg.QAInterval = time.Hour
 	}
+	if cfg.ID == "" {
+		cfg.ID = cfg.Spec.Name
+	}
 	d := &Device{
 		cfg:       cfg,
+		id:        cfg.ID,
 		spec:      cfg.Spec,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		status:    StatusOnline,
@@ -190,6 +201,10 @@ func New(cfg Config) (*Device, error) {
 	d.scheduleQA()
 	return d, nil
 }
+
+// ID returns the device's fleet-unique identifier (the spec name unless the
+// configuration named the partition explicitly).
+func (d *Device) ID() string { return d.id }
 
 // Spec returns the static hardware envelope.
 func (d *Device) Spec() qir.DeviceSpec { return d.spec }
@@ -315,7 +330,7 @@ func (d *Device) finish(t *task) {
 	state := t.state
 	d.mu.Unlock()
 	if listener != nil {
-		listener(t.id, state)
+		listener(d.id, t.id, state)
 	}
 	d.pump()
 	d.emitTelemetry()
@@ -447,7 +462,7 @@ func (d *Device) Cancel(id string) error {
 		t.state = TaskCancelled
 		d.mu.Unlock()
 		if listener != nil {
-			listener(t.id, TaskCancelled)
+			listener(d.id, t.id, TaskCancelled)
 		}
 	case TaskRunning:
 		d.cfg.Clock.Cancel(t.event)
@@ -457,7 +472,7 @@ func (d *Device) Cancel(id string) error {
 		d.running = nil
 		d.mu.Unlock()
 		if listener != nil {
-			listener(t.id, TaskCancelled)
+			listener(d.id, t.id, TaskCancelled)
 		}
 		d.pump()
 	default:
@@ -589,7 +604,7 @@ func (d *Device) emitTelemetry() {
 		d.mStatus.Set(nil, up)
 	}
 	if d.cfg.TSDB != nil {
-		labels := telemetry.Labels{"device": d.spec.Name}
+		labels := telemetry.Labels{"device": d.id}
 		d.cfg.TSDB.Append("qpu_queue_length", labels, now, queueLen)
 		d.cfg.TSDB.Append("qpu_calib_rabi_factor", labels, now, rabi)
 		d.cfg.TSDB.Append("qpu_calib_detuning_offset", labels, now, det)
@@ -599,6 +614,7 @@ func (d *Device) emitTelemetry() {
 
 // Snapshot is an admin-facing summary of device state.
 type Snapshot struct {
+	ID           string        `json:"id"`
 	Name         string        `json:"name"`
 	Status       Status        `json:"status"`
 	QueueLength  int           `json:"queue_length"`
@@ -618,6 +634,7 @@ func (d *Device) AdminSnapshot() Snapshot {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	s := Snapshot{
+		ID:           d.id,
 		Name:         d.spec.Name,
 		Status:       d.status,
 		QueueLength:  len(d.queue),

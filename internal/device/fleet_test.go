@@ -1,0 +1,120 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"hpcqc/internal/simclock"
+)
+
+func TestNewFleetValidation(t *testing.T) {
+	clk := simclock.New()
+	if _, err := NewFleet(0, Config{Clock: clk}); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	if _, err := NewFleet(2, Config{}); err == nil {
+		t.Fatal("missing clock accepted")
+	}
+}
+
+func TestNewFleetSinglePartitionKeepsSpecName(t *testing.T) {
+	clk := simclock.New()
+	f, err := NewFleet(1, Config{Clock: clk, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := f.Devices()[0]
+	if dev.ID() != dev.Spec().Name {
+		t.Fatalf("single-partition ID = %q, want spec name %q", dev.ID(), dev.Spec().Name)
+	}
+}
+
+func TestNewFleetPartitionIDsAndSeeds(t *testing.T) {
+	clk := simclock.New()
+	f, err := NewFleet(3, Config{Clock: clk, Seed: 1, DriftInterval: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := f.IDs()
+	if len(ids) != 3 || f.Size() != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	want := map[string]bool{"analog-qpu-p0": true, "analog-qpu-p1": true, "analog-qpu-p2": true}
+	for _, id := range ids {
+		if !want[id] {
+			t.Fatalf("unexpected partition ID %q", id)
+		}
+		dev, ok := f.Get(id)
+		if !ok || dev.ID() != id {
+			t.Fatalf("Get(%q) broken", id)
+		}
+	}
+	if _, ok := f.Get("analog-qpu-p9"); ok {
+		t.Fatal("Get returned a device for an unknown ID")
+	}
+	// Distinct seeds: calibration drift decorrelates across partitions.
+	clk.Advance(30 * time.Minute)
+	c0 := f.Devices()[0].CalibrationSnapshot()
+	c1 := f.Devices()[1].CalibrationSnapshot()
+	if c0.RabiFactor == c1.RabiFactor && c0.DetuningOffset == c1.DetuningOffset {
+		t.Fatal("partitions drifted identically; seeds not decorrelated")
+	}
+}
+
+func TestFleetOfRejectsDuplicates(t *testing.T) {
+	clk := simclock.New()
+	a, _ := New(Config{Clock: clk, Seed: 1, ID: "dup"})
+	b, _ := New(Config{Clock: clk, Seed: 2, ID: "dup"})
+	if _, err := FleetOf(a, b); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+	if _, err := FleetOf(); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := FleetOf(a, nil); err == nil {
+		t.Fatal("nil device accepted")
+	}
+	f, err := FleetOf(a)
+	if err != nil || f.Size() != 1 {
+		t.Fatalf("FleetOf(a) = %v, %v", f, err)
+	}
+}
+
+// TestFleetTaskListenerCarriesDeviceID checks the listener contract the
+// daemon's fleet routing depends on: completions identify their partition.
+func TestFleetTaskListenerCarriesDeviceID(t *testing.T) {
+	clk := simclock.New()
+	f, err := NewFleet(2, Config{Clock: clk, Seed: 5, DriftInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task IDs are only unique within one device (each keeps its own
+	// counter), so the device ID in the callback is the disambiguator —
+	// key completions by (device, task).
+	got := map[[2]string]bool{}
+	for _, dev := range f.Devices() {
+		dev.SetTaskListener(func(deviceID, taskID string, state TaskState) {
+			if state == TaskCompleted {
+				got[[2]string{deviceID, taskID}] = true
+			}
+		})
+	}
+	prog := testProgram(5)
+	var tasks [2]string
+	for i, dev := range f.Devices() {
+		id, err := dev.Submit(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks[i] = id
+	}
+	if tasks[0] != tasks[1] {
+		t.Fatalf("expected per-device task counters to collide (%q vs %q); the device-ID contract under test assumes it", tasks[0], tasks[1])
+	}
+	clk.Advance(time.Minute)
+	for i, dev := range f.Devices() {
+		if !got[[2]string{dev.ID(), tasks[i]}] {
+			t.Fatalf("no completion recorded for task %s on %s (got %v)", tasks[i], dev.ID(), got)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package emulator
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of loop iterations before the
+// dense state-vector kernels fan out across goroutines; below it the
+// spawn-and-join overhead exceeds the loop body, so small states stay serial
+// — which also keeps the many tiny programs of the scheduling experiments
+// cheap. Pair-indexed kernels (ApplySingle/ApplyCX) iterate one pair per
+// two amplitudes, so 2048 iterations puts both kinds of kernel parallel
+// from 4096 amplitudes (12 qubits) up.
+const parallelThreshold = 1 << 11
+
+// parallelRange splits [0, n) into one contiguous chunk per worker and runs
+// fn(lo, hi) on each concurrently. Callers index disjoint state per
+// iteration (gate kernels enumerate amplitude pairs by pair index), so fn
+// must write only state owned by its own [lo, hi) slice; under that
+// contract the result is bit-identical to the serial loop regardless of
+// worker count.
+func parallelRange(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelThreshold || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

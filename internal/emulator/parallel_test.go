@@ -1,0 +1,172 @@
+package emulator
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"hpcqc/internal/qir"
+)
+
+// randomState returns a deterministic pseudo-random normalized state on n
+// qubits, large enough (n ≥ 13) to cross the parallel threshold.
+func randomState(t *testing.T, n int, seed int64) *StateVector {
+	t.Helper()
+	sv, err := NewStateVector(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range sv.Amps {
+		sv.Amps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	sv.Normalize()
+	return sv
+}
+
+func cloneState(s *StateVector) *StateVector {
+	cp := &StateVector{N: s.N, Amps: make([]complex128, len(s.Amps))}
+	copy(cp.Amps, s.Amps)
+	return cp
+}
+
+// serialApplySingle is the pre-parallelization reference loop.
+func serialApplySingle(s *StateVector, q int, a, b, c, d complex128) {
+	stride := 1 << uint(s.N-1-q)
+	for base := 0; base < len(s.Amps); base += stride * 2 {
+		for off := 0; off < stride; off++ {
+			i0 := base + off
+			i1 := i0 + stride
+			a0, a1 := s.Amps[i0], s.Amps[i1]
+			s.Amps[i0] = a*a0 + b*a1
+			s.Amps[i1] = c*a0 + d*a1
+		}
+	}
+}
+
+// serialApplyCX is the pre-parallelization reference loop.
+func serialApplyCX(s *StateVector, ctrl, tgt int) {
+	tStride := 1 << uint(s.N-1-tgt)
+	for i := range s.Amps {
+		if s.bitOf(i, ctrl) == 1 && s.bitOf(i, tgt) == 0 {
+			j := i + tStride
+			s.Amps[i], s.Amps[j] = s.Amps[j], s.Amps[i]
+		}
+	}
+}
+
+// serialRydbergApply is the original scatter-form Hamiltonian application,
+// kept as the reference for the parallel gather form.
+func serialRydbergApply(h *rydbergHamiltonian, psi, out []complex128, amp, det, phase float64, localDet []float64) {
+	halfOmega := amp / 2
+	drive := complex(halfOmega*math.Cos(phase), -halfOmega*math.Sin(phase))
+	driveConj := complex(halfOmega*math.Cos(phase), halfOmega*math.Sin(phase))
+	for s := range out {
+		out[s] = 0
+	}
+	for s := range psi {
+		a := psi[s]
+		if a == 0 {
+			continue
+		}
+		diag := h.interaction[s] - det*float64(h.popcount[s])
+		if localDet != nil {
+			for i := 0; i < h.n; i++ {
+				if (s>>uint(h.n-1-i))&1 == 1 {
+					diag -= localDet[i]
+				}
+			}
+		}
+		out[s] += complex(0, -1) * complex(diag, 0) * a
+		if halfOmega != 0 {
+			for i := 0; i < h.n; i++ {
+				flipped := s ^ (1 << uint(h.n-1-i))
+				if (s>>uint(h.n-1-i))&1 == 0 {
+					out[flipped] += complex(0, -1) * drive * a
+				} else {
+					out[flipped] += complex(0, -1) * driveConj * a
+				}
+			}
+		}
+	}
+}
+
+// TestParallelGatesMatchSerial checks the chunked gate kernels against the
+// plain loops on a state above the parallel threshold, for every qubit
+// position (chunk-boundary alignment is the subtle part).
+func TestParallelGatesMatchSerial(t *testing.T) {
+	const n = 13 // 8192 amplitudes > parallelThreshold
+	sq2 := complex(1/math.Sqrt2, 0)
+	for q := 0; q < n; q++ {
+		got := randomState(t, n, 7)
+		want := cloneState(got)
+		got.ApplySingle(q, sq2, sq2, sq2, -sq2)
+		serialApplySingle(want, q, sq2, sq2, sq2, -sq2)
+		for i := range got.Amps {
+			if got.Amps[i] != want.Amps[i] {
+				t.Fatalf("ApplySingle(q=%d) diverged at %d: %v != %v", q, i, got.Amps[i], want.Amps[i])
+			}
+		}
+	}
+	for _, pair := range [][2]int{{0, 12}, {12, 0}, {5, 6}, {6, 5}, {3, 11}} {
+		got := randomState(t, n, 11)
+		want := cloneState(got)
+		got.ApplyCX(pair[0], pair[1])
+		serialApplyCX(want, pair[0], pair[1])
+		for i := range got.Amps {
+			if got.Amps[i] != want.Amps[i] {
+				t.Fatalf("ApplyCX(%d,%d) diverged at %d", pair[0], pair[1], i)
+			}
+		}
+		gotZ := randomState(t, n, 13)
+		wantZ := cloneState(gotZ)
+		gotZ.ApplyCZ(pair[0], pair[1])
+		for i := range wantZ.Amps {
+			if wantZ.bitOf(i, pair[0]) == 1 && wantZ.bitOf(i, pair[1]) == 1 {
+				wantZ.Amps[i] = -wantZ.Amps[i]
+			}
+		}
+		for i := range gotZ.Amps {
+			if gotZ.Amps[i] != wantZ.Amps[i] {
+				t.Fatalf("ApplyCZ(%d,%d) diverged at %d", pair[0], pair[1], i)
+			}
+		}
+	}
+}
+
+// TestRydbergGatherMatchesScatter checks the parallel gather-form H·ψ
+// against the original scatter form, with and without local detuning and a
+// drive phase, above the parallel threshold.
+func TestRydbergGatherMatchesScatter(t *testing.T) {
+	const n = 13
+	reg := qir.LinearRegister("chain", n, 6)
+	h := newRydbergHamiltonian(reg, qir.DefaultAnalogSpec().C6)
+	psi := randomState(t, n, 21).Amps
+	localDet := make([]float64, n)
+	for i := range localDet {
+		localDet[i] = 0.3 * float64(i)
+	}
+	cases := []struct {
+		name     string
+		amp, det float64
+		phase    float64
+		local    []float64
+	}{
+		{"drive", 2 * math.Pi, 1.5, 0, nil},
+		{"phase", 2 * math.Pi, -0.5, math.Pi / 3, nil},
+		{"local-detuning", 4.0, 0.7, 0.1, localDet},
+		{"diag-only", 0, 2.0, 0, nil},
+	}
+	for _, tc := range cases {
+		got := make([]complex128, len(psi))
+		want := make([]complex128, len(psi))
+		h.apply(psi, got, tc.amp, tc.det, tc.phase, tc.local)
+		serialRydbergApply(h, psi, want, tc.amp, tc.det, tc.phase, tc.local)
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("%s: H·ψ diverged at %d: %v != %v", tc.name, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -61,38 +61,51 @@ func (s *StateVector) Normalize() {
 	}
 }
 
-// ApplySingle applies a 2×2 unitary u = [[a,b],[c,d]] to qubit q.
+// ApplySingle applies a 2×2 unitary u = [[a,b],[c,d]] to qubit q. The loop
+// enumerates the 2^(N-1) amplitude pairs by pair index — i0 interleaves the
+// low bits below the qubit's stride with the high bits above it — so the
+// iteration space splits evenly across goroutine chunks for every qubit
+// position, including qubit 0 whose stride spans half the state. Small
+// states run the plain serial loop (see parallelRange).
 func (s *StateVector) ApplySingle(q int, a, b, c, d complex128) {
 	stride := 1 << uint(s.N-1-q)
-	for base := 0; base < len(s.Amps); base += stride * 2 {
-		for off := 0; off < stride; off++ {
-			i0 := base + off
+	mask := stride - 1
+	parallelRange(len(s.Amps)/2, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			i0 := (p&^mask)<<1 | p&mask
 			i1 := i0 + stride
 			a0, a1 := s.Amps[i0], s.Amps[i1]
 			s.Amps[i0] = a*a0 + b*a1
 			s.Amps[i1] = c*a0 + d*a1
 		}
-	}
+	})
 }
 
 // ApplyCZ applies a controlled-Z between qubits p and q.
 func (s *StateVector) ApplyCZ(p, q int) {
-	for i := range s.Amps {
-		if s.bitOf(i, p) == 1 && s.bitOf(i, q) == 1 {
-			s.Amps[i] = -s.Amps[i]
+	parallelRange(len(s.Amps), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if s.bitOf(i, p) == 1 && s.bitOf(i, q) == 1 {
+				s.Amps[i] = -s.Amps[i]
+			}
 		}
-	}
+	})
 }
 
-// ApplyCX applies a controlled-X with the given control and target.
+// ApplyCX applies a controlled-X with the given control and target,
+// enumerating target-bit-0 indices by pair index as in ApplySingle.
 func (s *StateVector) ApplyCX(ctrl, tgt int) {
 	tStride := 1 << uint(s.N-1-tgt)
-	for i := range s.Amps {
-		if s.bitOf(i, ctrl) == 1 && s.bitOf(i, tgt) == 0 {
-			j := i + tStride
-			s.Amps[i], s.Amps[j] = s.Amps[j], s.Amps[i]
+	mask := tStride - 1
+	parallelRange(len(s.Amps)/2, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			i0 := (p&^mask)<<1 | p&mask
+			if s.bitOf(i0, ctrl) == 1 {
+				i1 := i0 + tStride
+				s.Amps[i0], s.Amps[i1] = s.Amps[i1], s.Amps[i0]
+			}
 		}
-	}
+	})
 }
 
 // ApplyGate dispatches a qir gate onto the state.
@@ -260,41 +273,46 @@ func newRydbergHamiltonian(reg *qir.Register, c6 float64) *rydbergHamiltonian {
 
 // apply computes out = -i·H(t)·ψ where amp/det/phase are the instantaneous
 // global drive values and localDet[i] is each atom's extra detuning.
+//
+// The loop is written in gather form — each output amplitude collects its
+// diagonal term plus the Ω/2 couplings from the n basis states one spin flip
+// away — so every out[s] is owned by exactly one iteration. That makes the
+// hot loop safe to chunk across goroutines (the scatter form writes to
+// out[s^bit], which crosses chunk boundaries) and keeps the result
+// bit-identical regardless of worker count, since each output's summation
+// order is fixed.
 func (h *rydbergHamiltonian) apply(psi, out []complex128, amp, det, phase float64, localDet []float64) {
 	halfOmega := amp / 2
+	// Coefficient for a source state with the atom in |g⟩ (target bit set)…
 	drive := complex(halfOmega*math.Cos(phase), -halfOmega*math.Sin(phase))
+	// …and for a source with the atom in |r⟩ (target bit clear).
 	driveConj := complex(halfOmega*math.Cos(phase), halfOmega*math.Sin(phase))
-	for s := range out {
-		out[s] = 0
-	}
-	dim := len(psi)
-	for s := 0; s < dim; s++ {
-		a := psi[s]
-		if a == 0 {
-			continue
-		}
-		// Diagonal: interactions minus detuning on excited atoms.
-		diag := h.interaction[s] - det*float64(h.popcount[s])
-		if localDet != nil {
-			for i := 0; i < h.n; i++ {
-				if (s>>uint(h.n-1-i))&1 == 1 {
-					diag -= localDet[i]
+	parallelRange(len(psi), func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			// Diagonal: interactions minus detuning on excited atoms.
+			diag := h.interaction[s] - det*float64(h.popcount[s])
+			if localDet != nil {
+				for i := 0; i < h.n; i++ {
+					if (s>>uint(h.n-1-i))&1 == 1 {
+						diag -= localDet[i]
+					}
 				}
 			}
-		}
-		out[s] += complex(0, -1) * complex(diag, 0) * a
-		// Off-diagonal: Ω/2 couples each atom's |g⟩↔|r⟩.
-		if halfOmega != 0 {
-			for i := 0; i < h.n; i++ {
-				flipped := s ^ (1 << uint(h.n-1-i))
-				if (s>>uint(h.n-1-i))&1 == 0 {
-					out[flipped] += complex(0, -1) * drive * a
-				} else {
-					out[flipped] += complex(0, -1) * driveConj * a
+			acc := complex(diag, 0) * psi[s]
+			// Off-diagonal: Ω/2 couples each atom's |g⟩↔|r⟩.
+			if halfOmega != 0 {
+				for i := 0; i < h.n; i++ {
+					src := s ^ (1 << uint(h.n-1-i))
+					if (s>>uint(h.n-1-i))&1 == 1 {
+						acc += drive * psi[src]
+					} else {
+						acc += driveConj * psi[src]
+					}
 				}
 			}
+			out[s] = complex(0, -1) * acc
 		}
-	}
+	})
 }
 
 // EvolveAnalog integrates the Schrödinger equation for the sequence using

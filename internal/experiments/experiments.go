@@ -239,6 +239,13 @@ type BondSweepRow struct {
 // tensor-network emulator on quench dynamics, including the χ=1 mock mode
 // and sizes beyond exact emulation.
 func RunBondSweep(seed int64) ([]BondSweepRow, *Table, error) {
+	return runBondSweep(seed, []int{8, 12, 24}, []int{1, 2, 4, 8, 16, 32})
+}
+
+// runBondSweep is RunBondSweep over selectable register sizes and bond
+// dimensions, so short-mode tests can run a reduced deterministic slice of
+// the (expensive) full sweep.
+func runBondSweep(seed int64, sizes, chis []int) ([]BondSweepRow, *Table, error) {
 	spec := qir.DefaultAnalogSpec()
 	quench := func(n int) *qir.AnalogSequence {
 		seq := qir.NewAnalogSequence(qir.LinearRegister("chain", n, 7))
@@ -249,7 +256,7 @@ func RunBondSweep(seed int64) ([]BondSweepRow, *Table, error) {
 		return seq
 	}
 	var rows []BondSweepRow
-	for _, n := range []int{8, 12, 24} {
+	for _, n := range sizes {
 		seq := quench(n)
 		// Exact reference when feasible.
 		var exact *emulator.StateVector
@@ -263,7 +270,7 @@ func RunBondSweep(seed int64) ([]BondSweepRow, *Table, error) {
 			}
 			exact = sv
 		}
-		for _, chi := range []int{1, 2, 4, 8, 16, 32} {
+		for _, chi := range chis {
 			start := time.Now()
 			m, err := emulator.NewMPS(n, chi)
 			if err != nil {

@@ -118,8 +118,12 @@ func TestFigure2Shape(t *testing.T) {
 
 // TestBondSweepShape asserts the A1 ablation: fidelity grows monotonically
 // with χ (up to noise), χ=1 truncates hard, and large registers execute only
-// on the tensor-network path.
+// on the tensor-network path. The full sweep dominates this package's test
+// time (~40s), so -short runs TestBondSweepShortSlice instead.
 func TestBondSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full bond-dimension sweep skipped in -short; TestBondSweepShortSlice covers the fast slice")
+	}
 	rows, table, err := RunBondSweep(3)
 	if err != nil {
 		t.Fatal(err)
@@ -159,6 +163,35 @@ func TestBondSweepShape(t *testing.T) {
 	}
 	if !strings.Contains(table.String(), "beyond exact") {
 		t.Fatal("table missing beyond-exact marker")
+	}
+}
+
+// TestBondSweepShortSlice is the deterministic fast slice of A1 that stays
+// on in -short mode: one small register, mock mode versus a real χ, same
+// shape claims as the full sweep.
+func TestBondSweepShortSlice(t *testing.T) {
+	rows, table, err := runBondSweep(3, []int{8}, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	mock, real := rows[0], rows[1]
+	if mock.Chi != 1 || real.Chi != 8 {
+		t.Fatalf("unexpected chis: %+v", rows)
+	}
+	if real.Fidelity < 0.9 {
+		t.Fatalf("χ=8 fidelity = %g", real.Fidelity)
+	}
+	if mock.Fidelity > real.Fidelity {
+		t.Fatalf("χ=1 fidelity %g above χ=8 %g", mock.Fidelity, real.Fidelity)
+	}
+	if mock.TruncErr != 0 || real.TruncErr == 0 {
+		t.Fatalf("truncation errors: mock=%g real=%g", mock.TruncErr, real.TruncErr)
+	}
+	if !strings.Contains(table.String(), "chi") {
+		t.Fatal("table rendering broken")
 	}
 }
 

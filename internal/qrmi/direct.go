@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -22,6 +23,9 @@ import (
 type DeviceResource struct {
 	dev   *device.Device
 	clock *simclock.Clock
+	// fleet is the partition pool the device belongs to, when the resource
+	// was built through the qpu-direct factory with qpu_partitions set.
+	fleet *device.Fleet
 	// AutoAdvance moves the clock forward by this much per status poll.
 	AutoAdvance time.Duration
 
@@ -41,8 +45,9 @@ func (r *DeviceResource) Device() *device.Device { return r.dev }
 // Clock exposes the simulation clock driving the device.
 func (r *DeviceResource) Clock() *simclock.Clock { return r.clock }
 
-// Target implements Resource.
-func (r *DeviceResource) Target() string { return r.dev.Spec().Name }
+// Target implements Resource. For fleet partitions this is the partition ID
+// (e.g. "analog-qpu-p2"); it coincides with the spec name on single devices.
+func (r *DeviceResource) Target() string { return r.dev.ID() }
 
 // Metadata implements Resource: spec, live calibration and status — the
 // device characteristics the workflow fetches before submission (Figure 1).
@@ -57,13 +62,18 @@ func (r *DeviceResource) Metadata() (map[string]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	return map[string]string{
+	md := map[string]string{
 		"spec":         string(rawSpec),
 		"kind":         "qpu",
 		"status":       string(r.dev.Status()),
 		"calibration":  string(rawCalib),
 		"queue_length": strconv.Itoa(r.dev.QueueLength()),
-	}, nil
+		"partition":    r.dev.ID(),
+	}
+	if r.fleet != nil {
+		md["partitions"] = strings.Join(r.fleet.IDs(), ",")
+	}
+	return md, nil
 }
 
 // Acquire implements Resource. The device queue serializes execution, so
@@ -163,6 +173,11 @@ func init() {
 	// qpu-direct: a self-contained device on its own clock, advanced by
 	// status polls. Suitable for single-process use (qrun against a local
 	// mock device); multi-user setups share a device via the daemon.
+	//
+	// qpu_partitions=N builds an N-partition fleet on the shared clock and
+	// qpu_partition=<id> names which partition the resource acquires —
+	// the QRMI analogue of binding a Slurm allocation to one named QPU
+	// partition of the access node.
 	RegisterFactory("qpu-direct", func(cfg map[string]string) (Resource, error) {
 		clk := simclock.New()
 		seed := parseSeed(cfg)
@@ -171,11 +186,27 @@ func init() {
 		if cfg["qpu_digital"] == "true" || cfg["qpu_digital"] == "1" {
 			devCfg.Spec = qir.DefaultDigitalSpec()
 		}
-		dev, err := device.New(devCfg)
+		partitions := 1
+		if raw := cfg["qpu_partitions"]; raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("qrmi: invalid qpu_partitions %q (want a positive integer)", raw)
+			}
+			partitions = v
+		}
+		fleet, err := device.NewFleet(partitions, devCfg)
 		if err != nil {
 			return nil, err
 		}
+		dev := fleet.Devices()[0]
+		if want := cfg["qpu_partition"]; want != "" {
+			var ok bool
+			if dev, ok = fleet.Get(want); !ok {
+				return nil, fmt.Errorf("qrmi: unknown partition %q (have: %v)", want, fleet.IDs())
+			}
+		}
 		r := NewDeviceResource(dev, clk)
+		r.fleet = fleet
 		r.AutoAdvance = time.Second
 		if v, err := strconv.ParseFloat(cfg["qpu_poll_advance_s"], 64); err == nil && v > 0 {
 			r.AutoAdvance = simclock.Seconds(v)

@@ -1,0 +1,85 @@
+package qrmi
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDirectPartitionAcquisition binds the qpu-direct resource to a named
+// partition of a multi-partition fleet and runs a task against it — the QRMI
+// analogue of a Slurm allocation acquiring one named QPU partition.
+func TestDirectPartitionAcquisition(t *testing.T) {
+	r, err := NewResource("qpu-direct", map[string]string{
+		"qpu_partitions": "3",
+		"qpu_partition":  "analog-qpu-p1",
+		"seed":           "7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Target() != "analog-qpu-p1" {
+		t.Fatalf("target = %q", r.Target())
+	}
+	md, err := r.Metadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md["partition"] != "analog-qpu-p1" {
+		t.Fatalf("partition metadata = %q", md["partition"])
+	}
+	parts := strings.Split(md["partitions"], ",")
+	if len(parts) != 3 || parts[0] != "analog-qpu-p0" {
+		t.Fatalf("partitions metadata = %q", md["partitions"])
+	}
+	res, err := RunProgram(r, piPulseProgram(20), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.TotalShots() != 20 {
+		t.Fatalf("shots = %d", res.Counts.TotalShots())
+	}
+}
+
+// TestDirectPartitionUnknownName rejects acquisition of a partition the
+// fleet does not have, naming the valid IDs.
+func TestDirectPartitionUnknownName(t *testing.T) {
+	_, err := NewResource("qpu-direct", map[string]string{
+		"qpu_partitions": "2",
+		"qpu_partition":  "analog-qpu-p7",
+	})
+	if err == nil {
+		t.Fatal("unknown partition accepted")
+	}
+	if !strings.Contains(err.Error(), "analog-qpu-p0") {
+		t.Fatalf("error does not list valid partitions: %v", err)
+	}
+}
+
+// TestDirectPartitionsBadCount rejects malformed partition counts instead of
+// silently building a single-partition fleet.
+func TestDirectPartitionsBadCount(t *testing.T) {
+	for _, bad := range []string{"four", "0", "-2", "4 "} {
+		if _, err := NewResource("qpu-direct", map[string]string{"qpu_partitions": bad}); err == nil {
+			t.Fatalf("qpu_partitions=%q accepted", bad)
+		}
+	}
+}
+
+// TestDirectSinglePartitionDefault keeps the classic single-device behavior:
+// no partition keys, spec-named target.
+func TestDirectSinglePartitionDefault(t *testing.T) {
+	r, err := NewResource("qpu-direct", map[string]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Target() != "analog-qpu" {
+		t.Fatalf("target = %q", r.Target())
+	}
+	md, err := r.Metadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md["partition"] != "analog-qpu" {
+		t.Fatalf("partition metadata = %q", md["partition"])
+	}
+}

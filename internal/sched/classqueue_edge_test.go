@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestPopByTieBreakDeterminism is the table-driven determinism check for
+// PopBy: whatever the comparator, ties must resolve to the earlier-queued
+// item, and repeated runs over identical queues must pop identical orders.
+func TestPopByTieBreakDeterminism(t *testing.T) {
+	constantKey := func(a, b *Item) bool { return false } // everything ties
+	byExpected := func(a, b *Item) bool { return a.ExpectedQPU < b.ExpectedQPU }
+	cases := []struct {
+		name  string
+		items []*Item
+		less  func(a, b *Item) bool
+		want  []string
+	}{
+		{
+			name: "all-tied falls back to FIFO",
+			items: []*Item{
+				{ID: "a", Class: ClassDev, Enqueued: 1 * time.Second},
+				{ID: "b", Class: ClassDev, Enqueued: 2 * time.Second},
+				{ID: "c", Class: ClassDev, Enqueued: 3 * time.Second},
+			},
+			less: constantKey,
+			want: []string{"a", "b", "c"},
+		},
+		{
+			name: "equal keys across push order stay stable",
+			items: []*Item{
+				{ID: "late-short", Class: ClassDev, Enqueued: 5 * time.Second, ExpectedQPU: 10 * time.Second},
+				{ID: "early-short", Class: ClassDev, Enqueued: 1 * time.Second, ExpectedQPU: 10 * time.Second},
+				{ID: "long", Class: ClassDev, Enqueued: 0, ExpectedQPU: 60 * time.Second},
+			},
+			less: ShortestExpectedFirst,
+			want: []string{"early-short", "late-short", "long"},
+		},
+		{
+			name: "class priority outranks comparator",
+			items: []*Item{
+				{ID: "dev-tiny", Class: ClassDev, Enqueued: 0, ExpectedQPU: time.Second},
+				{ID: "prod-huge", Class: ClassProduction, Enqueued: 1 * time.Second, ExpectedQPU: time.Hour},
+				{ID: "test-mid", Class: ClassTest, Enqueued: 2 * time.Second, ExpectedQPU: time.Minute},
+			},
+			less: byExpected,
+			want: []string{"prod-huge", "test-mid", "dev-tiny"},
+		},
+		{
+			name: "nil comparator degrades to Pop",
+			items: []*Item{
+				{ID: "d1", Class: ClassDev, Enqueued: 1 * time.Second},
+				{ID: "p1", Class: ClassProduction, Enqueued: 2 * time.Second},
+			},
+			less: nil,
+			want: []string{"p1", "d1"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Two identical queues must pop identically (determinism),
+			// and match the expected order (stability).
+			for run := 0; run < 2; run++ {
+				q := NewClassQueue()
+				for _, it := range tc.items {
+					cp := *it
+					if err := q.Push(&cp); err != nil {
+						t.Fatal(err)
+					}
+				}
+				var got []string
+				for it := q.PopBy(tc.less); it != nil; it = q.PopBy(tc.less) {
+					got = append(got, it.ID)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+					t.Fatalf("run %d: pop order = %v, want %v", run, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestRemoveNonexistent pins down Remove's behavior for IDs that are not in
+// the queue: empty queue, wrong ID, and double-remove.
+func TestRemoveNonexistent(t *testing.T) {
+	q := NewClassQueue()
+	if q.Remove("ghost") {
+		t.Fatal("Remove on empty queue reported true")
+	}
+	if err := q.Push(&Item{ID: "real", Class: ClassTest}); err != nil {
+		t.Fatal(err)
+	}
+	if q.Remove("ghost") {
+		t.Fatal("Remove of unknown ID reported true")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("failed Remove mutated the queue: len=%d", q.Len())
+	}
+	if !q.Remove("real") {
+		t.Fatal("Remove of present ID reported false")
+	}
+	if q.Remove("real") {
+		t.Fatal("double Remove reported true")
+	}
+	if q.Len() != 0 || q.Pop() != nil {
+		t.Fatal("queue not empty after removal")
+	}
+}
+
+// TestCrossClassStarvation documents the queue's strict-priority contract
+// under sustained high-priority load: dev work never pops while production
+// keeps arriving (the ClassQueue itself offers no aging — fairness across
+// users exists only within a class via PopBy, and the paper accepts
+// production starving dev), then drains in FIFO order once the flood stops.
+func TestCrossClassStarvation(t *testing.T) {
+	q := NewClassQueue()
+	for i := 0; i < 3; i++ {
+		if err := q.Push(&Item{ID: fmt.Sprintf("dev-%d", i), Class: ClassDev, Enqueued: time.Duration(i) * time.Second}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sustained production arrivals: one new production item per pop.
+	for round := 0; round < 50; round++ {
+		if err := q.Push(&Item{
+			ID:       fmt.Sprintf("prod-%d", round),
+			Class:    ClassProduction,
+			Enqueued: time.Duration(10+round) * time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		it := q.Pop()
+		if it == nil {
+			t.Fatal("queue empty mid-flood")
+		}
+		if it.Class != ClassProduction {
+			t.Fatalf("round %d: popped %s (%s) during production flood", round, it.ID, it.Class)
+		}
+		if want := fmt.Sprintf("prod-%d", round); it.ID != want {
+			t.Fatalf("round %d: production order broke: got %s, want %s", round, it.ID, want)
+		}
+	}
+	if q.LenClass(ClassDev) != 3 {
+		t.Fatalf("dev queue depth = %d during flood, want 3 (starved, not lost)", q.LenClass(ClassDev))
+	}
+	// Flood over: dev drains in arrival order.
+	for i := 0; i < 3; i++ {
+		it := q.Pop()
+		if it == nil || it.ID != fmt.Sprintf("dev-%d", i) {
+			t.Fatalf("dev drain order broke at %d: %+v", i, it)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty: %d", q.Len())
+	}
+}
