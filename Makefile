@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full test-race bench vet check
+.PHONY: build test test-full test-race bench bench-json vet check
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,14 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# bench-json records the fleet-scaling and load-generation benchmark
+# trajectory as machine-readable test2json events in BENCH_fleet.json, so
+# regressions in the dispatch and replay hot paths are diffable across
+# commits.
+bench-json:
+	$(GO) test -bench='BenchmarkFleetDispatch|BenchmarkDaemonDispatch|BenchmarkLoadgen' \
+		-benchmem -run='^$$' -json . > BENCH_fleet.json
 
 vet:
 	$(GO) vet ./...

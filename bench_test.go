@@ -20,6 +20,7 @@ import (
 	"hpcqc/internal/device"
 	"hpcqc/internal/emulator"
 	"hpcqc/internal/experiments"
+	"hpcqc/internal/loadgen"
 	"hpcqc/internal/qir"
 	"hpcqc/internal/sched"
 	"hpcqc/internal/simclock"
@@ -422,6 +423,55 @@ func BenchmarkFleetDispatch(b *testing.B) {
 			b.ReportMetric(makespan.Seconds(), "sim_makespan_s")
 		})
 	}
+}
+
+// --- L1: trace-driven load generation ---
+
+// BenchmarkLoadgenReplay measures one deterministic trace replay end to end:
+// a 2-hour Poisson trace through the fleet daemon on the virtual clock. The
+// headline metric is replayed jobs per wall second — the hot path the what-if
+// sweep multiplies by the policy-matrix size.
+func BenchmarkLoadgenReplay(b *testing.B) {
+	tr, err := loadgen.Generate(loadgen.Config{
+		Seed: 1, Horizon: 2 * time.Hour,
+		Process: &loadgen.Poisson{RatePerHour: 150},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rep *loadgen.Report
+	for i := 0; i < b.N; i++ {
+		rep, err = loadgen.Replay(tr, loadgen.ReplayConfig{Devices: 4, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Records))*float64(b.N)/b.Elapsed().Seconds(), "jobs_per_wall_s")
+	b.ReportMetric(float64(rep.Completed), "jobs_completed")
+}
+
+// BenchmarkLoadgenSweep measures the full router × scheduler what-if matrix
+// over a bursty 2-hour trace — the qcload sweep core.
+func BenchmarkLoadgenSweep(b *testing.B) {
+	proc, err := loadgen.NewProcess("bursty", 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := loadgen.Generate(loadgen.Config{Seed: 2, Horizon: 2 * time.Hour, Process: proc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rep *loadgen.SweepReport
+	for i := 0; i < b.N; i++ {
+		rep, err = loadgen.Sweep(tr, loadgen.SweepConfig{Devices: 4, Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(rep.Results)), "policy_pairs")
+	b.ReportMetric(float64(len(tr.Records)*len(rep.Results))*float64(b.N)/b.Elapsed().Seconds(), "replayed_jobs_per_wall_s")
 }
 
 // BenchmarkOrchestratorThroughput measures the hybrid-job scheduler on a

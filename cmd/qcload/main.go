@@ -1,0 +1,251 @@
+// Command qcload is the trace-driven load-generation and policy what-if
+// toolchain for the middleware fleet:
+//
+//	qcload gen    --out trace.jsonl [--mode open|closed] [--process poisson|bursty|diurnal]
+//	              [--rate 150] [--duration 24h] [--seed 1] [--users 8]
+//	              [--class-mix 1:2:7] [--pattern-mix 1:1:2]
+//	qcload info   --trace trace.jsonl
+//	qcload replay --trace trace.jsonl [--router least-loaded] [--scheduler fifo]
+//	              [--devices 4] [--seed 1]
+//	qcload sweep  --trace trace.jsonl [--routers all] [--schedulers all]
+//	              [--devices 4] [--seed 1] [--out report.json]
+//
+// gen synthesizes a trace: open-loop from an arrival process, or closed-loop
+// by capturing arrivals from a live fleet run (completion-driven submitters).
+// replay runs one trace against one router × scheduler pair on a virtual
+// clock and prints the SLO report. sweep replays the trace against the whole
+// policy matrix concurrently and writes a machine-readable comparison — the
+// same trace and seed always produce byte-identical output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hpcqc/internal/loadgen"
+	"hpcqc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qcload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("need a subcommand: gen, info, replay, sweep")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:])
+	case "info":
+		return runInfo(args[1:], out)
+	case "replay":
+		return runReplay(args[1:], out)
+	case "sweep":
+		return runSweep(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (gen, info, replay, sweep)", args[0])
+	}
+}
+
+// parseTriple parses "a:b:c" weight strings like 1:2:7.
+func parseTriple(s, what string) ([3]int, error) {
+	var out [3]int
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return out, fmt.Errorf("%s must be three ints a:b:c, got %q", what, s)
+	}
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return out, fmt.Errorf("%s element %q invalid", what, p)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	out := fs.String("out", "", "trace file to write (required)")
+	mode := fs.String("mode", "open", "open (arrival process) or closed (capture from a live closed-loop run)")
+	process := fs.String("process", "poisson", "open-loop arrival process: poisson, bursty, diurnal")
+	rate := fs.Float64("rate", 150, "mean arrival rate in jobs/hour (open-loop)")
+	duration := fs.Duration("duration", 24*time.Hour, "trace horizon in simulation time")
+	seed := fs.Int64("seed", 1, "generation seed")
+	users := fs.Int("users", 8, "submitter pool size (closed-loop: concurrent users)")
+	think := fs.Duration("think", 5*time.Minute, "mean think time between jobs (closed-loop)")
+	devices := fs.Int("devices", 4, "fleet size driven during closed-loop capture")
+	classMix := fs.String("class-mix", "1:2:7", "production:test:dev weights")
+	patternMix := fs.String("pattern-mix", "1:1:2", "qc-heavy:cc-heavy:balanced weights")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("gen: --out is required")
+	}
+	cm, err := parseTriple(*classMix, "--class-mix")
+	if err != nil {
+		return err
+	}
+	pm, err := parseTriple(*patternMix, "--pattern-mix")
+	if err != nil {
+		return err
+	}
+	classes := loadgen.ClassMix{Production: cm[0], Test: cm[1], Dev: cm[2]}
+	patterns := workload.Mix{QCHeavy: pm[0], CCHeavy: pm[1], Balanced: pm[2]}
+
+	var tr *loadgen.Trace
+	switch *mode {
+	case "open":
+		proc, err := loadgen.NewProcess(*process, *rate)
+		if err != nil {
+			return err
+		}
+		tr, err = loadgen.Generate(loadgen.Config{
+			Seed: *seed, Horizon: *duration, Process: proc,
+			Classes: classes, Patterns: patterns, Users: *users,
+		})
+		if err != nil {
+			return err
+		}
+	case "closed":
+		tr, err = loadgen.GenerateClosedLoop(loadgen.ClosedLoopConfig{
+			Seed: *seed, Horizon: *duration, Users: *users, ThinkMean: *think,
+			Devices: *devices, Classes: classes, Patterns: patterns,
+		})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("gen: unknown mode %q (open, closed)", *mode)
+	}
+	if err := tr.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "qcload: wrote %d jobs over %s to %s (%s/%s)\n",
+		tr.Header.Jobs, tr.Header.Horizon(), *out, tr.Header.Mode, tr.Header.Process)
+	return nil
+}
+
+func runInfo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	trace := fs.String("trace", "", "trace file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trace == "" {
+		return fmt.Errorf("info: --trace is required")
+	}
+	tr, err := loadgen.ReadTraceFile(*trace)
+	if err != nil {
+		return err
+	}
+	classes := map[string]int{}
+	users := map[string]bool{}
+	totalQPU := 0.0
+	for _, r := range tr.Records {
+		classes[r.Class]++
+		users[r.User] = true
+		totalQPU += r.ExpectedQPUSeconds
+	}
+	return json.NewEncoder(out).Encode(map[string]any{
+		"header":               tr.Header,
+		"jobs_by_class":        classes,
+		"distinct_users":       len(users),
+		"offered_qpu_seconds":  totalQPU,
+		"mean_service_seconds": totalQPU / float64(max(1, len(tr.Records))),
+	})
+}
+
+func runReplay(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	trace := fs.String("trace", "", "trace file (required)")
+	router := fs.String("router", "least-loaded", "routing policy")
+	scheduler := fs.String("scheduler", "fifo", "within-class order: fifo, fair-share, shortest-first")
+	devices := fs.Int("devices", 4, "fleet size")
+	seed := fs.Int64("seed", 1, "replay seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trace == "" {
+		return fmt.Errorf("replay: --trace is required")
+	}
+	tr, err := loadgen.ReadTraceFile(*trace)
+	if err != nil {
+		return err
+	}
+	rep, err := loadgen.Replay(tr, loadgen.ReplayConfig{
+		Devices: *devices, Router: *router, Scheduler: *scheduler, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func runSweep(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	trace := fs.String("trace", "", "trace file (required)")
+	routers := fs.String("routers", "all", "comma-separated router axis, or all")
+	schedulers := fs.String("schedulers", "all", "comma-separated scheduler axis, or all")
+	devices := fs.Int("devices", 4, "fleet size per combination")
+	seed := fs.Int64("seed", 1, "replay seed shared by every combination")
+	outPath := fs.String("out", "", "report file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trace == "" {
+		return fmt.Errorf("sweep: --trace is required")
+	}
+	tr, err := loadgen.ReadTraceFile(*trace)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rep, err := loadgen.Sweep(tr, loadgen.SweepConfig{
+		Devices:    *devices,
+		Seed:       *seed,
+		Routers:    splitAxis(*routers),
+		Schedulers: splitAxis(*schedulers),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "qcload: swept %d jobs × %d policy pairs in %s\n",
+		tr.Header.Jobs, len(rep.Results), time.Since(start).Round(time.Millisecond))
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// splitAxis turns a comma-separated flag value into a policy axis.
+func splitAxis(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hpcqc/internal/loadgen"
+)
+
+func TestQcloadGenInfoReplaySweep(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	if err := run([]string{"gen", "--out", trace, "--duration", "1h", "--rate", "120", "--seed", "7"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loadgen.ReadTraceFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Jobs < 60 {
+		t.Fatalf("1h at 120/h generated %d jobs", tr.Header.Jobs)
+	}
+
+	var info bytes.Buffer
+	if err := run([]string{"info", "--trace", trace}, &info); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info.String(), "jobs_by_class") {
+		t.Fatalf("info output missing summary: %s", info.String())
+	}
+
+	var replay bytes.Buffer
+	if err := run([]string{"replay", "--trace", trace, "--devices", "2", "--router", "round-robin", "--scheduler", "shortest-first"}, &replay); err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(replay.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Router != "round-robin" || rep.Scheduler != "shortest-first" || rep.Completed == 0 {
+		t.Fatalf("replay report = %+v", rep)
+	}
+
+	// Sweep a reduced matrix twice: same trace + seed must be byte-identical
+	// (the CLI-level determinism the acceptance criterion names).
+	sweepArgs := []string{"sweep", "--trace", trace, "--devices", "2",
+		"--routers", "least-loaded,class-affinity", "--schedulers", "fifo"}
+	var s1, s2 bytes.Buffer
+	if err := run(sweepArgs, &s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(sweepArgs, &s2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Fatal("sweep output not deterministic")
+	}
+	var sr loadgen.SweepReport
+	if err := json.Unmarshal(s1.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) != 2 {
+		t.Fatalf("sweep produced %d results, want 2", len(sr.Results))
+	}
+
+	// --out writes the same report to a file.
+	outFile := filepath.Join(dir, "report.json")
+	if err := run(append(sweepArgs, "--out", outFile), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromFile, s1.Bytes()) {
+		t.Fatal("file report differs from stdout report")
+	}
+}
+
+func TestQcloadClosedLoopGen(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "closed.jsonl")
+	if err := run([]string{"gen", "--out", trace, "--mode", "closed", "--duration", "30m",
+		"--users", "4", "--think", "1m", "--devices", "2", "--seed", "3"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loadgen.ReadTraceFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Mode != "recorded" || tr.Header.Jobs == 0 {
+		t.Fatalf("closed-loop trace header = %+v", tr.Header)
+	}
+}
+
+func TestQcloadErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"bogus"},
+		{"gen"},
+		{"gen", "--out", "/tmp/x.jsonl", "--mode", "sideways"},
+		{"gen", "--out", "/tmp/x.jsonl", "--process", "fractal"},
+		{"gen", "--out", "/tmp/x.jsonl", "--class-mix", "1:2"},
+		{"info"},
+		{"replay"},
+		{"replay", "--trace", "/does/not/exist.jsonl"},
+		{"sweep"},
+	} {
+		if err := run(args, os.Stdout); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -1,21 +1,30 @@
 // Command qctl is the hosting-site administration CLI for the middleware
-// daemon: device status, job listing, maintenance windows, recalibration and
-// the gated low-level control operations (paper §2.5, §3.6).
+// daemon: device status, fleet listing, job listing, maintenance windows,
+// recalibration and the gated low-level control operations (paper §2.5,
+// §3.6).
 //
 // Usage:
 //
 //	qctl -endpoint http://node:8080 -token ADMIN_TOKEN status
+//	qctl ... devices
 //	qctl ... jobs
 //	qctl ... op recalibrate|qa_check|maintenance_on|maintenance_off
 //	qctl ... metrics
+//
+// devices renders the fleet from /api/v1/devices — one line per partition
+// with status, utilization and queue depth by class — through a throwaway
+// user session, so it needs no admin token.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"text/tabwriter"
 )
 
 func main() {
@@ -24,7 +33,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "qctl: need a subcommand: status, jobs, op <name>, metrics")
+		fmt.Fprintln(os.Stderr, "qctl: need a subcommand: status, devices, jobs, op <name>, metrics")
 		os.Exit(2)
 	}
 	if err := run(*endpoint, *token, flag.Args()); err != nil {
@@ -37,6 +46,8 @@ func run(endpoint, token string, args []string) error {
 	switch args[0] {
 	case "status":
 		return get(endpoint+"/admin/v1/status", token)
+	case "devices":
+		return devices(endpoint, os.Stdout)
 	case "jobs":
 		return get(endpoint+"/admin/v1/jobs", token)
 	case "metrics":
@@ -77,3 +88,89 @@ func do(method, url, token string) error {
 
 func get(url, token string) error  { return do(http.MethodGet, url, token) }
 func post(url, token string) error { return do(http.MethodPost, url, token) }
+
+// devices lists the fleet partitions with per-partition queue depth and
+// utilization from /api/v1/devices, using a short-lived user session for the
+// token-authenticated endpoint.
+func devices(endpoint string, out io.Writer) error {
+	token, err := openSession(endpoint, "qctl")
+	if err != nil {
+		return err
+	}
+	defer closeSession(endpoint, token)
+
+	req, err := http.NewRequest(http.MethodGet, endpoint+"/api/v1/devices", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var listing struct {
+		Router  string `json:"router"`
+		Devices []struct {
+			ID          string         `json:"id"`
+			Status      string         `json:"status"`
+			Utilization float64        `json:"utilization"`
+			Queued      map[string]int `json:"queued"`
+		} `json:"devices"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		return fmt.Errorf("parsing device listing: %w", err)
+	}
+	fmt.Fprintf(out, "fleet: %d partition(s), %s routing\n", len(listing.Devices), listing.Router)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "DEVICE\tSTATUS\tUTIL\tQUEUED(prod/test/dev)")
+	for _, d := range listing.Devices {
+		fmt.Fprintf(tw, "%s\t%s\t%.1f%%\t%d/%d/%d\n",
+			d.ID, d.Status, d.Utilization*100,
+			d.Queued["production"], d.Queued["test"], d.Queued["dev"])
+	}
+	return tw.Flush()
+}
+
+// openSession creates a throwaway user session and returns its token.
+func openSession(endpoint, user string) (string, error) {
+	payload, _ := json.Marshal(map[string]string{"user": user})
+	resp, err := http.Post(endpoint+"/api/v1/sessions", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode >= 300 {
+		return "", fmt.Errorf("opening session: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var s struct {
+		Token string `json:"token"`
+	}
+	if err := json.Unmarshal(body, &s); err != nil {
+		return "", err
+	}
+	return s.Token, nil
+}
+
+// closeSession best-effort closes the throwaway session.
+func closeSession(endpoint, token string) {
+	req, err := http.NewRequest(http.MethodDelete, endpoint+"/api/v1/sessions", nil)
+	if err != nil {
+		return
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -39,6 +41,7 @@ func TestQctlSubcommands(t *testing.T) {
 	ts := testDaemonServer(t)
 	for _, args := range [][]string{
 		{"status"},
+		{"devices"},
 		{"jobs"},
 		{"metrics"},
 		{"op", "recalibrate"},
@@ -47,6 +50,40 @@ func TestQctlSubcommands(t *testing.T) {
 		if err := run(ts.URL, "tok", args); err != nil {
 			t.Fatalf("%v: %v", args, err)
 		}
+	}
+}
+
+// TestQctlDevicesListing checks the fleet table contains every partition with
+// status, utilization and queue depths — the per-partition view the CLI is
+// expected to surface.
+func TestQctlDevicesListing(t *testing.T) {
+	clk := simclock.New()
+	fleet, err := device.NewFleet(3, device.Config{Clock: clk, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := daemon.NewDaemon(daemon.Config{
+		Devices: fleet.Devices(), Clock: clk, AdminToken: "tok",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.Handler())
+	t.Cleanup(ts.Close)
+
+	var out bytes.Buffer
+	if err := devices(ts.URL, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range append(fleet.IDs(), "3 partition(s)", "least-loaded", "STATUS", "UTIL", "QUEUED", "online") {
+		if !strings.Contains(got, want) {
+			t.Fatalf("devices output missing %q:\n%s", want, got)
+		}
+	}
+	// The throwaway session must not linger.
+	if n := d.AdminStatus().Sessions; n != 0 {
+		t.Fatalf("devices listing leaked %d session(s)", n)
 	}
 }
 

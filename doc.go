@@ -24,10 +24,23 @@
 //
 // Dispatch is concurrent across partitions — per-device queues, running
 // slots and dispatch loops — so one partition's backlog never serializes the
-// rest. QRMI resources acquire against a named partition
-// (qpu_partitions/qpu_partition config keys, or daemon.Client.Partition over
-// HTTP). Per-partition queue depths and utilization surface in the admin
-// StatusReport and the daemon_device_* gauges.
+// rest. Preempted jobs are re-routed through the router onto idle partitions
+// (cross-partition requeue) unless pinned. QRMI resources acquire against a
+// named partition (qpu_partitions/qpu_partition config keys, or
+// daemon.Client.Partition over HTTP). Per-partition queue depths and
+// utilization surface in the admin StatusReport, the daemon_device_* gauges,
+// and `qctl devices`.
+//
+// # Load generation and policy what-ifs
+//
+// internal/loadgen drives the fleet with production-shaped traffic: Poisson,
+// bursty and diurnal arrival processes (and closed-loop think-time users)
+// composed with the Table 1 class/pattern mixes, a versioned JSONL trace
+// format with record and deterministic replay, an SLO analyzer over the
+// daemon's job lifecycle events (per-class/per-partition p50/p95/p99 wait
+// and slowdown, exported through telemetry histograms), and a what-if sweep
+// that replays one trace against the full router × scheduler matrix
+// concurrently. cmd/qcload is the CLI: gen, info, replay, sweep.
 //
 // # Testing and benchmarks
 //
@@ -35,12 +48,14 @@
 // the long experiment reproductions, and `make test-race` covers the
 // concurrent fleet paths. The benchmarks in bench_test.go regenerate every
 // table and figure of the paper; BenchmarkFleetDispatch measures job
-// throughput scaling from 1 to 4 partitions (near-linear in simulated
-// time). Run with:
+// throughput scaling from 1 to 4 partitions and BenchmarkLoadgenSweep the
+// policy-matrix replay hot path (`make bench-json` records both to
+// BENCH_fleet.json). Run with:
 //
-//	go test -bench=BenchmarkFleetDispatch -run='^$' .
+//	go test -bench='BenchmarkFleetDispatch|BenchmarkLoadgen' -run='^$' .
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
-// results. `go run ./cmd/hpcsim` prints the experiment tables as text.
+// See README.md for the architecture overview and qcload quickstart,
+// DESIGN.md for the system inventory and experiment index, and
+// EXPERIMENTS.md for how each result is regenerated. `go run ./cmd/hpcsim`
+// prints the experiment tables as text.
 package hpcqc

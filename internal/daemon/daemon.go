@@ -71,8 +71,13 @@ type Job struct {
 	// via a cloud interface, …). The daemon "receives jobs from one or more
 	// sources" (§3.3); the tag keeps per-source accounting possible.
 	Source string `json:"source,omitempty"`
-	// Device is the fleet partition the job was routed to.
+	// Device is the fleet partition the job was routed to. A preempted job
+	// may be requeued onto a different partition (cross-partition requeue),
+	// in which case Device tracks the current home.
 	Device string `json:"device,omitempty"`
+	// Pinned marks jobs submitted with an explicit target partition; they
+	// are never moved by cross-partition requeue.
+	Pinned bool `json:"pinned,omitempty"`
 	// ExpectedQPUSeconds is the duration hint used by shortest-first
 	// scheduling: the submitter's declared value, or the daemon's own
 	// estimate from the validated program when none was given.
@@ -92,6 +97,39 @@ type Job struct {
 
 // ClassName renders the class for JSON consumers.
 func (j *Job) ClassName() string { return j.Class.String() }
+
+// JobEventType enumerates the job lifecycle transitions the daemon reports to
+// a Config.JobListener.
+type JobEventType string
+
+const (
+	// JobEventSubmitted fires once per accepted submission, before the job
+	// becomes visible to dispatch.
+	JobEventSubmitted JobEventType = "submitted"
+	// JobEventStarted fires when the job begins executing on a partition.
+	// A preempted job fires it again on each re-start.
+	JobEventStarted JobEventType = "started"
+	// JobEventPreempted fires when a production job evicts the running job;
+	// the event carries the victim.
+	JobEventPreempted JobEventType = "preempted"
+	// JobEventRequeued fires when a preempted job re-enters a queue; the
+	// snapshot's Device is the partition it was requeued onto (which may
+	// differ from where it ran, under cross-partition requeue).
+	JobEventRequeued JobEventType = "requeued"
+	// JobEventFinished fires once when the job reaches a terminal state
+	// (completed, failed or cancelled — see the snapshot's State).
+	JobEventFinished JobEventType = "finished"
+)
+
+// JobEvent is one lifecycle transition. Job is a point-in-time snapshot; the
+// payload and result bytes are not included.
+type JobEvent struct {
+	Type JobEventType
+	// At is the simulation time of the transition.
+	At time.Duration
+	// Job is a copy of the job record at the transition.
+	Job Job
+}
 
 // Config parameterizes the daemon.
 type Config struct {
@@ -124,6 +162,12 @@ type Config struct {
 	// AllowedLowLevelOps is the gated allowlist of low-level control
 	// operations exposed to integrators (§2.5). Others are rejected.
 	AllowedLowLevelOps []string
+	// JobListener receives job lifecycle events when non-nil — the hook the
+	// loadgen SLO analyzer and trace recorder attach to. The listener may be
+	// invoked while daemon locks are held: it must return quickly and must
+	// not call back into the daemon (schedule follow-up work on the clock
+	// instead).
+	JobListener func(JobEvent)
 	// Registry receives daemon metrics when non-nil.
 	Registry *telemetry.Registry
 	// TSDB receives queue telemetry when non-nil.
@@ -257,6 +301,19 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 		ds.dev.SetTaskListener(d.onDeviceTask)
 	}
 	return d, nil
+}
+
+// notify delivers a lifecycle event snapshot to the configured listener. j is
+// a value copy the caller must have taken while holding d.mu (or before the
+// job became reachable by other goroutines), so the snapshot cannot tear
+// against a concurrent state change. Callers may hold d.mu or a deviceState
+// mutex, so listeners must not call back into the daemon (see
+// Config.JobListener).
+func (d *Daemon) notify(t JobEventType, j Job) {
+	if d.cfg.JobListener == nil {
+		return
+	}
+	d.cfg.JobListener(JobEvent{Type: t, At: d.cfg.Clock.Now(), Job: j})
 }
 
 // Devices lists the managed fleet in routing order.
@@ -411,6 +468,7 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 		Pattern:            req.Pattern,
 		Source:             source,
 		Device:             ds.id,
+		Pinned:             req.Device != "",
 		ExpectedQPUSeconds: expected,
 		State:              JobQueued,
 		SubmittedAt:        d.cfg.Clock.Now(),
@@ -418,6 +476,10 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	}
 	d.jobs[j.ID] = j
 	s.Jobs = append(s.Jobs, j.ID)
+	// Emit under d.mu, before the queue push: the snapshot cannot race a
+	// concurrent cancel and "submitted" always precedes "started" in
+	// listener order.
+	d.notify(JobEventSubmitted, *j)
 	d.mu.Unlock()
 
 	if err := ds.queue.Push(d.queueItem(j)); err != nil {
@@ -449,23 +511,7 @@ func (d *Daemon) route(class sched.Class, pattern sched.Pattern, pin string) (*d
 	case len(d.fleet) == 1:
 		picked = d.fleet[0]
 	default:
-		infos := make([]DeviceInfo, len(d.fleet))
-		for i, ds := range d.fleet {
-			info := DeviceInfo{
-				ID:     ds.id,
-				Index:  i,
-				Status: ds.dev.Status(),
-			}
-			ds.mu.Lock()
-			info.Queued = ds.queue.Len() + ds.inflight
-			if ds.running != nil {
-				info.Busy = true
-				info.RunningClass = ds.running.Class
-			}
-			ds.mu.Unlock()
-			infos[i] = info
-		}
-		idx := d.router.Pick(&Job{Class: class, Pattern: pattern}, infos)
+		idx := d.router.Pick(&Job{Class: class, Pattern: pattern}, d.fleetInfosLocked())
 		if idx < 0 || idx >= len(d.fleet) {
 			return nil, fmt.Errorf("daemon: router %q picked invalid device index %d", d.router.Name(), idx)
 		}
@@ -475,6 +521,29 @@ func (d *Daemon) route(class sched.Class, pattern sched.Pattern, pin string) (*d
 	picked.inflight++
 	picked.mu.Unlock()
 	return picked, nil
+}
+
+// fleetInfosLocked builds the router's point-in-time fleet load view — the
+// single definition shared by routing and requeue, so the two can never
+// disagree about what counts as load. Caller must hold routeMu.
+func (d *Daemon) fleetInfosLocked() []DeviceInfo {
+	infos := make([]DeviceInfo, len(d.fleet))
+	for i, ds := range d.fleet {
+		info := DeviceInfo{
+			ID:     ds.id,
+			Index:  i,
+			Status: ds.dev.Status(),
+		}
+		ds.mu.Lock()
+		info.Queued = ds.queue.Len() + ds.inflight
+		if ds.running != nil {
+			info.Busy = true
+			info.RunningClass = ds.running.Class
+		}
+		ds.mu.Unlock()
+		infos[i] = info
+	}
+	return infos
 }
 
 // routeDone releases a route reservation once the job is in the partition's
@@ -607,6 +676,7 @@ func (d *Daemon) dispatchOnce(ds *deviceState) bool {
 			taskID := run.DeviceTask
 			run.Preemptions++
 			d.preemptTotal++
+			d.notify(JobEventPreempted, *run)
 			d.mu.Unlock()
 			ds.mu.Unlock()
 			// Cancelling the device task triggers onDeviceTask, which
@@ -717,6 +787,7 @@ func (d *Daemon) startJob(ds *deviceState, j *Job, taskID string) {
 		if d.mWait != nil {
 			d.mWait.Observe(telemetry.Labels{"class": j.Class.String()}, wait.Seconds())
 		}
+		d.notify(JobEventStarted, *j)
 	}
 	d.mu.Unlock()
 	ds.mu.Unlock()
@@ -781,20 +852,80 @@ func (d *Daemon) settleTask(ds *deviceState, j *Job, taskID string, state device
 		preempted := j.Preemptions > 0 && j.State == JobRunning
 		wasCancelled := j.State == JobCancelled
 		if preempted {
-			// Back to this partition's queue; seniority (original submit
-			// time) is preserved inside its class by FIFO on re-push.
 			j.State = JobQueued
 			j.DeviceTask = ""
 		}
 		d.mu.Unlock()
 		if preempted {
-			_ = ds.queue.Push(d.queueItem(j))
+			// Cross-partition requeue: if another idle partition can take the
+			// victim, re-route it through the router rather than pinning it
+			// behind the production job that evicted it. Seniority (original
+			// submit time) is preserved inside its class by FIFO on re-push.
+			target := d.requeuePartition(j, ds)
+			d.mu.Lock()
+			if target != ds {
+				j.Device = target.id
+			}
+			d.notify(JobEventRequeued, *j)
+			d.mu.Unlock()
+			_ = target.queue.Push(d.queueItem(j))
+			if target != ds {
+				d.routeDone(target)
+				d.dispatchDevice(target)
+			}
 		} else if !wasCancelled {
 			d.finishJob(j, JobCancelled, nil, nil)
 		}
 	}
 	d.emitQueueTelemetry()
 	d.dispatchDevice(ds)
+}
+
+// requeuePartition picks where a preempted job waits next. The job stays on
+// its original partition unless it is unpinned, the fleet has more than one
+// partition, AND some other same-spec partition is completely idle — then the
+// router re-picks from a fresh fleet snapshot (the first ROADMAP follow-up:
+// work lost to preemption flows to idle capacity instead of queueing behind
+// its preemptor). The router's pick is honored only when it lands on such an
+// idle partition: a load-blind pick (round-robin pointing at a backlogged
+// partition) must not strand the victim somewhere worse than where it was.
+// When a move happens the returned partition carries an in-flight reservation
+// the caller must release with routeDone after the queue push.
+func (d *Daemon) requeuePartition(j *Job, orig *deviceState) *deviceState {
+	if len(d.fleet) == 1 || j.Pinned {
+		return orig
+	}
+	d.routeMu.Lock()
+	defer d.routeMu.Unlock()
+	origSpec := orig.dev.Spec().Name
+	infos := d.fleetInfosLocked()
+	// idleTarget reports whether partition i can absorb the victim now: not
+	// the original, online, zero load, and the same spec the job's program
+	// was validated against (heterogeneous fleets may mix specs).
+	idleTarget := func(i int) bool {
+		ds := d.fleet[i]
+		return ds != orig && infos[i].Status == device.StatusOnline &&
+			infos[i].load() == 0 && ds.dev.Spec().Name == origSpec
+	}
+	idleElsewhere := false
+	for i := range infos {
+		if idleTarget(i) {
+			idleElsewhere = true
+			break
+		}
+	}
+	if !idleElsewhere {
+		return orig
+	}
+	idx := d.router.Pick(&Job{Class: j.Class, Pattern: j.Pattern}, infos)
+	if idx < 0 || idx >= len(d.fleet) || !idleTarget(idx) {
+		return orig
+	}
+	target := d.fleet[idx]
+	target.mu.Lock()
+	target.inflight++
+	target.mu.Unlock()
+	return target
 }
 
 // finishJob finalizes a job's terminal state.
@@ -820,6 +951,7 @@ func (d *Daemon) finishLocked(j *Job, state JobState, result []byte, err error) 
 	if d.mJobs != nil {
 		d.mJobs.Inc(telemetry.Labels{"class": j.Class.String(), "state": string(state)}, 1)
 	}
+	d.notify(JobEventFinished, *j)
 	return true
 }
 

@@ -119,6 +119,13 @@ func (leastLoadedRouter) Pick(_ *Job, infos []DeviceInfo) int {
 // spill the overflow classes across the non-production partitions (never
 // back onto partition 0, which would defeat the isolation), and a home in
 // maintenance falls back to the least-loaded eligible partition.
+//
+// Saturation spill: a non-production job whose home partition is saturated
+// (busy with backlog, load ≥ 2) overflows to the lowest-index completely idle
+// non-home partition, excluding partition 0 — trading a little isolation for
+// wait time only when there is provably idle capacity. Production never
+// spills: it preempts on its home, and keeping it on partition 0 is the
+// isolation the policy exists for.
 type classAffinityRouter struct{}
 
 // NewClassAffinityRouter isolates classes onto dedicated partitions, trading
@@ -135,10 +142,20 @@ func (classAffinityRouter) Pick(j *Job, infos []DeviceInfo) int {
 		return leastLoadedRouter{}.Pick(j, infos)
 	}
 	if home < len(infos) {
-		if infos[home].Status != device.StatusMaintenance {
-			return home
+		if infos[home].Status == device.StatusMaintenance {
+			return leastLoadedRouter{}.Pick(j, infos)
 		}
-		return leastLoadedRouter{}.Pick(j, infos)
+		if j.Class != sched.ClassProduction && infos[home].load() >= 2 {
+			for i := 1; i < len(infos); i++ {
+				if i == home {
+					continue
+				}
+				if infos[i].Status != device.StatusMaintenance && infos[i].load() == 0 {
+					return i
+				}
+			}
+		}
+		return home
 	}
 	// Overflow class on a small fleet: least-loaded among the
 	// non-production partitions, keeping partition 0 clear for production.

@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"math"
+	"sync"
+
+	"hpcqc/internal/daemon"
+)
+
+// Recorder captures arrivals from a live daemon run into a trace. Attach its
+// Observe method as (or inside) the daemon's Config.JobListener; every
+// accepted submission becomes one trace record, stamped with the simulation
+// time the daemon saw it. Replaying the result reproduces the run's offered
+// load — including completion-coupled arrival patterns a closed-loop
+// generator produced — as an open-loop schedule.
+type Recorder struct {
+	shotRate float64
+
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewRecorder returns a recorder. shotRateHz converts the daemon's expected-
+// QPU-seconds hint back into the record's shot count; 0 uses the canonical
+// 1 Hz rate.
+func NewRecorder(shotRateHz float64) *Recorder {
+	if shotRateHz <= 0 {
+		shotRateHz = canonicalShotRateHz
+	}
+	return &Recorder{shotRate: shotRateHz}
+}
+
+// Observe consumes a daemon job event; only submissions are recorded.
+func (r *Recorder) Observe(ev daemon.JobEvent) {
+	if ev.Type != daemon.JobEventSubmitted {
+		return
+	}
+	shots := int(math.Round(ev.Job.ExpectedQPUSeconds * r.shotRate))
+	if shots < 1 {
+		shots = 1
+	}
+	r.mu.Lock()
+	r.records = append(r.records, Record{
+		Seq:                len(r.records),
+		AtUS:               ev.At.Microseconds(),
+		User:               ev.Job.User,
+		Class:              ev.Job.Class.String(),
+		Pattern:            string(ev.Job.Pattern),
+		Qubits:             2,
+		Shots:              shots,
+		ExpectedQPUSeconds: ev.Job.ExpectedQPUSeconds,
+	})
+	r.mu.Unlock()
+}
+
+// Len returns the number of captured arrivals.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.records)
+}
+
+// Trace packages the captured arrivals under a "recorded" header. The seed
+// and process describe provenance; horizon should cover the run.
+func (r *Recorder) Trace(seed int64, process string, horizon int64) *Trace {
+	r.mu.Lock()
+	records := make([]Record, len(r.records))
+	copy(records, r.records)
+	r.mu.Unlock()
+	return &Trace{
+		Header: TraceHeader{
+			Format:    TraceFormat,
+			Version:   TraceVersion,
+			Mode:      "recorded",
+			Process:   process,
+			Seed:      seed,
+			HorizonUS: horizon,
+			Jobs:      len(records),
+		},
+		Records: records,
+	}
+}

@@ -1,0 +1,180 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"hpcqc/internal/daemon"
+	"hpcqc/internal/device"
+	"hpcqc/internal/sched"
+	"hpcqc/internal/simclock"
+	"hpcqc/internal/telemetry"
+)
+
+// AllRouters lists the routing policies a sweep expands "all" to.
+func AllRouters() []string { return []string{"round-robin", "least-loaded", "class-affinity"} }
+
+// AllSchedulers lists the within-class orders a sweep expands "all" to.
+func AllSchedulers() []string { return []string{"fifo", "fair-share", "shortest-first"} }
+
+// schedulerFlags maps a scheduler name onto the daemon's within-class order
+// configuration.
+func schedulerFlags(name string) (fairShare, shortestFirst bool, err error) {
+	switch name {
+	case "fifo", "":
+		return false, false, nil
+	case "fair-share":
+		return true, false, nil
+	case "shortest-first":
+		return false, true, nil
+	default:
+		return false, false, fmt.Errorf("loadgen: unknown scheduler %q (fifo, fair-share, shortest-first)", name)
+	}
+}
+
+// ReplayConfig parameterizes one deterministic trace replay.
+type ReplayConfig struct {
+	// Devices sizes the fleet (default 4).
+	Devices int
+	// Router is the routing policy name (default least-loaded).
+	Router string
+	// Scheduler is the within-class order: fifo, fair-share or
+	// shortest-first (default fifo).
+	Scheduler string
+	// Seed drives the fleet and daemon randomness. The same trace and seed
+	// produce bit-identical schedule decisions and reports.
+	Seed int64
+	// Registry optionally receives the analyzer's telemetry histograms.
+	Registry *telemetry.Registry
+	// DrainGrace bounds how far past the trace horizon the replay advances
+	// waiting for the backlog to drain (default 14 days of simulation time).
+	DrainGrace time.Duration
+}
+
+// Replay submits every trace record at its recorded arrival instant against
+// a fresh fleet on a fresh virtual clock, runs the clock to completion, and
+// returns the SLO report. Everything executes on the calling goroutine, so
+// event order — and therefore every schedule decision — is a pure function
+// of (trace, config).
+func Replay(tr *Trace, cfg ReplayConfig) (*Report, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Devices <= 0 {
+		cfg.Devices = 4
+	}
+	if cfg.Router == "" {
+		cfg.Router = "least-loaded"
+	}
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = "fifo"
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 14 * 24 * time.Hour
+	}
+	router, err := daemon.NewRouter(cfg.Router)
+	if err != nil {
+		return nil, err
+	}
+	fairShare, shortestFirst, err := schedulerFlags(cfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+
+	clk := simclock.New()
+	fleet, err := device.NewFleet(cfg.Devices, device.Config{Clock: clk, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: replay fleet: %w", err)
+	}
+	an := NewAnalyzer(cfg.Registry)
+	d, err := daemon.NewDaemon(daemon.Config{
+		Devices:          fleet.Devices(),
+		Router:           router,
+		Clock:            clk,
+		AdminToken:       "loadgen",
+		EnablePreemption: true,
+		FairShare:        fairShare,
+		ShortestFirst:    shortestFirst,
+		Seed:             cfg.Seed,
+		JobListener:      an.Observe,
+		Registry:         cfg.Registry,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: replay daemon: %w", err)
+	}
+
+	// One session per distinct submitter, opened in first-appearance order so
+	// token generation consumes the daemon's RNG identically across runs.
+	tokens := make(map[string]string)
+	for _, rec := range tr.Records {
+		if _, ok := tokens[rec.User]; ok {
+			continue
+		}
+		s, err := d.OpenSession(rec.User)
+		if err != nil {
+			return nil, err
+		}
+		tokens[rec.User] = s.Token
+	}
+
+	cache := newProgramCache()
+	submitErrs := 0
+	for i := range tr.Records {
+		rec := tr.Records[i]
+		class, err := rec.ParsedClass()
+		if err != nil {
+			return nil, err
+		}
+		payload, err := cache.payload(rec.Qubits, rec.Shots)
+		if err != nil {
+			return nil, err
+		}
+		clk.ScheduleAt(rec.At(), fmt.Sprintf("loadgen-arrival-%d", rec.Seq), func() {
+			_, err := d.Submit(tokens[rec.User], daemon.SubmitRequest{
+				Program:            payload,
+				Class:              class,
+				Pattern:            sched.Pattern(rec.Pattern),
+				Source:             "loadgen",
+				ExpectedQPUSeconds: rec.ExpectedQPUSeconds,
+			})
+			if err != nil {
+				submitErrs++
+			}
+		})
+	}
+
+	horizon := tr.Header.Horizon()
+	if n := len(tr.Records); n > 0 && tr.Records[n-1].At() >= horizon {
+		horizon = tr.Records[n-1].At() + time.Microsecond
+	}
+	clk.RunUntil(horizon)
+	// Drain the backlog: the device drift/QA processes keep the event queue
+	// non-empty forever, so advance in fixed steps until every accepted job
+	// is terminal (or the grace period says the backlog cannot drain).
+	deadline := horizon + cfg.DrainGrace
+	for {
+		submitted, terminal := an.Counts()
+		if terminal >= submitted {
+			break
+		}
+		if clk.Now() >= deadline {
+			return nil, fmt.Errorf("loadgen: %s/%s backlog did not drain within %s past the horizon (%d/%d jobs terminal)",
+				cfg.Router, cfg.Scheduler, cfg.DrainGrace, terminal, submitted)
+		}
+		clk.Advance(time.Minute)
+	}
+
+	rep := an.Report()
+	rep.Router = cfg.Router
+	rep.Scheduler = cfg.Scheduler
+	rep.SubmitErrors = submitErrs
+	for _, dev := range fleet.Devices() {
+		dv := rep.PerDevice[dev.ID()]
+		if dv == nil {
+			dv = &DeviceSLO{}
+			rep.PerDevice[dev.ID()] = dv
+		}
+		dv.Utilization = dev.Utilization()
+	}
+	return rep, nil
+}

@@ -1,0 +1,269 @@
+package loadgen
+
+import (
+	"sort"
+	"time"
+
+	"hpcqc/internal/daemon"
+	"hpcqc/internal/telemetry"
+)
+
+// Quantiles carries the p50/p95/p99 of one SLO distribution.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// quantiles computes nearest-rank quantiles of an unsorted sample set.
+func quantiles(samples []float64) Quantiles {
+	if len(samples) == 0 {
+		return Quantiles{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	pick := func(p float64) float64 {
+		i := int(p*float64(len(s))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return Quantiles{P50: pick(0.50), P95: pick(0.95), P99: pick(0.99)}
+}
+
+// ClassSLO is the per-priority-class slice of a report.
+type ClassSLO struct {
+	Jobs        int `json:"jobs"`
+	Completed   int `json:"completed"`
+	Failed      int `json:"failed"`
+	Cancelled   int `json:"cancelled"`
+	Preemptions int `json:"preemptions"`
+	// WaitSeconds is the distribution of time from submission to first
+	// start; MeanWaitSeconds is its mean.
+	WaitSeconds     Quantiles `json:"wait_seconds"`
+	MeanWaitSeconds float64   `json:"mean_wait_seconds"`
+	// Slowdown is turnaround divided by the job's expected QPU service time
+	// (1.0 = ran the instant it arrived, with no queueing or preemption).
+	Slowdown Quantiles `json:"slowdown"`
+}
+
+// DeviceSLO is the per-partition slice of a report.
+type DeviceSLO struct {
+	// Jobs counts jobs that finished homed on this partition.
+	Jobs        int `json:"jobs"`
+	Completed   int `json:"completed"`
+	Preemptions int `json:"preemptions"`
+	// Utilization is the partition's busy fraction over the run (filled by
+	// the replay driver from the device model).
+	Utilization float64 `json:"utilization"`
+}
+
+// Report is the SLO summary of one replayed policy pair.
+type Report struct {
+	Router    string `json:"router"`
+	Scheduler string `json:"scheduler"`
+
+	Jobs         int `json:"jobs"`
+	Completed    int `json:"completed"`
+	Failed       int `json:"failed"`
+	Cancelled    int `json:"cancelled"`
+	SubmitErrors int `json:"submit_errors,omitempty"`
+	Preemptions  int `json:"preemptions"`
+	Requeues     int `json:"requeues"`
+	// CrossRequeues counts requeues that moved the job to a different
+	// partition (the cross-partition requeue path).
+	CrossRequeues int `json:"cross_requeues"`
+	// MakespanSeconds is the simulation time of the last terminal event.
+	MakespanSeconds float64 `json:"makespan_seconds"`
+
+	PerClass  map[string]*ClassSLO  `json:"per_class"`
+	PerDevice map[string]*DeviceSLO `json:"per_device"`
+}
+
+// jobTrack is the analyzer's per-job lifecycle accumulator.
+type jobTrack struct {
+	class      string
+	device     string
+	submitted  time.Duration
+	firstStart time.Duration
+	started    bool
+	finished   time.Duration
+	state      daemon.JobState
+	terminal   bool
+	preempts   int
+	expected   float64
+}
+
+// Analyzer folds daemon job lifecycle events into SLO distributions. Attach
+// Observe as (or inside) the daemon's Config.JobListener. It is the consumer
+// side of the daemon's event hooks: a single instance watches one daemon.
+//
+// When a telemetry registry is supplied, wait and slowdown observations are
+// also exported through telemetry.Metric histograms (loadgen_wait_seconds,
+// loadgen_slowdown) so a live site scrapes SLO attainment from /metrics with
+// the same machinery as every other signal.
+type Analyzer struct {
+	jobs          map[string]*jobTrack
+	order         []string
+	preemptByDev  map[string]int
+	preempts      int
+	requeues      int
+	crossRequeues int
+	terminal      int
+	lastTerminal  time.Duration
+
+	mWait, mSlowdown *telemetry.Metric
+}
+
+// NewAnalyzer returns an analyzer; reg may be nil to skip metric exposition.
+func NewAnalyzer(reg *telemetry.Registry) *Analyzer {
+	a := &Analyzer{
+		jobs:         make(map[string]*jobTrack),
+		preemptByDev: make(map[string]int),
+	}
+	if reg != nil {
+		a.mWait = reg.MustHistogram("loadgen_wait_seconds", "Job queue wait by class under generated load.",
+			[]float64{1, 5, 15, 60, 300, 1800, 7200})
+		a.mSlowdown = reg.MustHistogram("loadgen_slowdown", "Job slowdown (turnaround / expected service) by class.",
+			[]float64{1, 1.5, 2, 3, 5, 8, 16, 64})
+	}
+	return a
+}
+
+// Observe consumes one job lifecycle event. It must see every event of the
+// run (wire it up before the first submission). Not safe for concurrent use
+// with itself; the daemon invokes listeners synchronously, which is the
+// intended single-threaded replay setup.
+func (a *Analyzer) Observe(ev daemon.JobEvent) {
+	switch ev.Type {
+	case daemon.JobEventSubmitted:
+		a.jobs[ev.Job.ID] = &jobTrack{
+			class:     ev.Job.Class.String(),
+			device:    ev.Job.Device,
+			submitted: ev.Job.SubmittedAt,
+			expected:  ev.Job.ExpectedQPUSeconds,
+		}
+		a.order = append(a.order, ev.Job.ID)
+	case daemon.JobEventStarted:
+		if t := a.jobs[ev.Job.ID]; t != nil && !t.started {
+			t.started = true
+			t.firstStart = ev.At
+		}
+	case daemon.JobEventPreempted:
+		a.preempts++
+		a.preemptByDev[ev.Job.Device]++
+		if t := a.jobs[ev.Job.ID]; t != nil {
+			t.preempts++
+		}
+	case daemon.JobEventRequeued:
+		a.requeues++
+		if t := a.jobs[ev.Job.ID]; t != nil {
+			if ev.Job.Device != t.device {
+				a.crossRequeues++
+			}
+			t.device = ev.Job.Device
+		}
+	case daemon.JobEventFinished:
+		t := a.jobs[ev.Job.ID]
+		if t == nil || t.terminal {
+			return
+		}
+		t.terminal = true
+		t.state = ev.Job.State
+		t.finished = ev.At
+		t.device = ev.Job.Device
+		a.terminal++
+		if ev.At > a.lastTerminal {
+			a.lastTerminal = ev.At
+		}
+		labels := telemetry.Labels{"class": t.class}
+		if a.mWait != nil && t.started {
+			a.mWait.Observe(labels, (t.firstStart - t.submitted).Seconds())
+		}
+		if a.mSlowdown != nil && ev.Job.State == daemon.JobCompleted && t.expected > 0 {
+			a.mSlowdown.Observe(labels, (t.finished-t.submitted).Seconds()/t.expected)
+		}
+	}
+}
+
+// Counts reports (accepted, terminal) job totals — the replay driver's drain
+// condition.
+func (a *Analyzer) Counts() (submitted, terminal int) {
+	return len(a.jobs), a.terminal
+}
+
+// Report aggregates the distributions observed so far.
+func (a *Analyzer) Report() *Report {
+	rep := &Report{
+		Preemptions:     a.preempts,
+		Requeues:        a.requeues,
+		CrossRequeues:   a.crossRequeues,
+		MakespanSeconds: a.lastTerminal.Seconds(),
+		PerClass:        make(map[string]*ClassSLO),
+		PerDevice:       make(map[string]*DeviceSLO),
+	}
+	waits := make(map[string][]float64)
+	slowdowns := make(map[string][]float64)
+	for _, id := range a.order {
+		t := a.jobs[id]
+		rep.Jobs++
+		c := rep.PerClass[t.class]
+		if c == nil {
+			c = &ClassSLO{}
+			rep.PerClass[t.class] = c
+		}
+		c.Jobs++
+		c.Preemptions += t.preempts
+		dv := rep.PerDevice[t.device]
+		if dv == nil {
+			dv = &DeviceSLO{}
+			rep.PerDevice[t.device] = dv
+		}
+		dv.Jobs++
+		if t.started {
+			waits[t.class] = append(waits[t.class], (t.firstStart - t.submitted).Seconds())
+		}
+		if !t.terminal {
+			continue
+		}
+		switch t.state {
+		case daemon.JobCompleted:
+			rep.Completed++
+			c.Completed++
+			dv.Completed++
+			if t.expected > 0 {
+				slowdowns[t.class] = append(slowdowns[t.class], (t.finished-t.submitted).Seconds()/t.expected)
+			}
+		case daemon.JobFailed:
+			rep.Failed++
+			c.Failed++
+		case daemon.JobCancelled:
+			rep.Cancelled++
+			c.Cancelled++
+		}
+	}
+	for dev, n := range a.preemptByDev {
+		dv := rep.PerDevice[dev]
+		if dv == nil {
+			dv = &DeviceSLO{}
+			rep.PerDevice[dev] = dv
+		}
+		dv.Preemptions = n
+	}
+	for class, c := range rep.PerClass {
+		w := waits[class]
+		c.WaitSeconds = quantiles(w)
+		for _, v := range w {
+			c.MeanWaitSeconds += v
+		}
+		if len(w) > 0 {
+			c.MeanWaitSeconds /= float64(len(w))
+		}
+		c.Slowdown = quantiles(slowdowns[class])
+	}
+	return rep
+}

@@ -1,0 +1,93 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SweepConfig parameterizes a policy what-if sweep.
+type SweepConfig struct {
+	// Devices and Seed are shared by every combination.
+	Devices int
+	Seed    int64
+	// Routers and Schedulers are the policy axes; a single "all" entry (or
+	// an empty slice) expands to the full axis.
+	Routers    []string
+	Schedulers []string
+}
+
+// SweepReport is the machine-readable policy comparison: one SLO report per
+// router × scheduler pair, in router-major axis order. Serializing it with
+// encoding/json is deterministic (map keys sort), so identical sweeps yield
+// byte-identical files.
+type SweepReport struct {
+	Trace   TraceHeader `json:"trace"`
+	Devices int         `json:"devices"`
+	Seed    int64       `json:"seed"`
+	Results []*Report   `json:"results"`
+}
+
+// expandAxis resolves "all"/empty to the full axis.
+func expandAxis(axis, all []string) []string {
+	if len(axis) == 0 || (len(axis) == 1 && axis[0] == "all") {
+		return all
+	}
+	return axis
+}
+
+// Sweep replays one trace against every router × scheduler combination
+// concurrently — one fleet per goroutine, each on its own virtual clock — and
+// collects the per-policy SLO reports. A 24-hour, thousands-of-jobs trace
+// sweeps the full 3×3 matrix in seconds of wall clock.
+func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Devices <= 0 {
+		cfg.Devices = 4
+	}
+	routers := expandAxis(cfg.Routers, AllRouters())
+	schedulers := expandAxis(cfg.Schedulers, AllSchedulers())
+
+	type combo struct{ router, scheduler string }
+	var combos []combo
+	for _, r := range routers {
+		for _, s := range schedulers {
+			combos = append(combos, combo{r, s})
+		}
+	}
+	// Fail fast on bad policy names before spawning the fleet per goroutine.
+	for _, c := range combos {
+		if _, _, err := schedulerFlags(c.scheduler); err != nil {
+			return nil, err
+		}
+	}
+
+	results := make([]*Report, len(combos))
+	errs := make([]error, len(combos))
+	var wg sync.WaitGroup
+	for i, c := range combos {
+		wg.Add(1)
+		go func(i int, c combo) {
+			defer wg.Done()
+			results[i], errs[i] = Replay(tr, ReplayConfig{
+				Devices:   cfg.Devices,
+				Router:    c.router,
+				Scheduler: c.scheduler,
+				Seed:      cfg.Seed,
+			})
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: sweep %s/%s: %w", combos[i].router, combos[i].scheduler, err)
+		}
+	}
+	return &SweepReport{
+		Trace:   tr.Header,
+		Devices: cfg.Devices,
+		Seed:    cfg.Seed,
+		Results: results,
+	}, nil
+}

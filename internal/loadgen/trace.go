@@ -1,0 +1,188 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hpcqc/internal/sched"
+)
+
+// The trace format is JSONL: a header object on the first line, then one
+// record object per arrival, sorted by arrival time. Versioning the header
+// lets the format grow (new record fields are ignored by old readers via
+// encoding/json's default behaviour; incompatible changes bump Version).
+const (
+	// TraceFormat tags the header so unrelated JSONL files fail fast.
+	TraceFormat = "hpcqc-loadgen-trace"
+	// TraceVersion is the current format revision.
+	TraceVersion = 1
+)
+
+// TraceHeader is the first line of a trace file.
+type TraceHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Mode is "generated" (synthesized open-loop) or "recorded" (captured
+	// from a live daemon run, e.g. closed-loop).
+	Mode string `json:"mode"`
+	// Process names the arrival process for generated traces.
+	Process string `json:"process,omitempty"`
+	// Seed is the generation seed (provenance; replay takes its own seed).
+	Seed int64 `json:"seed"`
+	// HorizonUS is the trace length in microseconds of simulation time.
+	HorizonUS int64 `json:"horizon_us"`
+	// Jobs is the record count, a cheap integrity check on read.
+	Jobs int `json:"jobs"`
+}
+
+// Horizon returns the trace length as a duration.
+func (h TraceHeader) Horizon() time.Duration { return time.Duration(h.HorizonUS) * time.Microsecond }
+
+// Record is one arrival: who submits what, when. Arrival times are integer
+// microseconds from the trace epoch so round-tripping through JSON is exact —
+// the foundation of bit-identical replay.
+type Record struct {
+	Seq     int    `json:"seq"`
+	AtUS    int64  `json:"at_us"`
+	User    string `json:"user"`
+	Class   string `json:"class"`
+	Pattern string `json:"pattern,omitempty"`
+	// Qubits and Shots parameterize the canonical replay program; Shots
+	// divided by the device shot rate is the job's QPU service time.
+	Qubits int `json:"qubits"`
+	Shots  int `json:"shots"`
+	// ExpectedQPUSeconds is the duration hint handed to the scheduler.
+	ExpectedQPUSeconds float64 `json:"expected_qpu_seconds"`
+}
+
+// At returns the arrival instant as a clock offset.
+func (r Record) At() time.Duration { return time.Duration(r.AtUS) * time.Microsecond }
+
+// ParsedClass maps the record's class name onto the scheduler taxonomy.
+func (r Record) ParsedClass() (sched.Class, error) {
+	switch r.Class {
+	case "production":
+		return sched.ClassProduction, nil
+	case "test":
+		return sched.ClassTest, nil
+	case "dev":
+		return sched.ClassDev, nil
+	default:
+		return 0, fmt.Errorf("loadgen: record %d has unknown class %q", r.Seq, r.Class)
+	}
+}
+
+// Trace is a parsed trace: header plus records in arrival order.
+type Trace struct {
+	Header  TraceHeader
+	Records []Record
+}
+
+// Validate checks internal consistency: header identity, record count,
+// monotone arrival times and sane job parameters.
+func (t *Trace) Validate() error {
+	if t.Header.Format != TraceFormat {
+		return fmt.Errorf("loadgen: not a trace file (format %q)", t.Header.Format)
+	}
+	if t.Header.Version != TraceVersion {
+		return fmt.Errorf("loadgen: unsupported trace version %d (supported: %d)", t.Header.Version, TraceVersion)
+	}
+	if t.Header.Jobs != len(t.Records) {
+		return fmt.Errorf("loadgen: header says %d jobs, file has %d", t.Header.Jobs, len(t.Records))
+	}
+	prev := int64(-1)
+	for i, r := range t.Records {
+		if r.AtUS < prev {
+			return fmt.Errorf("loadgen: record %d arrives at %dus, before its predecessor %dus", i, r.AtUS, prev)
+		}
+		prev = r.AtUS
+		if r.Shots <= 0 || r.Qubits < 1 {
+			return fmt.Errorf("loadgen: record %d has invalid shots=%d qubits=%d", i, r.Shots, r.Qubits)
+		}
+		if _, err := r.ParsedClass(); err != nil {
+			return err
+		}
+		if _, err := sched.ParsePattern(r.Pattern); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write serializes the trace as JSONL.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(t.Header); err != nil {
+		return fmt.Errorf("loadgen: writing trace header: %w", err)
+	}
+	for i := range t.Records {
+		if err := enc.Encode(t.Records[i]); err != nil {
+			return fmt.Errorf("loadgen: writing trace record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the trace to a path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("loadgen: creating trace file: %w", err)
+	}
+	if err := t.Write(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTrace parses and validates a JSONL trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("loadgen: reading trace header: %w", err)
+		}
+		return nil, fmt.Errorf("loadgen: empty trace file")
+	}
+	t := &Trace{}
+	if err := json.Unmarshal(sc.Bytes(), &t.Header); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing trace header: %w", err)
+	}
+	if t.Header.Jobs > 0 {
+		t.Records = make([]Record, 0, t.Header.Jobs)
+	}
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("loadgen: parsing trace record %d: %w", len(t.Records), err)
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: reading trace: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadTraceFile reads a trace from a path.
+func ReadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: opening trace: %w", err)
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

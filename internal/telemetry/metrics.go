@@ -168,6 +168,17 @@ func (m *Metric) HistogramCount(l Labels) uint64 {
 	return 0
 }
 
+// HistogramSum returns the running sum of a histogram series' observations,
+// so consumers can derive means (sum/count) without re-aggregating samples.
+func (m *Metric) HistogramSum(l Labels) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.series[l.key()]; ok {
+		return s.sum
+	}
+	return 0
+}
+
 // HistogramQuantile estimates quantile q ∈ [0,1] by linear interpolation
 // within the owning bucket, Prometheus-style. Returns NaN with no data.
 func (m *Metric) HistogramQuantile(l Labels, q float64) float64 {

@@ -184,3 +184,22 @@ func TestLabelsKeyCanonical(t *testing.T) {
 		t.Fatal("empty labels key")
 	}
 }
+
+func TestHistogramSum(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.MustHistogram("sum_test", "sum accessor", []float64{1, 10})
+	labels := Labels{"class": "dev"}
+	for _, v := range []float64{0.5, 2, 7.5} {
+		h.Observe(labels, v)
+	}
+	if got := h.HistogramSum(labels); got != 10 {
+		t.Fatalf("HistogramSum = %g, want 10", got)
+	}
+	if got := h.HistogramSum(Labels{"class": "other"}); got != 0 {
+		t.Fatalf("HistogramSum of absent series = %g, want 0", got)
+	}
+	// Mean derivation: sum/count.
+	if mean := h.HistogramSum(labels) / float64(h.HistogramCount(labels)); mean != 10.0/3 {
+		t.Fatalf("derived mean = %g", mean)
+	}
+}

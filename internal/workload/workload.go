@@ -57,6 +57,17 @@ func DefaultPatternSpecs() map[sched.Pattern]PatternSpec {
 	}
 }
 
+// TotalQuantum returns the pattern's summed nominal QPU time — the quantum
+// footprint arrival-process generators scale into per-job service demands.
+func (s PatternSpec) TotalQuantum() time.Duration {
+	return time.Duration(s.QuantumSegments) * s.QuantumSeg
+}
+
+// TotalClassical returns the pattern's summed nominal classical time.
+func (s PatternSpec) TotalClassical() time.Duration {
+	return time.Duration(s.QuantumSegments) * s.ClassicalSeg
+}
+
 // Generator builds randomized-but-reproducible job batches.
 type Generator struct {
 	rng   *rand.Rand
@@ -113,6 +124,25 @@ type Mix struct {
 
 // Total returns the batch size.
 func (m Mix) Total() int { return m.QCHeavy + m.CCHeavy + m.Balanced }
+
+// Sample draws one pattern with probability proportional to the mix counts —
+// the composition hook arrival-process generators use to stamp a Table 1
+// pattern onto each synthetic arrival without building a whole batch.
+func (m Mix) Sample(rng *rand.Rand) (sched.Pattern, error) {
+	total := m.Total()
+	if total <= 0 {
+		return "", errors.New("workload: empty mix")
+	}
+	n := rng.Intn(total)
+	switch {
+	case n < m.QCHeavy:
+		return sched.PatternQCHeavy, nil
+	case n < m.QCHeavy+m.CCHeavy:
+		return sched.PatternCCHeavy, nil
+	default:
+		return sched.PatternBalanced, nil
+	}
+}
 
 // Batch builds a shuffled batch for a mix; all jobs share the class.
 func (g *Generator) Batch(m Mix, class sched.Class) ([]*sched.HybridJob, error) {

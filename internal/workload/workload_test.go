@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -201,5 +202,49 @@ func TestJitterBounds(t *testing.T) {
 				t.Fatalf("segment above 1.5x nominal: %s", s.Duration)
 			}
 		}
+	}
+}
+
+func TestMixSampleProportions(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := Mix{QCHeavy: 1, CCHeavy: 1, Balanced: 2}
+	counts := map[sched.Pattern]int{}
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		p, err := m.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p]++
+	}
+	// Balanced carries half the weight; allow ±5 points around 50%.
+	frac := float64(counts[sched.PatternBalanced]) / draws
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("balanced fraction = %.3f, want ~0.5 (%v)", frac, counts)
+	}
+	if counts[sched.PatternQCHeavy] == 0 || counts[sched.PatternCCHeavy] == 0 {
+		t.Fatalf("mix starved a pattern: %v", counts)
+	}
+	if _, err := (Mix{}).Sample(rng); err == nil {
+		t.Fatal("empty mix sampled")
+	}
+}
+
+func TestPatternSpecTotals(t *testing.T) {
+	specs := DefaultPatternSpecs()
+	cc := specs[sched.PatternCCHeavy]
+	if got, want := cc.TotalQuantum(), 3*20*time.Second; got != want {
+		t.Fatalf("cc-heavy TotalQuantum = %s, want %s", got, want)
+	}
+	if got, want := cc.TotalClassical(), 3*240*time.Second; got != want {
+		t.Fatalf("cc-heavy TotalClassical = %s, want %s", got, want)
+	}
+	// The taxonomy's defining inequalities hold for the defaults.
+	qc := specs[sched.PatternQCHeavy]
+	if qc.TotalQuantum() <= qc.TotalClassical() {
+		t.Fatal("qc-heavy is not quantum dominated")
+	}
+	if cc.TotalQuantum() >= cc.TotalClassical() {
+		t.Fatal("cc-heavy is not classically dominated")
 	}
 }
