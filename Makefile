@@ -17,7 +17,8 @@ test-full:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/daemon/... ./internal/sched/... ./internal/device/... ./internal/emulator/...
+	$(GO) test -race ./internal/daemon/... ./internal/admission/... ./internal/sched/... ./internal/device/... ./internal/emulator/...
+	$(GO) test -race -short ./internal/loadgen/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

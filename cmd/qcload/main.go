@@ -1,21 +1,30 @@
 // Command qcload is the trace-driven load-generation and policy what-if
 // toolchain for the middleware fleet:
 //
-//	qcload gen    --out trace.jsonl [--mode open|closed] [--process poisson|bursty|diurnal]
-//	              [--rate 150] [--duration 24h] [--seed 1] [--users 8]
-//	              [--class-mix 1:2:7] [--pattern-mix 1:1:2]
-//	qcload info   --trace trace.jsonl
-//	qcload replay --trace trace.jsonl [--router least-loaded] [--scheduler fifo]
-//	              [--devices 4] [--seed 1]
-//	qcload sweep  --trace trace.jsonl [--routers all] [--schedulers all]
-//	              [--devices 4] [--seed 1] [--out report.json]
+//	qcload gen     --out trace.jsonl [--process poisson|bursty|diurnal]
+//	               [--rate 150] [--duration 24h] [--seed 1] [--users 8]
+//	               [--class-mix 1:2:7] [--pattern-mix 1:1:2]
+//	qcload capture --out trace.jsonl [--router least-loaded] [--scheduler fifo]
+//	               [--admission accept-all] [--duration 24h] [--users 16]
+//	               [--think 5m] [--devices 4] [--seed 1]
+//	qcload import  --in jobs.swf --out trace.jsonl [--format swf] [--scale 1.0]
+//	               [--max-jobs N]
+//	qcload info    --trace trace.jsonl
+//	qcload replay  --trace trace.jsonl [--router least-loaded] [--scheduler fifo]
+//	               [--admission accept-all] [--devices 4] [--seed 1]
+//	qcload sweep   --trace trace.jsonl [--routers all] [--schedulers all]
+//	               [--admissions all] [--devices 4] [--seed 1] [--out report.json]
 //
-// gen synthesizes a trace: open-loop from an arrival process, or closed-loop
-// by capturing arrivals from a live fleet run (completion-driven submitters).
-// replay runs one trace against one router × scheduler pair on a virtual
-// clock and prints the SLO report. sweep replays the trace against the whole
-// policy matrix concurrently and writes a machine-readable comparison — the
-// same trace and seed always produce byte-identical output.
+// gen synthesizes an open-loop trace from an arrival process. capture records
+// arrivals from a live closed-loop fleet run (completion-driven submitters)
+// executed under any router × scheduler × admission policy triple — the
+// knobs matter because closed-loop arrivals are completion-coupled. import
+// converts a Parallel Workloads Archive SWF log into the trace format.
+// replay runs one trace against one policy triple on a virtual clock and
+// prints the SLO report. sweep replays the trace against the whole
+// router × scheduler × admission matrix concurrently and writes a
+// machine-readable comparison — the same trace and seed always produce
+// byte-identical output.
 package main
 
 import (
@@ -41,11 +50,15 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("need a subcommand: gen, info, replay, sweep")
+		return fmt.Errorf("need a subcommand: gen, capture, import, info, replay, sweep")
 	}
 	switch args[0] {
 	case "gen":
 		return runGen(args[1:])
+	case "capture":
+		return runCapture(args[1:])
+	case "import":
+		return runImport(args[1:])
 	case "info":
 		return runInfo(args[1:], out)
 	case "replay":
@@ -53,7 +66,7 @@ func run(args []string, out io.Writer) error {
 	case "sweep":
 		return runSweep(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (gen, info, replay, sweep)", args[0])
+		return fmt.Errorf("unknown subcommand %q (gen, capture, import, info, replay, sweep)", args[0])
 	}
 }
 
@@ -77,21 +90,30 @@ func parseTriple(s, what string) ([3]int, error) {
 func runGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
 	out := fs.String("out", "", "trace file to write (required)")
-	mode := fs.String("mode", "open", "open (arrival process) or closed (capture from a live closed-loop run)")
-	process := fs.String("process", "poisson", "open-loop arrival process: poisson, bursty, diurnal")
-	rate := fs.Float64("rate", 150, "mean arrival rate in jobs/hour (open-loop)")
+	mode := fs.String("mode", "open", "open (arrival process); closed-loop capture moved to the capture subcommand")
+	process := fs.String("process", "poisson", "arrival process: poisson, bursty, diurnal")
+	rate := fs.Float64("rate", 150, "mean arrival rate in jobs/hour")
 	duration := fs.Duration("duration", 24*time.Hour, "trace horizon in simulation time")
 	seed := fs.Int64("seed", 1, "generation seed")
-	users := fs.Int("users", 8, "submitter pool size (closed-loop: concurrent users)")
-	think := fs.Duration("think", 5*time.Minute, "mean think time between jobs (closed-loop)")
-	devices := fs.Int("devices", 4, "fleet size driven during closed-loop capture")
+	users := fs.Int("users", 8, "submitter pool size")
 	classMix := fs.String("class-mix", "1:2:7", "production:test:dev weights")
 	patternMix := fs.String("pattern-mix", "1:1:2", "qc-heavy:cc-heavy:balanced weights")
+	// Accepted but unused: the old closed-mode flags still parse so a
+	// pre-capture invocation reaches the migration error below instead of
+	// dying on an unknown flag.
+	fs.Duration("think", 5*time.Minute, "deprecated (closed-loop capture moved to the capture subcommand)")
+	fs.Int("devices", 4, "deprecated (closed-loop capture moved to the capture subcommand)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *out == "" {
 		return fmt.Errorf("gen: --out is required")
+	}
+	if *mode != "open" {
+		// One code path and one defaults table per operation: closed-loop
+		// capture lives in the capture subcommand, which also takes the
+		// policy triple driving the run.
+		return fmt.Errorf("gen: mode %q not supported; use 'qcload capture' for closed-loop traces", *mode)
 	}
 	cm, err := parseTriple(*classMix, "--class-mix")
 	if err != nil {
@@ -101,39 +123,102 @@ func runGen(args []string) error {
 	if err != nil {
 		return err
 	}
-	classes := loadgen.ClassMix{Production: cm[0], Test: cm[1], Dev: cm[2]}
-	patterns := workload.Mix{QCHeavy: pm[0], CCHeavy: pm[1], Balanced: pm[2]}
-
-	var tr *loadgen.Trace
-	switch *mode {
-	case "open":
-		proc, err := loadgen.NewProcess(*process, *rate)
-		if err != nil {
-			return err
-		}
-		tr, err = loadgen.Generate(loadgen.Config{
-			Seed: *seed, Horizon: *duration, Process: proc,
-			Classes: classes, Patterns: patterns, Users: *users,
-		})
-		if err != nil {
-			return err
-		}
-	case "closed":
-		tr, err = loadgen.GenerateClosedLoop(loadgen.ClosedLoopConfig{
-			Seed: *seed, Horizon: *duration, Users: *users, ThinkMean: *think,
-			Devices: *devices, Classes: classes, Patterns: patterns,
-		})
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("gen: unknown mode %q (open, closed)", *mode)
+	proc, err := loadgen.NewProcess(*process, *rate)
+	if err != nil {
+		return err
+	}
+	tr, err := loadgen.Generate(loadgen.Config{
+		Seed: *seed, Horizon: *duration, Process: proc,
+		Classes:  loadgen.ClassMix{Production: cm[0], Test: cm[1], Dev: cm[2]},
+		Patterns: workload.Mix{QCHeavy: pm[0], CCHeavy: pm[1], Balanced: pm[2]},
+		Users:    *users,
+	})
+	if err != nil {
+		return err
 	}
 	if err := tr.WriteFile(*out); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "qcload: wrote %d jobs over %s to %s (%s/%s)\n",
 		tr.Header.Jobs, tr.Header.Horizon(), *out, tr.Header.Mode, tr.Header.Process)
+	return nil
+}
+
+// runCapture is the closed-loop capture path: run a live fleet under a
+// chosen policy triple and record the arrivals. It replaces the old
+// `gen --mode closed`, which predated the policy knobs and always captured
+// under the defaults.
+func runCapture(args []string) error {
+	fs := flag.NewFlagSet("capture", flag.ContinueOnError)
+	out := fs.String("out", "", "trace file to write (required)")
+	router := fs.String("router", "least-loaded", "routing policy driving the capture run")
+	scheduler := fs.String("scheduler", "fifo", "within-class order driving the capture run")
+	admission := fs.String("admission", "accept-all", "admission policy driving the capture run")
+	duration := fs.Duration("duration", 24*time.Hour, "capture horizon in simulation time")
+	seed := fs.Int64("seed", 1, "capture seed")
+	users := fs.Int("users", 16, "concurrent closed-loop users")
+	think := fs.Duration("think", 5*time.Minute, "mean think time between jobs")
+	devices := fs.Int("devices", 4, "fleet size driven during capture")
+	classMix := fs.String("class-mix", "1:2:7", "production:test:dev weights")
+	patternMix := fs.String("pattern-mix", "1:1:2", "qc-heavy:cc-heavy:balanced weights")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("capture: --out is required")
+	}
+	cm, err := parseTriple(*classMix, "--class-mix")
+	if err != nil {
+		return err
+	}
+	pm, err := parseTriple(*patternMix, "--pattern-mix")
+	if err != nil {
+		return err
+	}
+	tr, err := loadgen.GenerateClosedLoop(loadgen.ClosedLoopConfig{
+		Seed: *seed, Horizon: *duration, Users: *users, ThinkMean: *think,
+		Devices: *devices,
+		Router:  *router, Scheduler: *scheduler, Admission: *admission,
+		Classes:  loadgen.ClassMix{Production: cm[0], Test: cm[1], Dev: cm[2]},
+		Patterns: workload.Mix{QCHeavy: pm[0], CCHeavy: pm[1], Balanced: pm[2]},
+	})
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "qcload: captured %d arrivals over %s to %s (%s/%s/%s)\n",
+		tr.Header.Jobs, tr.Header.Horizon(), *out, *router, *scheduler, *admission)
+	return nil
+}
+
+// runImport converts an archived scheduler log into the trace format.
+func runImport(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ContinueOnError)
+	in := fs.String("in", "", "input workload file (required)")
+	out := fs.String("out", "", "trace file to write (required)")
+	format := fs.String("format", "swf", "input format (swf: Parallel Workloads Archive standard workload format)")
+	scale := fs.Float64("scale", 1.0, "service-time scale from log seconds to QPU seconds")
+	maxJobs := fs.Int("max-jobs", 0, "cap on imported jobs (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("import: --in and --out are required")
+	}
+	if *format != "swf" {
+		return fmt.Errorf("import: unknown format %q (swf)", *format)
+	}
+	tr, err := loadgen.ImportSWFFile(*in, loadgen.SWFOptions{ServiceScale: *scale, MaxJobs: *maxJobs})
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "qcload: imported %d jobs over %s from %s to %s\n",
+		tr.Header.Jobs, tr.Header.Horizon(), *in, *out)
 	return nil
 }
 
@@ -172,6 +257,7 @@ func runReplay(args []string, out io.Writer) error {
 	trace := fs.String("trace", "", "trace file (required)")
 	router := fs.String("router", "least-loaded", "routing policy")
 	scheduler := fs.String("scheduler", "fifo", "within-class order: fifo, fair-share, shortest-first")
+	admission := fs.String("admission", "accept-all", "admission policy: accept-all, queue-depth, token-bucket, slo-guard")
 	devices := fs.Int("devices", 4, "fleet size")
 	seed := fs.Int64("seed", 1, "replay seed")
 	if err := fs.Parse(args); err != nil {
@@ -185,7 +271,7 @@ func runReplay(args []string, out io.Writer) error {
 		return err
 	}
 	rep, err := loadgen.Replay(tr, loadgen.ReplayConfig{
-		Devices: *devices, Router: *router, Scheduler: *scheduler, Seed: *seed,
+		Devices: *devices, Router: *router, Scheduler: *scheduler, Admission: *admission, Seed: *seed,
 	})
 	if err != nil {
 		return err
@@ -200,6 +286,7 @@ func runSweep(args []string, out io.Writer) error {
 	trace := fs.String("trace", "", "trace file (required)")
 	routers := fs.String("routers", "all", "comma-separated router axis, or all")
 	schedulers := fs.String("schedulers", "all", "comma-separated scheduler axis, or all")
+	admissions := fs.String("admissions", "all", "comma-separated admission axis, or all")
 	devices := fs.Int("devices", 4, "fleet size per combination")
 	seed := fs.Int64("seed", 1, "replay seed shared by every combination")
 	outPath := fs.String("out", "", "report file (default stdout)")
@@ -219,11 +306,12 @@ func runSweep(args []string, out io.Writer) error {
 		Seed:       *seed,
 		Routers:    splitAxis(*routers),
 		Schedulers: splitAxis(*schedulers),
+		Admissions: splitAxis(*admissions),
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "qcload: swept %d jobs × %d policy pairs in %s\n",
+	fmt.Fprintf(os.Stderr, "qcload: swept %d jobs × %d policy triples in %s\n",
 		tr.Header.Jobs, len(rep.Results), time.Since(start).Round(time.Millisecond))
 	w := out
 	if *outPath != "" {

@@ -48,7 +48,8 @@ func TestQcloadGenInfoReplaySweep(t *testing.T) {
 	// Sweep a reduced matrix twice: same trace + seed must be byte-identical
 	// (the CLI-level determinism the acceptance criterion names).
 	sweepArgs := []string{"sweep", "--trace", trace, "--devices", "2",
-		"--routers", "least-loaded,class-affinity", "--schedulers", "fifo"}
+		"--routers", "least-loaded,class-affinity", "--schedulers", "fifo",
+		"--admissions", "accept-all"}
 	var s1, s2 bytes.Buffer
 	if err := run(sweepArgs, &s1); err != nil {
 		t.Fatal(err)
@@ -81,19 +82,103 @@ func TestQcloadGenInfoReplaySweep(t *testing.T) {
 	}
 }
 
-func TestQcloadClosedLoopGen(t *testing.T) {
+// TestQcloadGenClosedPointsToCapture: the old closed-loop gen mode is
+// superseded by the capture subcommand; the error says where to go, even
+// for the full old invocation including the retired closed-mode flags.
+func TestQcloadGenClosedPointsToCapture(t *testing.T) {
+	err := run([]string{"gen", "--out", filepath.Join(t.TempDir(), "closed.jsonl"),
+		"--mode", "closed", "--duration", "30m",
+		"--users", "4", "--think", "1m", "--devices", "2", "--seed", "3"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "capture") {
+		t.Fatalf("gen --mode closed = %v, want pointer to capture", err)
+	}
+}
+
+// TestQcloadCapturePolicyFlags: capture records a closed-loop run under an
+// explicit policy triple — the fix for capture being hardcoded to
+// least-loaded/FIFO — and the result is deterministic per triple.
+func TestQcloadCapturePolicyFlags(t *testing.T) {
 	dir := t.TempDir()
-	trace := filepath.Join(dir, "closed.jsonl")
-	if err := run([]string{"gen", "--out", trace, "--mode", "closed", "--duration", "30m",
+	args := func(out string) []string {
+		return []string{"capture", "--out", out, "--duration", "30m",
+			"--users", "4", "--think", "1m", "--devices", "2", "--seed", "3",
+			"--router", "round-robin", "--scheduler", "shortest-first", "--admission", "token-bucket"}
+	}
+	t1 := filepath.Join(dir, "t1.jsonl")
+	t2 := filepath.Join(dir, "t2.jsonl")
+	if err := run(args(t1), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args(t2), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("capture under explicit policies not deterministic")
+	}
+	tr, err := loadgen.ReadTraceFile(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Mode != "recorded" || tr.Header.Jobs == 0 {
+		t.Fatalf("capture header = %+v", tr.Header)
+	}
+	// A different policy triple yields a different completion-coupled trace.
+	t3 := filepath.Join(dir, "t3.jsonl")
+	if err := run([]string{"capture", "--out", t3, "--duration", "30m",
 		"--users", "4", "--think", "1m", "--devices", "2", "--seed", "3"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	b3, err := os.ReadFile(t3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(b1, b3) {
+		t.Fatal("policy triple had no effect on the captured trace")
+	}
+}
+
+// TestQcloadImportSWF: the import subcommand converts an SWF log into a
+// replayable trace.
+func TestQcloadImportSWF(t *testing.T) {
+	dir := t.TempDir()
+	swf := filepath.Join(dir, "jobs.swf")
+	if err := os.WriteFile(swf, []byte(strings.Join([]string{
+		"; UnitTest SWF fixture",
+		"1 0 10 30 4 -1 -1 4 60 -1 1 7 1 1 1 1 -1 -1",
+		"2 60 5 45 2 -1 -1 2 60 -1 1 8 1 1 2 1 -1 -1",
+		"3 120 0 20 1 -1 -1 1 30 -1 1 7 1 1 3 1 -1 -1",
+	}, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(dir, "imported.jsonl")
+	if err := run([]string{"import", "--in", swf, "--out", trace}, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 	tr, err := loadgen.ReadTraceFile(trace)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Header.Mode != "recorded" || tr.Header.Jobs == 0 {
-		t.Fatalf("closed-loop trace header = %+v", tr.Header)
+	if tr.Header.Mode != "imported" || tr.Header.Process != "swf" || tr.Header.Jobs != 3 {
+		t.Fatalf("imported header = %+v", tr.Header)
+	}
+	var rep bytes.Buffer
+	if err := run([]string{"replay", "--trace", trace, "--devices", "1"}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	var report loadgen.Report
+	if err := json.Unmarshal(rep.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 3 {
+		t.Fatalf("imported replay completed %d/3", report.Completed)
 	}
 }
 
@@ -105,6 +190,12 @@ func TestQcloadErrors(t *testing.T) {
 		{"gen", "--out", "/tmp/x.jsonl", "--mode", "sideways"},
 		{"gen", "--out", "/tmp/x.jsonl", "--process", "fractal"},
 		{"gen", "--out", "/tmp/x.jsonl", "--class-mix", "1:2"},
+		{"capture"},
+		{"capture", "--out", "/tmp/x.jsonl", "--admission", "bouncer"},
+		{"capture", "--out", "/tmp/x.jsonl", "--router", "warp"},
+		{"import"},
+		{"import", "--in", "/does/not/exist.swf", "--out", "/tmp/x.jsonl"},
+		{"import", "--in", "/tmp/x.swf", "--out", "/tmp/x.jsonl", "--format", "pbs"},
 		{"info"},
 		{"replay"},
 		{"replay", "--trace", "/does/not/exist.jsonl"},

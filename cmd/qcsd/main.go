@@ -5,14 +5,16 @@
 // Usage:
 //
 //	qcsd [-listen :8080] [-admin-token TOKEN] [-seed N] [-timescale X]
-//	     [-devices N] [-router POLICY]
+//	     [-devices N] [-router POLICY] [-admission POLICY]
 //
 // -timescale compresses simulated device time: X simulated seconds advance
 // per wall-clock second (default 10), so a 1 Hz-shot device is usable
 // interactively.
 //
 // -devices sets the number of managed QPU partitions; -router picks how
-// jobs are spread across them (round-robin, least-loaded, class-affinity).
+// jobs are spread across them (round-robin, least-loaded, class-affinity);
+// -admission picks the load-shedding policy at the submit pipeline's door
+// (accept-all, queue-depth, token-bucket, slo-guard).
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"os"
 	"time"
 
+	"hpcqc/internal/admission"
 	"hpcqc/internal/daemon"
 	"hpcqc/internal/device"
 	"hpcqc/internal/simclock"
@@ -42,7 +45,7 @@ type node struct {
 // newNode wires the fleet, daemon and observability stack exactly as the
 // serving binary runs them. Split from main so tests can boot the same
 // composition without sockets or flags.
-func newNode(adminToken string, seed int64, timescale float64, devices int, routerPolicy string) (*node, error) {
+func newNode(adminToken string, seed int64, timescale float64, devices int, routerPolicy, admissionPolicy string) (*node, error) {
 	if adminToken == "" {
 		return nil, fmt.Errorf("qcsd: -admin-token is required")
 	}
@@ -50,6 +53,10 @@ func newNode(adminToken string, seed int64, timescale float64, devices int, rout
 		return nil, fmt.Errorf("qcsd: -timescale must be positive, got %g", timescale)
 	}
 	router, err := daemon.NewRouter(routerPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("qcsd: %w", err)
+	}
+	admitter, err := admission.NewPolicy(admissionPolicy)
 	if err != nil {
 		return nil, fmt.Errorf("qcsd: %w", err)
 	}
@@ -63,7 +70,7 @@ func newNode(adminToken string, seed int64, timescale float64, devices int, rout
 		return nil, fmt.Errorf("qcsd: device: %w", err)
 	}
 	d, err := daemon.NewDaemon(daemon.Config{
-		Devices: fleet.Devices(), Router: router, Clock: clk,
+		Devices: fleet.Devices(), Router: router, Admission: admitter, Clock: clk,
 		AdminToken:       adminToken,
 		EnablePreemption: true,
 		Registry:         reg, TSDB: tsdb,
@@ -98,9 +105,10 @@ func main() {
 	timescale := flag.Float64("timescale", 10, "simulated seconds per wall second")
 	devices := flag.Int("devices", 1, "number of managed QPU partitions")
 	router := flag.String("router", "least-loaded", "fleet routing policy (round-robin, least-loaded, class-affinity)")
+	admissionPolicy := flag.String("admission", "accept-all", "admission policy (accept-all, queue-depth, token-bucket, slo-guard)")
 	flag.Parse()
 
-	n, err := newNode(*adminToken, *seed, *timescale, *devices, *router)
+	n, err := newNode(*adminToken, *seed, *timescale, *devices, *router, *admissionPolicy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -110,8 +118,8 @@ func main() {
 	defer close(stop)
 	go n.pump(*timescale, 100*time.Millisecond, stop)
 
-	log.Printf("qcsd: serving %s ×%d (%s routing) on %s (timescale %gx)",
-		n.dev.Spec().Name, n.fleet.Size(), n.d.RouterName(), *listen, *timescale)
+	log.Printf("qcsd: serving %s ×%d (%s routing, %s admission) on %s (timescale %gx)",
+		n.dev.Spec().Name, n.fleet.Size(), n.d.RouterName(), n.d.AdmissionName(), *listen, *timescale)
 	if err := http.ListenAndServe(*listen, n.d.Handler()); err != nil {
 		log.Fatalf("qcsd: %v", err)
 	}

@@ -10,27 +10,30 @@ import (
 )
 
 func TestNewNodeValidation(t *testing.T) {
-	if _, err := newNode("", 1, 10, 1, "least-loaded"); err == nil {
+	if _, err := newNode("", 1, 10, 1, "least-loaded", "accept-all"); err == nil {
 		t.Fatal("missing admin token accepted")
 	}
-	if _, err := newNode("tok", 1, 0, 1, "least-loaded"); err == nil {
+	if _, err := newNode("tok", 1, 0, 1, "least-loaded", "accept-all"); err == nil {
 		t.Fatal("zero timescale accepted")
 	}
-	if _, err := newNode("tok", 1, -3, 1, "least-loaded"); err == nil {
+	if _, err := newNode("tok", 1, -3, 1, "least-loaded", "accept-all"); err == nil {
 		t.Fatal("negative timescale accepted")
 	}
-	if _, err := newNode("tok", 1, 10, 0, "least-loaded"); err == nil {
+	if _, err := newNode("tok", 1, 10, 0, "least-loaded", "accept-all"); err == nil {
 		t.Fatal("zero devices accepted")
 	}
-	if _, err := newNode("tok", 1, 10, 1, "coin-flip"); err == nil {
+	if _, err := newNode("tok", 1, 10, 1, "coin-flip", "accept-all"); err == nil {
 		t.Fatal("unknown router policy accepted")
+	}
+	if _, err := newNode("tok", 1, 10, 1, "least-loaded", "bouncer"); err == nil {
+		t.Fatal("unknown admission policy accepted")
 	}
 }
 
 // TestNodeFleetComposition boots a multi-partition node and checks the
 // partitions surface through the fleet listing endpoint.
 func TestNodeFleetComposition(t *testing.T) {
-	n, err := newNode("secret", 7, 10, 3, "round-robin")
+	n, err := newNode("secret", 7, 10, 3, "round-robin", "accept-all")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +82,7 @@ func TestNodeFleetComposition(t *testing.T) {
 // walks the public surface: health, session, device characteristics, metrics
 // and the admin plane behind the token.
 func TestNodeServesEndToEnd(t *testing.T) {
-	n, err := newNode("secret", 7, 10, 1, "least-loaded")
+	n, err := newNode("secret", 7, 10, 1, "least-loaded", "slo-guard")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +151,7 @@ func TestNodeServesEndToEnd(t *testing.T) {
 // TestPumpAdvancesSimTime verifies the timescale pump: simulated time moves
 // forward by ~timescale× wall time while it runs, and stops when told.
 func TestPumpAdvancesSimTime(t *testing.T) {
-	n, err := newNode("secret", 1, 500, 1, "least-loaded")
+	n, err := newNode("secret", 1, 500, 1, "least-loaded", "accept-all")
 	if err != nil {
 		t.Fatal(err)
 	}

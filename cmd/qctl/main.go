@@ -14,6 +14,10 @@
 // devices renders the fleet from /api/v1/devices — one line per partition
 // with status, utilization and queue depth by class — through a throwaway
 // user session, so it needs no admin token.
+//
+// jobs renders the admin job listing as a table — one line per job with
+// class, state and device; jobs shed by the admission stage show as
+// "rejected" with the policy's reason in the DETAIL column.
 package main
 
 import (
@@ -49,7 +53,7 @@ func run(endpoint, token string, args []string) error {
 	case "devices":
 		return devices(endpoint, os.Stdout)
 	case "jobs":
-		return get(endpoint+"/admin/v1/jobs", token)
+		return jobs(endpoint, token, os.Stdout)
 	case "metrics":
 		return get(endpoint+"/metrics", "")
 	case "op":
@@ -62,25 +66,36 @@ func run(endpoint, token string, args []string) error {
 	}
 }
 
-func do(method, url, token string) error {
+// request performs one authenticated bodyless call and returns the response
+// body, turning non-2xx statuses into errors — the shared core of every
+// qctl fetch.
+func request(method, url, token string) ([]byte, error) {
 	req, err := http.NewRequest(method, url, nil)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if token != "" {
 		req.Header.Set("Authorization", "Bearer "+token)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if resp.StatusCode >= 300 {
-		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, body)
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+func do(method, url, token string) error {
+	body, err := request(method, url, token)
+	if err != nil {
+		return err
 	}
 	fmt.Println(string(body))
 	return nil
@@ -99,22 +114,9 @@ func devices(endpoint string, out io.Writer) error {
 	}
 	defer closeSession(endpoint, token)
 
-	req, err := http.NewRequest(http.MethodGet, endpoint+"/api/v1/devices", nil)
+	body, err := request(http.MethodGet, endpoint+"/api/v1/devices", token)
 	if err != nil {
 		return err
-	}
-	req.Header.Set("Authorization", "Bearer "+token)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 300 {
-		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, body)
 	}
 	var listing struct {
 		Router  string `json:"router"`
@@ -135,6 +137,42 @@ func devices(endpoint string, out io.Writer) error {
 		fmt.Fprintf(tw, "%s\t%s\t%.1f%%\t%d/%d/%d\n",
 			d.ID, d.Status, d.Utilization*100,
 			d.Queued["production"], d.Queued["test"], d.Queued["dev"])
+	}
+	return tw.Flush()
+}
+
+// jobs renders the admin job listing as a table, newest first. Rejected jobs
+// carry the admission policy's rationale; failed jobs carry their error.
+func jobs(endpoint, token string, out io.Writer) error {
+	body, err := request(http.MethodGet, endpoint+"/admin/v1/jobs", token)
+	if err != nil {
+		return err
+	}
+	var listing []struct {
+		ID              string `json:"id"`
+		User            string `json:"user"`
+		Class           string `json:"class"`
+		State           string `json:"state"`
+		Device          string `json:"device"`
+		Error           string `json:"error"`
+		AdmissionReason string `json:"admission_reason"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		return fmt.Errorf("parsing job listing: %w", err)
+	}
+	fmt.Fprintf(out, "jobs: %d\n", len(listing))
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "JOB\tUSER\tCLASS\tSTATE\tDEVICE\tDETAIL")
+	for _, j := range listing {
+		detail := j.Error
+		if j.State == "rejected" {
+			detail = j.AdmissionReason
+		}
+		dev := j.Device
+		if dev == "" {
+			dev = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n", j.ID, j.User, j.Class, j.State, dev, detail)
 	}
 	return tw.Flush()
 }

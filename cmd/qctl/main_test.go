@@ -7,8 +7,11 @@ import (
 	"testing"
 	"time"
 
+	"hpcqc/internal/admission"
 	"hpcqc/internal/daemon"
 	"hpcqc/internal/device"
+	"hpcqc/internal/loadgen"
+	"hpcqc/internal/sched"
 	"hpcqc/internal/simclock"
 	"hpcqc/internal/telemetry"
 )
@@ -84,6 +87,54 @@ func TestQctlDevicesListing(t *testing.T) {
 	// The throwaway session must not linger.
 	if n := d.AdminStatus().Sessions; n != 0 {
 		t.Fatalf("devices listing leaked %d session(s)", n)
+	}
+}
+
+// TestQctlJobsShowsRejected: the jobs table surfaces admission-shed jobs
+// with their state and the policy's reason.
+func TestQctlJobsShowsRejected(t *testing.T) {
+	clk := simclock.New()
+	dev, err := device.New(device.Config{Clock: clk, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := daemon.NewDaemon(daemon.Config{
+		Device: dev, Clock: clk, AdminToken: "tok",
+		Admission: admission.NewTokenBucketWith(map[sched.Class]admission.Quota{
+			sched.ClassDev: {RatePerHour: 0.000001, Burst: 1},
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.Handler())
+	t.Cleanup(ts.Close)
+
+	s, err := d.OpenSession("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := loadgen.BuildProgram(2, 2)
+	payload, err := prog.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(s.Token, daemon.SubmitRequest{Program: payload, Class: sched.ClassDev}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(s.Token, daemon.SubmitRequest{Program: payload, Class: sched.ClassDev}); err == nil {
+		t.Fatal("second dev job not shed")
+	}
+
+	var out bytes.Buffer
+	if err := jobs(ts.URL, "tok", &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"jobs: 2", "STATE", "DETAIL", "rejected", "token-bucket", "running"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("jobs output missing %q:\n%s", want, got)
+		}
 	}
 }
 

@@ -10,17 +10,29 @@
 // # Fleet architecture
 //
 // The middleware daemon manages a fleet of N simulated QPU partitions
-// (device.Fleet) rather than a single device, with two independent,
-// composable policy axes:
+// (device.Fleet) rather than a single device. Its submit path is an
+// explicit four-stage pipeline — admission → routing → queueing →
+// dispatch — each stage an independent, composable policy axis:
 //
+//   - Admission ("who enters, at what class"): an admission.Policy —
+//     accept-all, queue-depth, token-bucket, or slo-guard (an SLO
+//     feedback controller that sheds or down-classes best-effort work
+//     when production p99 targets are at risk; production is never
+//     shed). Rejections are terminal job records with a reason,
+//     surfaced as HTTP 429 and daemon_admission_* counters. qcsd
+//     selects the policy with -admission POLICY.
 //   - Routing ("which partition"): a daemon.Router — round-robin,
 //     least-loaded, or class-affinity — picks the target partition at
 //     submission time. qcsd selects it with -devices N -router POLICY;
-//     submissions may also pin a named partition.
-//   - Scheduling ("what order"): each partition keeps its own
-//     sched.ClassQueue with the paper's priority classes, production
-//     preemption (confined to the victim's partition), and the optional
-//     fair-share / shortest-expected-first within-class orders.
+//     submissions may also pin a named partition (pins bypass the
+//     router, never the admission door).
+//   - Queueing ("what order"): each partition keeps its own
+//     sched.ClassQueue with the paper's priority classes; a
+//     daemon.OrderPolicy (fifo, fair-share, shortest-expected-first)
+//     orders work within a class.
+//   - Dispatch ("when, whom to preempt"): production preemption,
+//     confined to the victim's partition; the waits and slowdowns it
+//     produces feed back into the admission stage.
 //
 // Dispatch is concurrent across partitions — per-device queues, running
 // slots and dispatch loops — so one partition's backlog never serializes the
@@ -36,11 +48,13 @@
 // internal/loadgen drives the fleet with production-shaped traffic: Poisson,
 // bursty and diurnal arrival processes (and closed-loop think-time users)
 // composed with the Table 1 class/pattern mixes, a versioned JSONL trace
-// format with record and deterministic replay, an SLO analyzer over the
-// daemon's job lifecycle events (per-class/per-partition p50/p95/p99 wait
-// and slowdown, exported through telemetry histograms), and a what-if sweep
-// that replays one trace against the full router × scheduler matrix
-// concurrently. cmd/qcload is the CLI: gen, info, replay, sweep.
+// format with record and deterministic replay, a Parallel Workloads Archive
+// SWF importer, an SLO analyzer over the daemon's job lifecycle events
+// (per-class/per-partition p50/p95/p99 wait and slowdown plus shed-rate and
+// goodput accounting, exported through telemetry histograms), and a what-if
+// sweep that replays one trace against the full router × scheduler ×
+// admission matrix concurrently. cmd/qcload is the CLI: gen, capture,
+// import, info, replay, sweep.
 //
 // # Testing and benchmarks
 //

@@ -1,0 +1,59 @@
+package admission
+
+import (
+	"fmt"
+	"time"
+
+	"hpcqc/internal/sched"
+)
+
+// QueueDepth caps each best-effort class's fleet-wide backlog by depth and
+// age: a submission is shed when its class already has PerDeviceDepth × fleet
+// size jobs queued, or when the class's oldest queued job has waited past
+// MaxAge (a backlog that stale will not clear before the newcomer's wait
+// becomes unacceptable anyway — better to fail fast at the door). Production
+// is never shed.
+type QueueDepth struct {
+	// PerDeviceDepth is the per-class queued-job cap per fleet partition
+	// (default 8). Zero disables the depth cap.
+	PerDeviceDepth int
+	// MaxAge sheds a class whose oldest queued job is at least this old
+	// (default 30 minutes). Zero disables the age cap.
+	MaxAge time.Duration
+}
+
+// NewQueueDepth returns the policy with default caps.
+func NewQueueDepth() *QueueDepth {
+	return &QueueDepth{PerDeviceDepth: 8, MaxAge: 30 * time.Minute}
+}
+
+// Name implements Policy.
+func (p *QueueDepth) Name() string { return "queue-depth" }
+
+// Admit implements Policy.
+func (p *QueueDepth) Admit(req Request, view View) Decision {
+	if req.Class == sched.ClassProduction {
+		return Accept(req.Class)
+	}
+	load := view.ByClass[req.Class]
+	devices := view.Devices
+	if devices < 1 {
+		devices = 1
+	}
+	if cap := p.PerDeviceDepth * devices; p.PerDeviceDepth > 0 && load.Queued >= cap {
+		return Decision{
+			Outcome: Rejected,
+			Class:   req.Class,
+			Reason:  fmt.Sprintf("queue-depth: %d %s jobs queued (cap %d)", load.Queued, req.Class, cap),
+		}
+	}
+	if p.MaxAge > 0 && load.OldestAge >= p.MaxAge {
+		return Decision{
+			Outcome: Rejected,
+			Class:   req.Class,
+			Reason: fmt.Sprintf("queue-depth: oldest %s job queued %s (age cap %s)",
+				req.Class, load.OldestAge.Round(time.Second), p.MaxAge),
+		}
+	}
+	return Accept(req.Class)
+}

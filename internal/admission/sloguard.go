@@ -1,0 +1,188 @@
+package admission
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hpcqc/internal/sched"
+)
+
+// SLOGuard is a feedback controller over the production SLO: the daemon
+// feeds it every production job's queue wait and completed slowdown (the
+// same signals the loadgen SLO analyzer reports as p99 attainment), it keeps
+// a rolling window of them, and it sheds or down-classes best-effort work
+// when the window says production p99 targets are at risk. Production is
+// never shed — the whole point of the controller is to spend best-effort
+// capacity to protect it.
+//
+// The controller computes a scalar "pressure" each decision: the worst of
+// window-p99(wait)/WaitTarget, window-p99(slowdown)/SlowdownTarget, and the
+// current oldest queued production job's age over WaitTarget (the leading
+// indicator when production samples are sparse). Escalation is tiered:
+//
+//	pressure < WarnFraction            accept everything
+//	WarnFraction ≤ pressure < 1        down-class test → dev
+//	1 ≤ pressure < ShedTestFactor      shed dev, down-class test → dev
+//	ShedTestFactor ≤ pressure          shed dev and test
+type SLOGuard struct {
+	// WaitTarget is the production p99 queue-wait target (default 60s).
+	WaitTarget time.Duration
+	// SlowdownTarget is the production p99 slowdown target (default 3×).
+	SlowdownTarget float64
+	// Window is the rolling signal window (default 30 minutes).
+	Window time.Duration
+	// WarnFraction is the pressure at which test work is down-classed
+	// (default 0.5).
+	WarnFraction float64
+	// ShedTestFactor is the pressure at which even test work is shed
+	// (default 2.0).
+	ShedTestFactor float64
+	// MinSamples is how many window samples a p99 needs before it is
+	// trusted (default 3); below it only the backlog-age term acts.
+	MinSamples int
+
+	mu    sync.Mutex
+	waits []signalPoint
+	slows []signalPoint
+}
+
+type signalPoint struct {
+	at time.Duration
+	v  float64
+}
+
+// NewSLOGuard returns the controller with default targets.
+func NewSLOGuard() *SLOGuard {
+	return &SLOGuard{
+		WaitTarget:     60 * time.Second,
+		SlowdownTarget: 3,
+		Window:         30 * time.Minute,
+		WarnFraction:   0.5,
+		ShedTestFactor: 2,
+		MinSamples:     3,
+	}
+}
+
+// Name implements Policy.
+func (p *SLOGuard) Name() string { return "slo-guard" }
+
+// Observe implements Observer: only production signals steer the controller.
+// Window-expired samples are pruned here as well as in Pressure, so a
+// production-only traffic mix (which never triggers an Admit pressure read)
+// cannot grow the signal slices without bound.
+func (p *SLOGuard) Observe(sig Signal) {
+	if sig.Class != sched.ClassProduction {
+		return
+	}
+	p.mu.Lock()
+	cutoff := sig.At - p.Window
+	if sig.WaitSeconds >= 0 {
+		p.waits = append(prune(p.waits, cutoff), signalPoint{at: sig.At, v: sig.WaitSeconds})
+	}
+	if sig.Slowdown > 0 {
+		p.slows = append(prune(p.slows, cutoff), signalPoint{at: sig.At, v: sig.Slowdown})
+	}
+	p.mu.Unlock()
+}
+
+// prune drops window-expired samples; caller holds p.mu.
+func prune(points []signalPoint, cutoff time.Duration) []signalPoint {
+	i := 0
+	for i < len(points) && points[i].at < cutoff {
+		i++
+	}
+	return points[i:]
+}
+
+// p99 is the nearest-rank 99th percentile of the window samples.
+func p99(points []signalPoint) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	vs := make([]float64, len(points))
+	for i, pt := range points {
+		vs[i] = pt.v
+	}
+	sort.Float64s(vs)
+	i := int(0.99*float64(len(vs))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(vs) {
+		i = len(vs) - 1
+	}
+	return vs[i]
+}
+
+// Pressure reports the current controller pressure (1.0 = production p99 at
+// target) given the fleet view at `now`. Exposed for tests and telemetry.
+func (p *SLOGuard) Pressure(now time.Duration, view View) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cutoff := now - p.Window
+	p.waits = prune(p.waits, cutoff)
+	p.slows = prune(p.slows, cutoff)
+	pressure := 0.0
+	if len(p.waits) >= p.MinSamples && p.WaitTarget > 0 {
+		if f := p99(p.waits) / p.WaitTarget.Seconds(); f > pressure {
+			pressure = f
+		}
+	}
+	if len(p.slows) >= p.MinSamples && p.SlowdownTarget > 0 {
+		if f := p99(p.slows) / p.SlowdownTarget; f > pressure {
+			pressure = f
+		}
+	}
+	if p.WaitTarget > 0 {
+		// Leading indicator: a production job already waiting near the
+		// target means the window quantiles are about to breach.
+		if age := view.ByClass[sched.ClassProduction].OldestAge; age > 0 {
+			if f := age.Seconds() / p.WaitTarget.Seconds(); f > pressure {
+				pressure = f
+			}
+		}
+	}
+	return pressure
+}
+
+// Admit implements Policy.
+func (p *SLOGuard) Admit(req Request, view View) Decision {
+	if req.Class == sched.ClassProduction {
+		return Accept(req.Class)
+	}
+	pressure := p.Pressure(req.Now, view)
+	switch {
+	case pressure >= p.ShedTestFactor:
+		return Decision{
+			Outcome: Rejected,
+			Class:   req.Class,
+			Reason:  fmt.Sprintf("slo-guard: production p99 breached (pressure %.2f), shedding all best-effort", pressure),
+		}
+	case pressure >= 1:
+		if req.Class == sched.ClassTest {
+			return Decision{
+				Outcome: Downgraded,
+				Class:   sched.ClassDev,
+				Reason:  fmt.Sprintf("slo-guard: production p99 breached (pressure %.2f), test down-classed to dev", pressure),
+			}
+		}
+		return Decision{
+			Outcome: Rejected,
+			Class:   req.Class,
+			Reason:  fmt.Sprintf("slo-guard: production p99 breached (pressure %.2f), shedding dev", pressure),
+		}
+	case pressure >= p.WarnFraction && p.WarnFraction > 0:
+		if req.Class == sched.ClassTest {
+			return Decision{
+				Outcome: Downgraded,
+				Class:   sched.ClassDev,
+				Reason:  fmt.Sprintf("slo-guard: production p99 at risk (pressure %.2f), test down-classed to dev", pressure),
+			}
+		}
+		return Accept(req.Class)
+	default:
+		return Accept(req.Class)
+	}
+}

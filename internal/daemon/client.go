@@ -253,6 +253,8 @@ func (c *Client) TaskStatus(taskID string) (qrmi.TaskState, error) {
 	case JobCancelled:
 		return qrmi.StateCancelled, nil
 	default:
+		// failed and rejected both surface as failed to QRMI consumers;
+		// the rejection reason travels in the job's result error.
 		return qrmi.StateFailed, nil
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"hpcqc/internal/admission"
 	"hpcqc/internal/device"
 	"hpcqc/internal/qir"
 	"hpcqc/internal/qrmi"
@@ -33,7 +34,8 @@ import (
 )
 
 // JobState is the daemon-level job lifecycle. Preempted jobs return to
-// queued, so the terminal states are completed, failed and cancelled.
+// queued, so the terminal states are completed, failed, cancelled and
+// rejected.
 type JobState string
 
 const (
@@ -47,6 +49,9 @@ const (
 	JobFailed JobState = "failed"
 	// JobCancelled was cancelled by its owner or an admin.
 	JobCancelled JobState = "cancelled"
+	// JobRejected was shed by the admission stage: it never reached a queue.
+	// Terminal from birth; AdmissionReason carries the policy rationale.
+	JobRejected JobState = "rejected"
 )
 
 // Session is an authenticated user connection. "As the user part of the
@@ -78,6 +83,14 @@ type Job struct {
 	// Pinned marks jobs submitted with an explicit target partition; they
 	// are never moved by cross-partition requeue.
 	Pinned bool `json:"pinned,omitempty"`
+	// RequestedClass is the class the submitter asked for. It differs from
+	// Class only when the admission stage down-classed the job.
+	RequestedClass sched.Class `json:"-"`
+	// AdmissionOutcome is the admission stage's verdict when it was anything
+	// other than a plain accept ("downgraded", "rejected"); AdmissionReason
+	// carries the policy rationale.
+	AdmissionOutcome string `json:"admission_outcome,omitempty"`
+	AdmissionReason  string `json:"admission_reason,omitempty"`
 	// ExpectedQPUSeconds is the duration hint used by shortest-first
 	// scheduling: the submitter's declared value, or the daemon's own
 	// estimate from the validated program when none was given.
@@ -119,6 +132,9 @@ const (
 	// JobEventFinished fires once when the job reaches a terminal state
 	// (completed, failed or cancelled — see the snapshot's State).
 	JobEventFinished JobEventType = "finished"
+	// JobEventRejected fires when the admission stage sheds a submission.
+	// The job is terminal from birth, so no other event follows it.
+	JobEventRejected JobEventType = "rejected"
 )
 
 // JobEvent is one lifecycle transition. Job is a point-in-time snapshot; the
@@ -142,6 +158,21 @@ type Config struct {
 	Devices []*device.Device
 	// Router picks the target partition per job. Defaults to least-loaded.
 	Router Router
+	// Admission is the submit pipeline's first stage: it decides which
+	// submissions enter the system at all, and at what class. Defaults to
+	// admission.AcceptAll (every valid submission is accepted). Policies
+	// that implement admission.Observer receive the SLO feedback signals
+	// (queue waits, slowdowns) the dispatch stages produce.
+	Admission admission.Policy
+	// Order is the queueing stage's within-class order. Defaults to FIFO.
+	// Mutually exclusive with the FairShare/ShortestFirst shorthands below.
+	Order OrderPolicy
+	// RejectedHistory bounds how many terminal rejected job records are
+	// retained for status queries (default 1024). Admission exists to
+	// absorb floods, so the flood's rejection records must not grow daemon
+	// memory without bound; the oldest records are pruned first, while
+	// counters and lifecycle events still see every rejection.
+	RejectedHistory int
 	// Clock is the simulation clock shared with the devices. Required.
 	Clock *simclock.Clock
 	// AdminToken authenticates the admin plane. Required for admin APIs.
@@ -215,6 +246,15 @@ type deviceState struct {
 type Daemon struct {
 	cfg    Config
 	router Router
+	order  OrderPolicy
+
+	// admitMu serializes admission decisions so stateful policies (token
+	// buckets, SLO windows) see submissions in a single, reproducible order.
+	admitMu  sync.Mutex
+	admitter admission.Policy
+	// admitObserver is the admitter's Observer side, when it has one —
+	// the stage-4 → stage-1 SLO feedback sink.
+	admitObserver admission.Observer
 
 	// fleet and byDevice are immutable after NewDaemon: the partition pool
 	// (validated through device.FleetOf) with scheduling state layered on.
@@ -237,10 +277,16 @@ type Daemon struct {
 	waitByClass  map[sched.Class][]time.Duration
 	usageByUser  map[string]float64 // accumulated QPU seconds, fair-share key
 	preemptTotal int
+	// rejectedTotal counts every admission shed over the daemon's lifetime;
+	// rejectedIDs is the FIFO of retained rejected job records, pruned at
+	// cfg.RejectedHistory.
+	rejectedTotal int
+	rejectedIDs   []string
 
-	mJobs, mQueueLen, mSessions *telemetry.Metric
-	mWait                       *telemetry.Metric
-	mDevQueueLen, mDevUtil      *telemetry.Metric
+	mJobs, mQueueLen, mSessions    *telemetry.Metric
+	mWait                          *telemetry.Metric
+	mDevQueueLen, mDevUtil         *telemetry.Metric
+	mAdmission, mAdmissionRejected *telemetry.Metric
 }
 
 // NewDaemon wires the daemon to its device fleet.
@@ -255,16 +301,39 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 	if cfg.FairShare && cfg.ShortestFirst {
 		return nil, errors.New("daemon: FairShare and ShortestFirst are mutually exclusive within-class orders")
 	}
+	if cfg.Order != nil && (cfg.FairShare || cfg.ShortestFirst) {
+		return nil, errors.New("daemon: Order and the FairShare/ShortestFirst shorthands are mutually exclusive")
+	}
 	if len(cfg.AllowedLowLevelOps) == 0 {
 		cfg.AllowedLowLevelOps = []string{"recalibrate", "qa_check"}
+	}
+	if cfg.RejectedHistory <= 0 {
+		cfg.RejectedHistory = 1024
 	}
 	router := cfg.Router
 	if router == nil {
 		router = NewLeastLoadedRouter()
 	}
+	order := cfg.Order
+	if order == nil {
+		switch {
+		case cfg.FairShare:
+			order = fairShareOrder{}
+		case cfg.ShortestFirst:
+			order = shortestFirstOrder{}
+		default:
+			order = fifoOrder{}
+		}
+	}
+	admitter := cfg.Admission
+	if admitter == nil {
+		admitter = admission.AcceptAll{}
+	}
 	d := &Daemon{
 		cfg:         cfg,
 		router:      router,
+		order:       order,
+		admitter:    admitter,
 		byDevice:    make(map[string]*deviceState, len(devices)),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		sessions:    make(map[string]*Session),
@@ -272,6 +341,7 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 		waitByClass: make(map[sched.Class][]time.Duration),
 		usageByUser: make(map[string]float64),
 	}
+	d.admitObserver, _ = admitter.(admission.Observer)
 	// FleetOf owns the nil-device and unique-ID invariants.
 	fleet, err := device.FleetOf(devices...)
 	if err != nil {
@@ -296,6 +366,8 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 			[]float64{1, 5, 15, 60, 300, 1800, 7200})
 		d.mDevQueueLen = cfg.Registry.MustGauge("daemon_device_queue_length", "Queued daemon jobs by device and class.")
 		d.mDevUtil = cfg.Registry.MustGauge("daemon_device_utilization", "Per-device QPU utilization fraction.")
+		d.mAdmission = cfg.Registry.MustCounter("daemon_admission_total", "Admission decisions by class and outcome.")
+		d.mAdmissionRejected = cfg.Registry.MustCounter("daemon_admission_rejected_total", "Submissions shed at admission by class and policy.")
 	}
 	for _, ds := range d.fleet {
 		ds.dev.SetTaskListener(d.onDeviceTask)
@@ -327,6 +399,12 @@ func (d *Daemon) Devices() []*device.Device {
 
 // RouterName reports the active routing policy.
 func (d *Daemon) RouterName() string { return d.router.Name() }
+
+// AdmissionName reports the active admission policy.
+func (d *Daemon) AdmissionName() string { return d.admitter.Name() }
+
+// OrderName reports the active within-class queueing order.
+func (d *Daemon) OrderName() string { return d.order.Name() }
 
 // primary returns the first partition — the whole fleet in single-device
 // deployments, and the back-compat answer for endpoints that predate fleets.
@@ -415,7 +493,12 @@ type SubmitRequest struct {
 	ExpectedQPUSeconds float64
 }
 
-// Submit validates, routes, enqueues and dispatches a job for a session.
+// Submit walks a submission through the four pipeline stages (see
+// pipeline.go): admission decides whether — and at what class — the job
+// enters, routing picks its partition, queueing inserts it under the
+// within-class order, and dispatch runs the partition's loop. A shed
+// submission returns a *RejectedError carrying the terminal rejected job
+// record.
 func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	s, err := d.session(token)
 	if err != nil {
@@ -427,7 +510,82 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	if req.ExpectedQPUSeconds < 0 {
 		return nil, fmt.Errorf("daemon: negative expected QPU seconds %g", req.ExpectedQPUSeconds)
 	}
-	ds, err := d.route(req.Class, req.Pattern, req.Device)
+	// Validation precedes admission so a submission no partition could run
+	// (bad pin, undecodable or invalid program) cannot drain a stateful
+	// policy's quota: tokens are spent only on submissions some partition
+	// could execute. The pinned device's spec is authoritative for pins;
+	// otherwise any one fleet spec accepting the program suffices. Residual
+	// (heterogeneous fleets only): a spec-blind router may still land on a
+	// partition whose re-check below fails after admission spent the token —
+	// capability-aware routing is the open ROADMAP fix.
+	prog := new(qir.Program)
+	if err := prog.UnmarshalJSON(req.Program); err != nil {
+		return nil, fmt.Errorf("daemon: decoding program: %w", err)
+	}
+	var vspec qir.DeviceSpec
+	if req.Device != "" {
+		pinned, err := d.lookupDevice(req.Device)
+		if err != nil {
+			return nil, err
+		}
+		vspec = pinned.dev.Spec()
+		if err := prog.Validate(&vspec); err != nil {
+			return nil, fmt.Errorf("daemon: program rejected: %w", err)
+		}
+	} else {
+		var lastErr error
+		found := false
+		seen := make(map[string]bool, 1)
+		for _, ds := range d.fleet {
+			sp := ds.dev.Spec()
+			if seen[sp.Name] {
+				continue
+			}
+			seen[sp.Name] = true
+			if err := prog.Validate(&sp); err != nil {
+				lastErr = err
+				continue
+			}
+			vspec = sp
+			found = true
+			break
+		}
+		if !found {
+			return nil, fmt.Errorf("daemon: program rejected: %w", lastErr)
+		}
+	}
+	// Resolve the duration hint before admission too, so policies — and the
+	// terminal record of a shed submission — see the daemon's estimate, not
+	// a missing hint. The estimate is re-derived below if routing lands on
+	// a different spec.
+	estimated := req.ExpectedQPUSeconds == 0
+	if estimated {
+		req.ExpectedQPUSeconds = prog.EstimatedQPUSeconds(&vspec)
+	}
+	// Stage 1: admission. Pins bypass the router, not the door; a rejected
+	// submission terminates here with a queryable job record.
+	dec := d.admitStage(req, s.User)
+	if dec.Outcome == admission.Rejected {
+		j := d.recordRejected(s, token, req, dec)
+		return nil, &RejectedError{Job: j, Reason: dec.Reason}
+	}
+	// Enforce the Decision contract on custom policies before the class is
+	// acted on: Accepted keeps the requested class (the zero Class value is
+	// ClassDev, so an unset field must not silently down-class the job),
+	// Downgraded must go strictly down and stay in range.
+	switch {
+	case dec.Outcome == admission.Accepted && dec.Class != req.Class:
+		return nil, fmt.Errorf("daemon: admission policy %q accepted a %s job at class %d (use the Downgraded outcome to change class)",
+			d.admitter.Name(), req.Class, dec.Class)
+	case dec.Outcome == admission.Downgraded && (dec.Class < sched.ClassDev || dec.Class >= req.Class):
+		return nil, fmt.Errorf("daemon: admission policy %q downgraded a %s job to invalid class %d",
+			d.admitter.Name(), req.Class, dec.Class)
+	case dec.Outcome != admission.Accepted && dec.Outcome != admission.Downgraded:
+		return nil, fmt.Errorf("daemon: admission policy %q returned unknown outcome %q", d.admitter.Name(), dec.Outcome)
+	}
+	class := dec.Class
+	// Stage 2: routing.
+	ds, err := d.route(class, req.Pattern, req.Device)
 	if err != nil {
 		return nil, err
 	}
@@ -443,36 +601,38 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 		}
 	}
 	defer release()
-	// Validate the program against the target device spec up front so users
-	// get immediate feedback instead of a failed device task later.
-	spec := ds.dev.Spec()
-	prog, err := decodeAndValidate(req.Program, spec)
-	if err != nil {
-		return nil, err
-	}
-	expected := req.ExpectedQPUSeconds
-	if expected == 0 {
-		expected = prog.EstimatedQPUSeconds(&spec)
-	}
-	source := req.Source
-	if source == "" {
-		source = "slurm"
+	// Heterogeneous fleets only: the router may land on a different spec
+	// than the one validated pre-admission. Re-check so users get immediate
+	// feedback instead of a failed device task later, and re-derive a
+	// daemon-made duration estimate against the device that will actually
+	// run the job (a submitter-declared hint is never touched).
+	if spec := ds.dev.Spec(); spec.Name != vspec.Name {
+		if err := prog.Validate(&spec); err != nil {
+			return nil, fmt.Errorf("daemon: program rejected: %w", err)
+		}
+		if estimated {
+			req.ExpectedQPUSeconds = prog.EstimatedQPUSeconds(&spec)
+		}
 	}
 	d.mu.Lock()
-	d.nextJob++
 	j := &Job{
-		ID:                 fmt.Sprintf("job-%d", d.nextJob),
+		ID:                 d.allocJobIDLocked(),
 		Session:            token,
 		User:               s.User,
-		Class:              req.Class,
+		Class:              class,
+		RequestedClass:     req.Class,
 		Pattern:            req.Pattern,
-		Source:             source,
+		Source:             defaultSource(req.Source),
 		Device:             ds.id,
 		Pinned:             req.Device != "",
-		ExpectedQPUSeconds: expected,
+		ExpectedQPUSeconds: req.ExpectedQPUSeconds,
 		State:              JobQueued,
 		SubmittedAt:        d.cfg.Clock.Now(),
 		payload:            req.Program,
+	}
+	if dec.Outcome != admission.Accepted {
+		j.AdmissionOutcome = string(dec.Outcome)
+		j.AdmissionReason = dec.Reason
 	}
 	d.jobs[j.ID] = j
 	s.Jobs = append(s.Jobs, j.ID)
@@ -482,6 +642,9 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	d.notify(JobEventSubmitted, *j)
 	d.mu.Unlock()
 
+	// Stage 3: queueing — the partition's ClassQueue holds the job under
+	// class priority; the configured OrderPolicy acts within the class at
+	// pop time. Stage 4: dispatch.
 	if err := ds.queue.Push(d.queueItem(j)); err != nil {
 		return nil, err
 	}
@@ -578,6 +741,22 @@ func queueLens(q *sched.ClassQueue) map[string]int {
 		"test":       q.LenClass(sched.ClassTest),
 		"dev":        q.LenClass(sched.ClassDev),
 	}
+}
+
+// allocJobIDLocked mints the next job ID — the single definition of the ID
+// scheme, shared by accepted and rejected records. Caller holds d.mu.
+func (d *Daemon) allocJobIDLocked() string {
+	d.nextJob++
+	return fmt.Sprintf("job-%d", d.nextJob)
+}
+
+// defaultSource applies the default intake label ("slurm", the primary
+// intake the paper describes) to accepted and rejected records alike.
+func defaultSource(s string) string {
+	if s == "" {
+		return "slurm"
+	}
+	return s
 }
 
 // queueItem builds the scheduler item for a job, carrying the class,
@@ -723,33 +902,23 @@ func (d *Daemon) dispatchOnce(ds *deviceState) bool {
 	return true
 }
 
-// popNext removes the next item under the configured within-class order.
+// popNext removes the next item under the configured within-class order —
+// the queueing stage's policy hook.
 func (d *Daemon) popNext(ds *deviceState) *sched.Item {
-	switch {
-	case d.cfg.FairShare:
-		// Least-served user first within the class, FIFO on ties. The
-		// usage map is snapshotted outside the queue lock so the
-		// comparator never nests d.mu inside it.
-		d.mu.Lock()
-		usage := make(map[string]float64, len(d.usageByUser))
-		for u, v := range d.usageByUser {
-			usage[u] = v
-		}
-		d.mu.Unlock()
-		return ds.queue.PopBy(func(a, b *sched.Item) bool {
-			ua := usage[a.Payload.(*Job).User]
-			ub := usage[b.Payload.(*Job).User]
-			if ua != ub {
-				return ua < ub
-			}
-			return a.Enqueued < b.Enqueued
-		})
-	case d.cfg.ShortestFirst:
-		// Expected-duration hint ordering (§3.5), class priority first.
-		return ds.queue.PopBy(sched.ShortestExpectedFirst)
-	default:
-		return ds.queue.Pop()
+	return d.order.Pop(ds.queue, d.usageSnapshot)
+}
+
+// usageSnapshot copies the per-user accumulated QPU-seconds map — the
+// fair-share order's key — outside the queue lock, so the pop comparator
+// never nests d.mu inside the queue's own mutex.
+func (d *Daemon) usageSnapshot() map[string]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	usage := make(map[string]float64, len(d.usageByUser))
+	for u, v := range d.usageByUser {
+		usage[u] = v
 	}
+	return usage
 }
 
 // startJob records a successful device submission. If the task's terminal
@@ -787,6 +956,7 @@ func (d *Daemon) startJob(ds *deviceState, j *Job, taskID string) {
 		if d.mWait != nil {
 			d.mWait.Observe(telemetry.Labels{"class": j.Class.String()}, wait.Seconds())
 		}
+		d.feedWait(j.Class, wait, now)
 		d.notify(JobEventStarted, *j)
 	}
 	d.mu.Unlock()
@@ -939,7 +1109,7 @@ func (d *Daemon) finishJob(j *Job, state JobState, result []byte, err error) {
 // job turns terminal. It reports whether the transition happened (false when
 // the job already reached a terminal state).
 func (d *Daemon) finishLocked(j *Job, state JobState, result []byte, err error) bool {
-	if j.State == JobCompleted || j.State == JobFailed || j.State == JobCancelled {
+	if j.State == JobCompleted || j.State == JobFailed || j.State == JobCancelled || j.State == JobRejected {
 		return false
 	}
 	j.State = state
@@ -950,6 +1120,9 @@ func (d *Daemon) finishLocked(j *Job, state JobState, result []byte, err error) 
 	}
 	if d.mJobs != nil {
 		d.mJobs.Inc(telemetry.Labels{"class": j.Class.String(), "state": string(state)}, 1)
+	}
+	if state == JobCompleted && j.ExpectedQPUSeconds > 0 {
+		d.feedSlowdown(j.Class, (j.FinishedAt-j.SubmittedAt).Seconds()/j.ExpectedQPUSeconds, j.FinishedAt)
 	}
 	d.notify(JobEventFinished, *j)
 	return true
@@ -1064,9 +1237,15 @@ type DeviceReport struct {
 // Running fields aggregate the fleet (Device is the first partition, kept
 // for single-device consumers); Devices carries the per-partition detail.
 type StatusReport struct {
-	Device       device.Snapshot          `json:"device"`
-	Devices      []DeviceReport           `json:"devices"`
-	Router       string                   `json:"router"`
+	Device  device.Snapshot `json:"device"`
+	Devices []DeviceReport  `json:"devices"`
+	Router  string          `json:"router"`
+	// Admission and Scheduler name the other two policy axes of the submit
+	// pipeline (stage 1 and stage 3); Rejected counts submissions the
+	// admission stage shed over the daemon's lifetime.
+	Admission    string                   `json:"admission"`
+	Scheduler    string                   `json:"scheduler"`
+	Rejected     int                      `json:"rejected_total"`
 	Sessions     int                      `json:"sessions"`
 	QueuedByName map[string]int           `json:"queued_by_class"`
 	Running      string                   `json:"running_job,omitempty"`
@@ -1082,6 +1261,8 @@ type StatusReport struct {
 func (d *Daemon) AdminStatus() StatusReport {
 	rep := StatusReport{
 		Router:       d.router.Name(),
+		Admission:    d.admitter.Name(),
+		Scheduler:    d.order.Name(),
 		QueuedByName: map[string]int{"production": 0, "test": 0, "dev": 0},
 		MeanWait:     make(map[string]time.Duration),
 		JobsBySource: make(map[string]int),
@@ -1110,6 +1291,7 @@ func (d *Daemon) AdminStatus() StatusReport {
 	defer d.mu.Unlock()
 	rep.Sessions = len(d.sessions)
 	rep.Preemptions = d.preemptTotal
+	rep.Rejected = d.rejectedTotal
 	for _, j := range d.jobs {
 		rep.JobsBySource[j.Source]++
 	}

@@ -119,6 +119,16 @@ func (d *Daemon) Handler() http.Handler {
 			ExpectedQPUSeconds: req.ExpectedQPUSeconds,
 		})
 		if err != nil {
+			var rej *RejectedError
+			if errors.As(err, &rej) {
+				// The admission stage shed the job: 429 Too Many Requests,
+				// with the terminal rejected record so the caller can see
+				// the policy rationale and query the job later.
+				out := jobJSON(rej.Job)
+				out["error"] = rej.Reason
+				writeJSON(w, http.StatusTooManyRequests, out)
+				return
+			}
 			writeErr(w, http.StatusUnprocessableEntity, err)
 			return
 		}
@@ -234,6 +244,13 @@ func jobJSON(j *Job) map[string]any {
 	}
 	if j.Error != "" {
 		out["error"] = j.Error
+	}
+	if j.AdmissionOutcome != "" {
+		out["admission_outcome"] = j.AdmissionOutcome
+		out["admission_reason"] = j.AdmissionReason
+		if j.RequestedClass != j.Class {
+			out["requested_class"] = j.RequestedClass.String()
+		}
 	}
 	return out
 }

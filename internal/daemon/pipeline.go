@@ -1,0 +1,276 @@
+package daemon
+
+// The submit→dispatch path is an explicit four-stage pipeline, each stage a
+// pluggable policy behind its own interface:
+//
+//	submission
+//	    │
+//	    ▼
+//	[1] admission   admission.Policy — who enters the system, at what class
+//	    │               (accept-all, queue-depth, token-bucket, slo-guard;
+//	    │                rejected jobs terminate here with a reason)
+//	    ▼
+//	[2] routing     Router — which partition
+//	    │               (round-robin, least-loaded, class-affinity; pins skip
+//	    │                the router but never the door)
+//	    ▼
+//	[3] queueing    OrderPolicy over sched.ClassQueue — what order within
+//	    │               the partition (fifo, fair-share, shortest-first;
+//	    │                class priority is fixed, the order acts within class)
+//	    ▼
+//	[4] dispatch    per-partition dispatch loop — when to run, whom to
+//	                    preempt (production preempts lower classes; serial
+//	                    per device, concurrent across the fleet)
+//
+// Stages 2–4 were already independent policy axes; stage 1 closes the loop:
+// the SLO signals dispatch produces (waits, slowdowns) feed back into
+// admission, which is the only stage that can act *before* overload damages
+// production latency. Submit in daemon.go walks the stages in order.
+
+import (
+	"fmt"
+	"time"
+
+	"hpcqc/internal/admission"
+	"hpcqc/internal/sched"
+	"hpcqc/internal/telemetry"
+)
+
+// --- queueing stage ---
+
+// OrderPolicy is the queueing stage's pluggable within-class order: it
+// removes the next item to dispatch from a partition queue. Class priority
+// is owned by sched.ClassQueue itself; an order only chooses among items of
+// the highest non-empty class.
+type OrderPolicy interface {
+	// Name identifies the order for status reports and sweep axes.
+	Name() string
+	// Pop removes the next item. usage lazily supplies the per-user
+	// accumulated QPU-seconds snapshot; orders that do not need it must not
+	// call it (it takes the daemon's accounting lock).
+	Pop(q *sched.ClassQueue, usage func() map[string]float64) *sched.Item
+}
+
+// fifoOrder is plain arrival order within a class.
+type fifoOrder struct{}
+
+func (fifoOrder) Name() string { return "fifo" }
+func (fifoOrder) Pop(q *sched.ClassQueue, _ func() map[string]float64) *sched.Item {
+	return q.Pop()
+}
+
+// fairShareOrder runs the least-served user first within a class (FIFO on
+// ties) — the "fairer resource sharing" extension the paper's discussion
+// names.
+type fairShareOrder struct{}
+
+func (fairShareOrder) Name() string { return "fair-share" }
+func (fairShareOrder) Pop(q *sched.ClassQueue, usage func() map[string]float64) *sched.Item {
+	served := usage()
+	return q.PopBy(func(a, b *sched.Item) bool {
+		ua := served[a.Payload.(*Job).User]
+		ub := served[b.Payload.(*Job).User]
+		if ua != ub {
+			return ua < ub
+		}
+		return a.Enqueued < b.Enqueued
+	})
+}
+
+// shortestFirstOrder orders by the expected QPU duration hint (§3.5),
+// shortest first, FIFO on ties.
+type shortestFirstOrder struct{}
+
+func (shortestFirstOrder) Name() string { return "shortest-first" }
+func (shortestFirstOrder) Pop(q *sched.ClassQueue, _ func() map[string]float64) *sched.Item {
+	return q.PopBy(sched.ShortestExpectedFirst)
+}
+
+// NewOrder builds a within-class order by name ("fifo", "fair-share",
+// "shortest-first") — the switch behind the loadgen scheduler axis.
+func NewOrder(name string) (OrderPolicy, error) {
+	switch name {
+	case "fifo", "":
+		return fifoOrder{}, nil
+	case "fair-share":
+		return fairShareOrder{}, nil
+	case "shortest-first":
+		return shortestFirstOrder{}, nil
+	default:
+		return nil, fmt.Errorf("daemon: unknown scheduler %q (fifo, fair-share, shortest-first)", name)
+	}
+}
+
+// --- admission stage ---
+
+// RejectedError is Submit's error when the admission stage sheds the job.
+// Job is the terminal rejected record (queryable by its session like any
+// other job); Reason is the policy rationale. The HTTP layer renders it as
+// 429 Too Many Requests.
+type RejectedError struct {
+	Job    *Job
+	Reason string
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("daemon: job %s rejected by admission: %s", e.Job.ID, e.Reason)
+}
+
+// admissionView assembles the fleet-wide load snapshot an admission decision
+// consults — O(total backlog), one queue-lock acquisition per partition.
+// Called under admitMu, so decisions see serialized views; jobs admitted
+// concurrently but not yet queued (the routing in-flight window) are not
+// visible, which can overshoot depth caps by at most the number of in-flight
+// submissions — exact in single-goroutine replays.
+func (d *Daemon) admissionView() admission.View {
+	view := admission.View{
+		Devices: len(d.fleet),
+		ByClass: make(map[sched.Class]admission.ClassLoad, 3),
+	}
+	now := d.cfg.Clock.Now()
+	for _, ds := range d.fleet {
+		counts, oldest, has := ds.queue.ClassLoads()
+		for c := sched.ClassDev; c <= sched.ClassProduction; c++ {
+			load := view.ByClass[c]
+			load.Queued += counts[c]
+			if has[c] {
+				if age := now - oldest[c]; age > load.OldestAge {
+					load.OldestAge = age
+				}
+			}
+			view.ByClass[c] = load
+		}
+		ds.mu.Lock()
+		if ds.running != nil {
+			view.Running++
+		}
+		ds.mu.Unlock()
+	}
+	return view
+}
+
+// admitStage runs stage 1 for one submission: build the view (skipped for
+// policies that declare themselves Viewless), ask the policy, and count the
+// verdict. Decisions are serialized under admitMu so stateful policies
+// (token buckets, SLO windows) see submissions in order.
+func (d *Daemon) admitStage(req SubmitRequest, user string) admission.Decision {
+	d.admitMu.Lock()
+	defer d.admitMu.Unlock()
+	var view admission.View
+	if _, skip := d.admitter.(admission.Viewless); !skip {
+		view = d.admissionView()
+	}
+	dec := d.admitter.Admit(admission.Request{
+		Class:              req.Class,
+		Pattern:            req.Pattern,
+		Source:             defaultSource(req.Source),
+		User:               user,
+		Pinned:             req.Device != "",
+		ExpectedQPUSeconds: req.ExpectedQPUSeconds,
+		Now:                d.cfg.Clock.Now(),
+	}, view)
+	if d.mAdmission != nil {
+		d.mAdmission.Inc(telemetry.Labels{
+			"class":   req.Class.String(),
+			"outcome": string(dec.Outcome),
+		}, 1)
+	}
+	if dec.Outcome == admission.Rejected && d.mAdmissionRejected != nil {
+		d.mAdmissionRejected.Inc(telemetry.Labels{
+			"class":  req.Class.String(),
+			"policy": d.admitter.Name(),
+		}, 1)
+	}
+	return dec
+}
+
+// recordRejected creates the terminal rejected job record for a shed
+// submission and emits its lifecycle event. The record is owned by the
+// session like any accepted job, so status queries and the admin job listing
+// surface the rejection and its reason.
+func (d *Daemon) recordRejected(s *Session, token string, req SubmitRequest, dec admission.Decision) *Job {
+	now := d.cfg.Clock.Now()
+	d.mu.Lock()
+	j := &Job{
+		ID:                 d.allocJobIDLocked(),
+		Session:            token,
+		User:               s.User,
+		Class:              req.Class,
+		RequestedClass:     req.Class,
+		Pattern:            req.Pattern,
+		Source:             defaultSource(req.Source),
+		Pinned:             req.Device != "",
+		ExpectedQPUSeconds: req.ExpectedQPUSeconds,
+		State:              JobRejected,
+		AdmissionOutcome:   string(admission.Rejected),
+		AdmissionReason:    dec.Reason,
+		SubmittedAt:        now,
+		FinishedAt:         now,
+	}
+	d.jobs[j.ID] = j
+	s.Jobs = append(s.Jobs, j.ID)
+	d.rejectedTotal++
+	// Bound the retained records: admission absorbs floods, and the flood's
+	// rejection records must not become the new unbounded growth — neither
+	// in d.jobs nor in the owning session's job list. Counters, telemetry
+	// and lifecycle events still see every shed; only the oldest queryable
+	// records go (their IDs then read as unknown jobs).
+	d.rejectedIDs = append(d.rejectedIDs, j.ID)
+	if n := len(d.rejectedIDs) - d.cfg.RejectedHistory; n > 0 {
+		for _, id := range d.rejectedIDs[:n] {
+			old := d.jobs[id]
+			if old == nil {
+				continue
+			}
+			if os := d.sessions[old.Session]; os != nil {
+				os.Jobs = removeJobID(os.Jobs, id)
+			}
+			delete(d.jobs, id)
+		}
+		d.rejectedIDs = append(d.rejectedIDs[:0:0], d.rejectedIDs[n:]...)
+	}
+	if d.mJobs != nil {
+		d.mJobs.Inc(telemetry.Labels{"class": j.Class.String(), "state": string(JobRejected)}, 1)
+	}
+	d.notify(JobEventRejected, *j)
+	d.mu.Unlock()
+	return j
+}
+
+// removeJobID filters one ID out of a session's job list in place.
+func removeJobID(ids []string, id string) []string {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// feedWait feeds a started job's queue wait back into the admission policy
+// (stage 4 → stage 1 feedback). Caller may hold daemon locks; observers are
+// leaf code that must not call back in.
+func (d *Daemon) feedWait(class sched.Class, wait time.Duration, at time.Duration) {
+	if d.admitObserver == nil {
+		return
+	}
+	d.admitObserver.Observe(admission.Signal{
+		Class:       class,
+		At:          at,
+		WaitSeconds: wait.Seconds(),
+		Slowdown:    0,
+	})
+}
+
+// feedSlowdown feeds a completed job's slowdown into the admission policy.
+func (d *Daemon) feedSlowdown(class sched.Class, slowdown float64, at time.Duration) {
+	if d.admitObserver == nil || slowdown <= 0 {
+		return
+	}
+	d.admitObserver.Observe(admission.Signal{
+		Class:       class,
+		At:          at,
+		WaitSeconds: -1,
+		Slowdown:    slowdown,
+	})
+}

@@ -5,15 +5,18 @@
 //     diurnal) composed with the Table 1 class and pattern mixes from
 //     internal/workload, in open-loop (rate-driven) and closed-loop
 //     (completion-driven) forms;
-//   - a versioned JSONL trace format with record (capture arrivals from a
-//     live daemon run via Recorder) and deterministic replay (same seed and
-//     trace produce bit-identical schedule decisions);
+//   - a versioned JSONL trace format with record (capture arrivals — shed
+//     ones included — from a live daemon run via Recorder), deterministic
+//     replay (same seed and trace produce bit-identical schedule decisions,
+//     admission verdicts included), and a Parallel Workloads Archive SWF
+//     importer for archived production HPC logs;
 //   - an SLO analyzer over daemon job lifecycle events: per-class and
-//     per-partition p50/p95/p99 wait and slowdown, preemption counts and
-//     utilization, exported through telemetry.Metric histograms;
+//     per-partition p50/p95/p99 wait and slowdown, preemption counts,
+//     utilization, and per-class shed rate / goodput under admission
+//     control, exported through telemetry.Metric histograms;
 //   - a what-if sweep driver that replays one trace against the full
-//     router × scheduler policy matrix concurrently, one fleet per goroutine
-//     on its own virtual clock.
+//     router × scheduler × admission policy matrix concurrently, one fleet
+//     per goroutine on its own virtual clock.
 //
 // Everything runs on the simclock event loop, so a 24-hour trace with
 // thousands of jobs sweeps the whole policy matrix in seconds of wall clock.

@@ -1,10 +1,12 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"hpcqc/internal/admission"
 	"hpcqc/internal/daemon"
 	"hpcqc/internal/device"
 	"hpcqc/internal/sched"
@@ -28,6 +30,16 @@ type ClosedLoopConfig struct {
 	ThinkMean time.Duration
 	// Devices sizes the fleet driven during capture (default 4).
 	Devices int
+	// Router, Scheduler and Admission pick the policies the capture run
+	// executes under (defaults: least-loaded, fifo, accept-all). Closed-loop
+	// arrivals are completion-coupled, so the recorded trace depends on the
+	// policies driving the run — capturing under the policy mix being
+	// studied is the point of these knobs. Arrivals shed by the admission
+	// stage are still recorded (they are offered load) and the shed user
+	// backs off one think time before retrying.
+	Router    string
+	Scheduler string
+	Admission string
 	// Classes, Patterns, ServiceScale and Jitter shape each submission
 	// exactly as in the open-loop Config.
 	Classes      ClassMix
@@ -37,9 +49,9 @@ type ClosedLoopConfig struct {
 }
 
 // GenerateClosedLoop runs a live fleet on a virtual clock under closed-loop
-// load and captures the arrivals with a Recorder. The run itself uses the
-// default policy pair (least-loaded routing, FIFO within class); the trace it
-// yields can then be swept against any policy matrix.
+// load and captures the arrivals with a Recorder. The run executes under the
+// configured router × scheduler × admission policies; the trace it yields
+// can then be swept against any policy matrix.
 func GenerateClosedLoop(cfg ClosedLoopConfig) (*Trace, error) {
 	if cfg.Horizon <= 0 {
 		cfg.Horizon = 24 * time.Hour
@@ -52,6 +64,18 @@ func GenerateClosedLoop(cfg ClosedLoopConfig) (*Trace, error) {
 	}
 	if cfg.Devices <= 0 {
 		cfg.Devices = 4
+	}
+	router, err := daemon.NewRouter(cfg.Router)
+	if err != nil {
+		return nil, err
+	}
+	order, err := daemon.NewOrder(cfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	admitter, err := admission.NewPolicy(cfg.Admission)
+	if err != nil {
+		return nil, err
 	}
 	shared := Config{
 		Classes:      cfg.Classes,
@@ -78,6 +102,9 @@ func GenerateClosedLoop(cfg ClosedLoopConfig) (*Trace, error) {
 
 	d, err := daemon.NewDaemon(daemon.Config{
 		Devices:          fleet.Devices(),
+		Router:           router,
+		Order:            order,
+		Admission:        admitter,
 		Clock:            clk,
 		AdminToken:       "loadgen",
 		EnablePreemption: true,
@@ -134,6 +161,14 @@ func GenerateClosedLoop(cfg ClosedLoopConfig) (*Trace, error) {
 			ExpectedQPUSeconds: job.ExpectedQPUSeconds,
 		})
 		if err != nil {
+			var rej *daemon.RejectedError
+			if errors.As(err, &rej) {
+				// Shed at the door: the arrival is recorded as offered
+				// load; the user backs off one think time and tries again.
+				think := simclock.Seconds(rng.ExpFloat64() * cfg.ThinkMean.Seconds())
+				clk.Schedule(think, fmt.Sprintf("shed-retry-user-%02d", u), func() { submitUser(u) })
+				return
+			}
 			submitErr = err
 			return
 		}

@@ -30,21 +30,29 @@ func NewRecorder(shotRateHz float64) *Recorder {
 	return &Recorder{shotRate: shotRateHz}
 }
 
-// Observe consumes a daemon job event; only submissions are recorded.
+// Observe consumes a daemon job event; only arrivals are recorded — accepted
+// submissions and admission-stage rejections alike, since both are offered
+// load (replaying the trace under a different admission policy re-decides
+// each arrival's fate). A down-classed job is recorded at the class the
+// submitter asked for, for the same reason.
 func (r *Recorder) Observe(ev daemon.JobEvent) {
-	if ev.Type != daemon.JobEventSubmitted {
+	if ev.Type != daemon.JobEventSubmitted && ev.Type != daemon.JobEventRejected {
 		return
 	}
 	shots := int(math.Round(ev.Job.ExpectedQPUSeconds * r.shotRate))
 	if shots < 1 {
 		shots = 1
 	}
+	class := ev.Job.Class
+	if ev.Job.RequestedClass > class {
+		class = ev.Job.RequestedClass
+	}
 	r.mu.Lock()
 	r.records = append(r.records, Record{
 		Seq:                len(r.records),
 		AtUS:               ev.At.Microseconds(),
 		User:               ev.Job.User,
-		Class:              ev.Job.Class.String(),
+		Class:              class.String(),
 		Pattern:            string(ev.Job.Pattern),
 		Qubits:             2,
 		Shots:              shots,

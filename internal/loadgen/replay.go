@@ -1,9 +1,11 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"hpcqc/internal/admission"
 	"hpcqc/internal/daemon"
 	"hpcqc/internal/device"
 	"hpcqc/internal/sched"
@@ -17,20 +19,8 @@ func AllRouters() []string { return []string{"round-robin", "least-loaded", "cla
 // AllSchedulers lists the within-class orders a sweep expands "all" to.
 func AllSchedulers() []string { return []string{"fifo", "fair-share", "shortest-first"} }
 
-// schedulerFlags maps a scheduler name onto the daemon's within-class order
-// configuration.
-func schedulerFlags(name string) (fairShare, shortestFirst bool, err error) {
-	switch name {
-	case "fifo", "":
-		return false, false, nil
-	case "fair-share":
-		return true, false, nil
-	case "shortest-first":
-		return false, true, nil
-	default:
-		return false, false, fmt.Errorf("loadgen: unknown scheduler %q (fifo, fair-share, shortest-first)", name)
-	}
-}
+// AllAdmissions lists the admission policies a sweep expands "all" to.
+func AllAdmissions() []string { return admission.AllPolicies() }
 
 // ReplayConfig parameterizes one deterministic trace replay.
 type ReplayConfig struct {
@@ -41,6 +31,10 @@ type ReplayConfig struct {
 	// Scheduler is the within-class order: fifo, fair-share or
 	// shortest-first (default fifo).
 	Scheduler string
+	// Admission is the admission policy: accept-all, queue-depth,
+	// token-bucket or slo-guard (default accept-all). Rejected arrivals
+	// appear in the report as shed work, never as submit errors.
+	Admission string
 	// Seed drives the fleet and daemon randomness. The same trace and seed
 	// produce bit-identical schedule decisions and reports.
 	Seed int64
@@ -69,6 +63,9 @@ func Replay(tr *Trace, cfg ReplayConfig) (*Report, error) {
 	if cfg.Scheduler == "" {
 		cfg.Scheduler = "fifo"
 	}
+	if cfg.Admission == "" {
+		cfg.Admission = "accept-all"
+	}
 	if cfg.DrainGrace <= 0 {
 		cfg.DrainGrace = 14 * 24 * time.Hour
 	}
@@ -76,7 +73,11 @@ func Replay(tr *Trace, cfg ReplayConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	fairShare, shortestFirst, err := schedulerFlags(cfg.Scheduler)
+	order, err := daemon.NewOrder(cfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	admitter, err := admission.NewPolicy(cfg.Admission)
 	if err != nil {
 		return nil, err
 	}
@@ -90,11 +91,11 @@ func Replay(tr *Trace, cfg ReplayConfig) (*Report, error) {
 	d, err := daemon.NewDaemon(daemon.Config{
 		Devices:          fleet.Devices(),
 		Router:           router,
+		Order:            order,
+		Admission:        admitter,
 		Clock:            clk,
 		AdminToken:       "loadgen",
 		EnablePreemption: true,
-		FairShare:        fairShare,
-		ShortestFirst:    shortestFirst,
 		Seed:             cfg.Seed,
 		JobListener:      an.Observe,
 		Registry:         cfg.Registry,
@@ -137,7 +138,10 @@ func Replay(tr *Trace, cfg ReplayConfig) (*Report, error) {
 				Source:             "loadgen",
 				ExpectedQPUSeconds: rec.ExpectedQPUSeconds,
 			})
-			if err != nil {
+			var rej *daemon.RejectedError
+			if err != nil && !errors.As(err, &rej) {
+				// Admission sheds are first-class outcomes counted by the
+				// analyzer; anything else is a real submit error.
 				submitErrs++
 			}
 		})
@@ -158,8 +162,8 @@ func Replay(tr *Trace, cfg ReplayConfig) (*Report, error) {
 			break
 		}
 		if clk.Now() >= deadline {
-			return nil, fmt.Errorf("loadgen: %s/%s backlog did not drain within %s past the horizon (%d/%d jobs terminal)",
-				cfg.Router, cfg.Scheduler, cfg.DrainGrace, terminal, submitted)
+			return nil, fmt.Errorf("loadgen: %s/%s/%s backlog did not drain within %s past the horizon (%d/%d jobs terminal)",
+				cfg.Router, cfg.Scheduler, cfg.Admission, cfg.DrainGrace, terminal, submitted)
 		}
 		clk.Advance(time.Minute)
 	}
@@ -167,6 +171,7 @@ func Replay(tr *Trace, cfg ReplayConfig) (*Report, error) {
 	rep := an.Report()
 	rep.Router = cfg.Router
 	rep.Scheduler = cfg.Scheduler
+	rep.Admission = cfg.Admission
 	rep.SubmitErrors = submitErrs
 	for _, dev := range fleet.Devices() {
 		dv := rep.PerDevice[dev.ID()]

@@ -105,6 +105,7 @@ func TestSweepMatrixDeterministic(t *testing.T) {
 		Seed:       4,
 		Routers:    []string{"round-robin", "least-loaded"},
 		Schedulers: []string{"fifo", "shortest-first"},
+		Admissions: []string{"accept-all"},
 	}
 	s1, err := Sweep(tr, cfg)
 	if err != nil {
@@ -198,7 +199,7 @@ func TestSweepFullMatrix24h(t *testing.T) {
 		t.Fatalf("24h trace has only %d jobs", len(tr.Records))
 	}
 	start := time.Now()
-	s1, err := Sweep(tr, SweepConfig{Devices: 4, Seed: 1})
+	s1, err := Sweep(tr, SweepConfig{Devices: 4, Seed: 1, Admissions: []string{"accept-all"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestSweepFullMatrix24h(t *testing.T) {
 	if len(s1.Results) != 9 {
 		t.Fatalf("full matrix produced %d results", len(s1.Results))
 	}
-	s2, err := Sweep(tr, SweepConfig{Devices: 4, Seed: 1})
+	s2, err := Sweep(tr, SweepConfig{Devices: 4, Seed: 1, Admissions: []string{"accept-all"}})
 	if err != nil {
 		t.Fatal(err)
 	}

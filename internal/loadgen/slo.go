@@ -35,13 +35,26 @@ func quantiles(samples []float64) Quantiles {
 	return Quantiles{P50: pick(0.50), P95: pick(0.95), P99: pick(0.99)}
 }
 
-// ClassSLO is the per-priority-class slice of a report.
+// ClassSLO is the per-priority-class slice of a report. Rejected, ShedRate
+// and Downgraded are keyed by the class the submitter *asked for* (a shed
+// test job counts against test even though it never ran); everything else is
+// keyed by the class the job actually ran at.
 type ClassSLO struct {
-	Jobs        int `json:"jobs"`
-	Completed   int `json:"completed"`
-	Failed      int `json:"failed"`
-	Cancelled   int `json:"cancelled"`
-	Preemptions int `json:"preemptions"`
+	Jobs      int `json:"jobs"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Rejected counts submissions of this class shed by the admission
+	// stage; ShedRate is Rejected over everything offered at this class.
+	Rejected int     `json:"rejected"`
+	ShedRate float64 `json:"shed_rate"`
+	// Downgraded counts submissions of this class the admission stage
+	// down-classed (they ran, but at a lower class).
+	Downgraded int `json:"downgraded"`
+	// GoodputJobsPerHour is completed work over the run's makespan — the
+	// companion to ShedRate: what shedding best-effort work buys.
+	GoodputJobsPerHour float64 `json:"goodput_jobs_per_hour"`
+	Preemptions        int     `json:"preemptions"`
 	// WaitSeconds is the distribution of time from submission to first
 	// start; MeanWaitSeconds is its mean.
 	WaitSeconds     Quantiles `json:"wait_seconds"`
@@ -62,15 +75,22 @@ type DeviceSLO struct {
 	Utilization float64 `json:"utilization"`
 }
 
-// Report is the SLO summary of one replayed policy pair.
+// Report is the SLO summary of one replayed policy triple.
 type Report struct {
 	Router    string `json:"router"`
 	Scheduler string `json:"scheduler"`
+	Admission string `json:"admission"`
 
-	Jobs         int `json:"jobs"`
-	Completed    int `json:"completed"`
-	Failed       int `json:"failed"`
-	Cancelled    int `json:"cancelled"`
+	// Jobs counts every offered submission, including rejected ones;
+	// Completed+Failed+Cancelled+Rejected covers the terminal states.
+	Jobs      int `json:"jobs"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Rejected counts submissions shed at the admission stage; Downgraded
+	// counts submissions admitted at a lower class than requested.
+	Rejected     int `json:"rejected"`
+	Downgraded   int `json:"downgraded"`
 	SubmitErrors int `json:"submit_errors,omitempty"`
 	Preemptions  int `json:"preemptions"`
 	Requeues     int `json:"requeues"`
@@ -86,7 +106,10 @@ type Report struct {
 
 // jobTrack is the analyzer's per-job lifecycle accumulator.
 type jobTrack struct {
-	class      string
+	class string
+	// requested is the submitted class when admission down-classed or shed
+	// the job; empty when it equals class.
+	requested  string
 	device     string
 	submitted  time.Duration
 	firstStart time.Duration
@@ -94,6 +117,7 @@ type jobTrack struct {
 	finished   time.Duration
 	state      daemon.JobState
 	terminal   bool
+	rejected   bool
 	preempts   int
 	expected   float64
 }
@@ -141,13 +165,34 @@ func NewAnalyzer(reg *telemetry.Registry) *Analyzer {
 func (a *Analyzer) Observe(ev daemon.JobEvent) {
 	switch ev.Type {
 	case daemon.JobEventSubmitted:
-		a.jobs[ev.Job.ID] = &jobTrack{
+		t := &jobTrack{
 			class:     ev.Job.Class.String(),
 			device:    ev.Job.Device,
 			submitted: ev.Job.SubmittedAt,
 			expected:  ev.Job.ExpectedQPUSeconds,
 		}
+		if ev.Job.RequestedClass != ev.Job.Class {
+			t.requested = ev.Job.RequestedClass.String()
+		}
+		a.jobs[ev.Job.ID] = t
 		a.order = append(a.order, ev.Job.ID)
+	case daemon.JobEventRejected:
+		// Shed submissions are terminal from birth: they count as offered
+		// load (for shed rates) but never enter the wait distributions.
+		a.jobs[ev.Job.ID] = &jobTrack{
+			class:     ev.Job.Class.String(),
+			submitted: ev.Job.SubmittedAt,
+			expected:  ev.Job.ExpectedQPUSeconds,
+			state:     daemon.JobRejected,
+			terminal:  true,
+			rejected:  true,
+			finished:  ev.At,
+		}
+		a.order = append(a.order, ev.Job.ID)
+		a.terminal++
+		if ev.At > a.lastTerminal {
+			a.lastTerminal = ev.At
+		}
 	case daemon.JobEventStarted:
 		if t := a.jobs[ev.Job.ID]; t != nil && !t.started {
 			t.started = true
@@ -208,15 +253,38 @@ func (a *Analyzer) Report() *Report {
 	}
 	waits := make(map[string][]float64)
 	slowdowns := make(map[string][]float64)
+	// offered counts submissions by the class they were *submitted* at —
+	// the shed-rate denominator (a down-classed test job was offered at
+	// test even though it ran at dev).
+	offered := make(map[string]int)
+	classSLO := func(name string) *ClassSLO {
+		c := rep.PerClass[name]
+		if c == nil {
+			c = &ClassSLO{}
+			rep.PerClass[name] = c
+		}
+		return c
+	}
 	for _, id := range a.order {
 		t := a.jobs[id]
 		rep.Jobs++
-		c := rep.PerClass[t.class]
-		if c == nil {
-			c = &ClassSLO{}
-			rep.PerClass[t.class] = c
-		}
+		c := classSLO(t.class)
 		c.Jobs++
+		if t.rejected {
+			// Shed at the door: offered-load accounting only; no device,
+			// wait or slowdown samples.
+			rep.Rejected++
+			c.Rejected++
+			offered[t.class]++
+			continue
+		}
+		if t.requested != "" {
+			rep.Downgraded++
+			classSLO(t.requested).Downgraded++
+			offered[t.requested]++
+		} else {
+			offered[t.class]++
+		}
 		c.Preemptions += t.preempts
 		dv := rep.PerDevice[t.device]
 		if dv == nil {
@@ -264,6 +332,12 @@ func (a *Analyzer) Report() *Report {
 			c.MeanWaitSeconds /= float64(len(w))
 		}
 		c.Slowdown = quantiles(slowdowns[class])
+		if n := offered[class]; n > 0 {
+			c.ShedRate = float64(c.Rejected) / float64(n)
+		}
+		if rep.MakespanSeconds > 0 {
+			c.GoodputJobsPerHour = float64(c.Completed) / (rep.MakespanSeconds / 3600)
+		}
 	}
 	return rep
 }

@@ -3,6 +3,9 @@ package loadgen
 import (
 	"fmt"
 	"sync"
+
+	"hpcqc/internal/admission"
+	"hpcqc/internal/daemon"
 )
 
 // SweepConfig parameterizes a policy what-if sweep.
@@ -10,21 +13,33 @@ type SweepConfig struct {
 	// Devices and Seed are shared by every combination.
 	Devices int
 	Seed    int64
-	// Routers and Schedulers are the policy axes; a single "all" entry (or
-	// an empty slice) expands to the full axis.
+	// Routers, Schedulers and Admissions are the policy axes; a single
+	// "all" entry (or an empty slice) expands to the full axis.
 	Routers    []string
 	Schedulers []string
+	Admissions []string
 }
 
 // SweepReport is the machine-readable policy comparison: one SLO report per
-// router × scheduler pair, in router-major axis order. Serializing it with
-// encoding/json is deterministic (map keys sort), so identical sweeps yield
-// byte-identical files.
+// router × scheduler × admission triple, in router-major (then scheduler,
+// then admission) axis order. Serializing it with encoding/json is
+// deterministic (map keys sort), so identical sweeps yield byte-identical
+// files.
 type SweepReport struct {
 	Trace   TraceHeader `json:"trace"`
 	Devices int         `json:"devices"`
 	Seed    int64       `json:"seed"`
 	Results []*Report   `json:"results"`
+}
+
+// Find returns the report for one policy triple, or nil.
+func (s *SweepReport) Find(router, scheduler, admissionPolicy string) *Report {
+	for _, r := range s.Results {
+		if r.Router == router && r.Scheduler == scheduler && r.Admission == admissionPolicy {
+			return r
+		}
+	}
+	return nil
 }
 
 // expandAxis resolves "all"/empty to the full axis.
@@ -35,10 +50,12 @@ func expandAxis(axis, all []string) []string {
 	return axis
 }
 
-// Sweep replays one trace against every router × scheduler combination
-// concurrently — one fleet per goroutine, each on its own virtual clock — and
-// collects the per-policy SLO reports. A 24-hour, thousands-of-jobs trace
-// sweeps the full 3×3 matrix in seconds of wall clock.
+// Sweep replays one trace against every router × scheduler × admission
+// combination concurrently — one fleet per goroutine, each on its own
+// virtual clock (and its own admission-policy instance, so controller state
+// never bleeds across combinations) — and collects the per-policy SLO
+// reports. A 24-hour, thousands-of-jobs trace sweeps a multi-policy matrix
+// in seconds of wall clock.
 func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
@@ -48,17 +65,23 @@ func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
 	}
 	routers := expandAxis(cfg.Routers, AllRouters())
 	schedulers := expandAxis(cfg.Schedulers, AllSchedulers())
+	admissions := expandAxis(cfg.Admissions, AllAdmissions())
 
-	type combo struct{ router, scheduler string }
+	type combo struct{ router, scheduler, admission string }
 	var combos []combo
 	for _, r := range routers {
 		for _, s := range schedulers {
-			combos = append(combos, combo{r, s})
+			for _, a := range admissions {
+				combos = append(combos, combo{r, s, a})
+			}
 		}
 	}
 	// Fail fast on bad policy names before spawning the fleet per goroutine.
 	for _, c := range combos {
-		if _, _, err := schedulerFlags(c.scheduler); err != nil {
+		if _, err := daemon.NewOrder(c.scheduler); err != nil {
+			return nil, err
+		}
+		if _, err := admission.NewPolicy(c.admission); err != nil {
 			return nil, err
 		}
 	}
@@ -74,6 +97,7 @@ func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
 				Devices:   cfg.Devices,
 				Router:    c.router,
 				Scheduler: c.scheduler,
+				Admission: c.admission,
 				Seed:      cfg.Seed,
 			})
 		}(i, c)
@@ -81,7 +105,7 @@ func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("loadgen: sweep %s/%s: %w", combos[i].router, combos[i].scheduler, err)
+			return nil, fmt.Errorf("loadgen: sweep %s/%s/%s: %w", combos[i].router, combos[i].scheduler, combos[i].admission, err)
 		}
 	}
 	return &SweepReport{

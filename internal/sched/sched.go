@@ -223,6 +223,32 @@ func (q *ClassQueue) Len() int {
 	return n
 }
 
+// ClassLoads snapshots every class's queued count and earliest Enqueued
+// time under a single lock acquisition — the bulk read behind the admission
+// stage's fleet load view. has[c] reports whether class c has any backlog
+// (oldest[c] is meaningful only then). FIFO order within a class makes the
+// head the oldest, but PopBy-based orders may remove from the middle, so
+// each class is scanned in full.
+func (q *ClassQueue) ClassLoads() (counts [ClassProduction + 1]int, oldest [ClassProduction + 1]time.Duration, has [ClassProduction + 1]bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for c := ClassDev; c <= ClassProduction; c++ {
+		items := q.queues[c]
+		counts[c] = len(items)
+		if len(items) == 0 {
+			continue
+		}
+		has[c] = true
+		oldest[c] = items[0].Enqueued
+		for _, it := range items[1:] {
+			if it.Enqueued < oldest[c] {
+				oldest[c] = it.Enqueued
+			}
+		}
+	}
+	return counts, oldest, has
+}
+
 // LenClass returns the queued count for one class.
 func (q *ClassQueue) LenClass(c Class) int {
 	q.mu.Lock()
