@@ -5,7 +5,10 @@
 
 GO ?= go
 
-.PHONY: build test test-full test-race bench bench-json vet check
+.PHONY: build test test-full test-race bench bench-json bench-diff vet check
+
+# Where bench-diff writes its fresh recording; override for parallel runs.
+BENCH_FRESH ?= $(if $(TMPDIR),$(TMPDIR),/tmp)/hpcqc_bench_fresh.json
 
 build:
 	$(GO) build ./...
@@ -30,6 +33,15 @@ bench:
 bench-json:
 	$(GO) test -bench='BenchmarkFleetDispatch|BenchmarkDaemonDispatch|BenchmarkLoadgen' \
 		-benchmem -run='^$$' -json . > BENCH_fleet.json
+
+# bench-diff re-runs the bench-json suite into a scratch file and fails if
+# any jobs/wall-second throughput metric regressed >20% against the
+# committed BENCH_fleet.json — the CI gate that keeps the replay hot path
+# from sliding back.
+bench-diff:
+	$(GO) test -bench='BenchmarkFleetDispatch|BenchmarkDaemonDispatch|BenchmarkLoadgen' \
+		-benchmem -run='^$$' -json . > $(BENCH_FRESH)
+	$(GO) run ./cmd/benchdiff BENCH_fleet.json $(BENCH_FRESH)
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,182 @@
+// Command benchdiff compares two test2json benchmark recordings (the
+// BENCH_fleet.json format written by `make bench-json`) and fails when a
+// throughput metric regresses past a threshold. It is the CI gate behind
+// `make bench-diff`: the committed baseline is the contract, a fresh run is
+// the candidate, and a >20 % drop in any jobs/wall-second metric is a build
+// failure rather than a silent slide.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.20] [-metrics m1,m2] baseline.json fresh.json
+//
+// Only higher-is-better wall-clock throughput metrics are compared; ns/op
+// and sim-time metrics vary with benchtime and fleet width in ways that are
+// not regressions. Benchmarks present in one file but not the other are
+// reported but never fail the diff, so adding or renaming a benchmark does
+// not require regenerating the baseline in the same commit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of a test2json line benchdiff needs.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// defaultMetrics are the wall-clock throughput metrics guarded by default.
+const defaultMetrics = "jobs_per_wall_s,replayed_jobs_per_wall_s"
+
+// parseFile reconstructs the benchmark result lines from a test2json stream
+// and returns metric values per benchmark: bench → metric unit → value.
+// test2json splits one logical result line across output events (the padded
+// name ends one event, the numbers arrive in the next), so the stream's
+// output text is reassembled before line parsing.
+func parseFile(path string) (map[string]map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%s: not a test2json stream: %w", path, err)
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	results := make(map[string]map[string]float64)
+	for _, line := range strings.Split(text.String(), "\n") {
+		name, metrics, ok := parseResultLine(line)
+		if !ok {
+			continue
+		}
+		results[name] = metrics
+	}
+	return results, nil
+}
+
+// parseResultLine parses one `BenchmarkName  N  v1 unit1  v2 unit2 ...`
+// result line. ok is false for non-result lines.
+func parseResultLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false
+	}
+	metrics := make(map[string]float64)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return fields[0], metrics, true
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20, "maximum allowed fractional drop in a guarded metric")
+	metricsFlag := flag.String("metrics", defaultMetrics, "comma-separated higher-is-better metrics to guard")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.20] [-metrics m1,m2] baseline.json fresh.json")
+		os.Exit(2)
+	}
+	baseline, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	guarded := make(map[string]bool)
+	for _, m := range strings.Split(*metricsFlag, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			guarded[m] = true
+		}
+	}
+
+	benches := make([]string, 0, len(baseline))
+	for name := range baseline {
+		benches = append(benches, name)
+	}
+	// Sorted output keeps the diff log stable across runs.
+	for i := 0; i < len(benches); i++ {
+		for j := i + 1; j < len(benches); j++ {
+			if benches[j] < benches[i] {
+				benches[i], benches[j] = benches[j], benches[i]
+			}
+		}
+	}
+
+	failed := false
+	compared := 0
+	for _, name := range benches {
+		fm, ok := fresh[name]
+		if !ok {
+			fmt.Printf("SKIP %s: absent from fresh run\n", name)
+			continue
+		}
+		for metric, base := range baseline[name] {
+			if !guarded[metric] || base <= 0 {
+				continue
+			}
+			cur, ok := fm[metric]
+			if !ok {
+				fmt.Printf("SKIP %s %s: absent from fresh run\n", name, metric)
+				continue
+			}
+			compared++
+			change := (cur - base) / base
+			status := "ok  "
+			if change < -*threshold {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s %s %s: baseline %.0f, fresh %.0f (%+.1f%%)\n",
+				status, name, metric, base, cur, change*100)
+		}
+	}
+	for name := range fresh {
+		if _, ok := baseline[name]; !ok {
+			fmt.Printf("NEW  %s: absent from baseline\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no guarded metrics in common — wrong files?")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: throughput regressed more than %.0f%% against %s\n", *threshold*100, flag.Arg(0))
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d guarded metrics within %.0f%% of baseline\n", compared, *threshold*100)
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -106,6 +107,15 @@ type Job struct {
 
 	payload []byte
 	result  []byte
+	// res is the completed device result, marshalled lazily: JobResult
+	// renders (and memoizes) the JSON on first read, so replays — where no
+	// one ever fetches results — skip a per-job reflection-based marshal.
+	res *qir.Result
+	// prog is the decoded payload, resolved once at submission through the
+	// daemon's program cache and reused by every later dispatch (including
+	// preemption requeues), so the dispatch loop never re-decodes JSON.
+	// Programs are immutable after decode.
+	prog *qir.Program
 }
 
 // ClassName renders the class for JSON consumers.
@@ -219,6 +229,12 @@ type deviceState struct {
 	mu      sync.Mutex
 	running *Job
 	byTask  map[string]*Job
+	// gQueue and gUtil are pre-bound per-device telemetry series (nil when
+	// no registry is configured), so queue-depth emission does not rebuild
+	// label keys per dispatch.
+	gQueue [3]*telemetry.BoundSeries
+	gUtil  *telemetry.BoundSeries
+
 	// inflight counts jobs routed here but not yet visible in the queue
 	// (between route's pick and Submit's queue.Push). route() includes it
 	// in the router's load view — and serializes snapshot+pick+reserve
@@ -273,8 +289,11 @@ type Daemon struct {
 	nextJob  int
 	nextSess int
 
-	// accounting
-	waitByClass  map[sched.Class][]time.Duration
+	// accounting. Queue waits are kept as per-class running sums (the only
+	// consumer is AdminStatus's mean), not per-job slices: a week-long
+	// million-job replay must not grow daemon memory linearly in jobs.
+	waitSum      map[sched.Class]time.Duration
+	waitCount    map[sched.Class]int
 	usageByUser  map[string]float64 // accumulated QPU seconds, fair-share key
 	preemptTotal int
 	// rejectedTotal counts every admission shed over the daemon's lifetime;
@@ -287,6 +306,57 @@ type Daemon struct {
 	mWait                          *telemetry.Metric
 	mDevQueueLen, mDevUtil         *telemetry.Metric
 	mAdmission, mAdmissionRejected *telemetry.Metric
+
+	// Pre-bound label series for the dispatch hot path, indexed by class.
+	// All nil when no registry is configured (BoundSeries methods are
+	// nil-safe), so the hot path pays neither label-key rendering nor map
+	// allocation per job.
+	bWait       [3]*telemetry.BoundSeries
+	bJobs       [3]map[JobState]*telemetry.BoundSeries
+	bQueueTotal [3]*telemetry.BoundSeries
+	bAdmit      [3]map[admission.Outcome]*telemetry.BoundSeries
+	bAdmitRej   [3]*telemetry.BoundSeries
+
+}
+
+// The decode-once program cache: payload bytes → decoded program. Replay and
+// load generation submit a handful of distinct payloads millions of times —
+// across many short-lived daemon instances — so the cache is process-wide:
+// a what-if sweep decodes each canonical payload once, not once per policy
+// combination. Decoding is a pure function of the bytes, and validation
+// verdicts are memoized separately in qir keyed by the full spec contents,
+// so sharing across daemons cannot leak one fleet's limits into another's.
+// Lookup by string(payload) is allocation-free.
+var (
+	progMu    sync.Mutex
+	progCache = make(map[string]*qir.Program)
+)
+
+// progCacheLimit bounds the decode cache. Replay workloads cycle through a
+// small canonical program set; an adversarial stream of unique payloads
+// simply resets the cache rather than growing process memory.
+const progCacheLimit = 256
+
+// cachedProgram decodes a payload through the process-wide cache. The
+// returned program is shared and must be treated as immutable.
+func cachedProgram(payload []byte) (*qir.Program, error) {
+	progMu.Lock()
+	p, ok := progCache[string(payload)]
+	progMu.Unlock()
+	if ok {
+		return p, nil
+	}
+	prog := new(qir.Program)
+	if err := prog.UnmarshalJSON(payload); err != nil {
+		return nil, fmt.Errorf("daemon: decoding program: %w", err)
+	}
+	progMu.Lock()
+	if len(progCache) >= progCacheLimit {
+		progCache = make(map[string]*qir.Program, progCacheLimit)
+	}
+	progCache[string(payload)] = prog
+	progMu.Unlock()
+	return prog, nil
 }
 
 // NewDaemon wires the daemon to its device fleet.
@@ -338,7 +408,8 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		sessions:    make(map[string]*Session),
 		jobs:        make(map[string]*Job),
-		waitByClass: make(map[sched.Class][]time.Duration),
+		waitSum:     make(map[sched.Class]time.Duration),
+		waitCount:   make(map[sched.Class]int),
 		usageByUser: make(map[string]float64),
 	}
 	d.admitObserver, _ = admitter.(admission.Observer)
@@ -368,6 +439,26 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 		d.mDevUtil = cfg.Registry.MustGauge("daemon_device_utilization", "Per-device QPU utilization fraction.")
 		d.mAdmission = cfg.Registry.MustCounter("daemon_admission_total", "Admission decisions by class and outcome.")
 		d.mAdmissionRejected = cfg.Registry.MustCounter("daemon_admission_rejected_total", "Submissions shed at admission by class and policy.")
+		for c := sched.ClassDev; c <= sched.ClassProduction; c++ {
+			name := c.String()
+			d.bWait[c] = d.mWait.Bind(telemetry.Labels{"class": name})
+			d.bQueueTotal[c] = d.mQueueLen.Bind(telemetry.Labels{"class": name})
+			d.bJobs[c] = make(map[JobState]*telemetry.BoundSeries, 4)
+			for _, st := range []JobState{JobCompleted, JobFailed, JobCancelled, JobRejected} {
+				d.bJobs[c][st] = d.mJobs.Bind(telemetry.Labels{"class": name, "state": string(st)})
+			}
+			d.bAdmit[c] = make(map[admission.Outcome]*telemetry.BoundSeries, 3)
+			for _, out := range []admission.Outcome{admission.Accepted, admission.Downgraded, admission.Rejected} {
+				d.bAdmit[c][out] = d.mAdmission.Bind(telemetry.Labels{"class": name, "outcome": string(out)})
+			}
+			d.bAdmitRej[c] = d.mAdmissionRejected.Bind(telemetry.Labels{"class": name, "policy": admitter.Name()})
+		}
+		for _, ds := range d.fleet {
+			for c := sched.ClassDev; c <= sched.ClassProduction; c++ {
+				ds.gQueue[c] = d.mDevQueueLen.Bind(telemetry.Labels{"device": ds.id, "class": c.String()})
+			}
+			ds.gUtil = d.mDevUtil.Bind(telemetry.Labels{"device": ds.id})
+		}
 	}
 	for _, ds := range d.fleet {
 		ds.dev.SetTaskListener(d.onDeviceTask)
@@ -518,9 +609,9 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	// (heterogeneous fleets only): a spec-blind router may still land on a
 	// partition whose re-check below fails after admission spent the token —
 	// capability-aware routing is the open ROADMAP fix.
-	prog := new(qir.Program)
-	if err := prog.UnmarshalJSON(req.Program); err != nil {
-		return nil, fmt.Errorf("daemon: decoding program: %w", err)
+	prog, err := cachedProgram(req.Program)
+	if err != nil {
+		return nil, err
 	}
 	var vspec qir.DeviceSpec
 	if req.Device != "" {
@@ -529,20 +620,25 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 			return nil, err
 		}
 		vspec = pinned.dev.Spec()
-		if err := prog.Validate(&vspec); err != nil {
+		if err := qir.ValidateCached(prog, &vspec); err != nil {
 			return nil, fmt.Errorf("daemon: program rejected: %w", err)
 		}
 	} else {
 		var lastErr error
 		found := false
-		seen := make(map[string]bool, 1)
+		var seen map[string]bool
 		for _, ds := range d.fleet {
 			sp := ds.dev.Spec()
 			if seen[sp.Name] {
 				continue
 			}
-			seen[sp.Name] = true
-			if err := prog.Validate(&sp); err != nil {
+			if len(d.fleet) > 1 {
+				if seen == nil {
+					seen = make(map[string]bool, 1)
+				}
+				seen[sp.Name] = true
+			}
+			if err := qir.ValidateCached(prog, &sp); err != nil {
 				lastErr = err
 				continue
 			}
@@ -607,7 +703,7 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	// daemon-made duration estimate against the device that will actually
 	// run the job (a submitter-declared hint is never touched).
 	if spec := ds.dev.Spec(); spec.Name != vspec.Name {
-		if err := prog.Validate(&spec); err != nil {
+		if err := qir.ValidateCached(prog, &spec); err != nil {
 			return nil, fmt.Errorf("daemon: program rejected: %w", err)
 		}
 		if estimated {
@@ -629,6 +725,7 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 		State:              JobQueued,
 		SubmittedAt:        d.cfg.Clock.Now(),
 		payload:            req.Program,
+		prog:               prog,
 	}
 	if dec.Outcome != admission.Accepted {
 		j.AdmissionOutcome = string(dec.Outcome)
@@ -747,7 +844,7 @@ func queueLens(q *sched.ClassQueue) map[string]int {
 // scheme, shared by accepted and rejected records. Caller holds d.mu.
 func (d *Daemon) allocJobIDLocked() string {
 	d.nextJob++
-	return fmt.Sprintf("job-%d", d.nextJob)
+	return "job-" + strconv.Itoa(d.nextJob)
 }
 
 // defaultSource applies the default intake label ("slurm", the primary
@@ -879,9 +976,17 @@ func (d *Daemon) dispatchOnce(ds *deviceState) bool {
 		return true // stale item (cancelled while queued); try the next one
 	}
 	payload := j.payload
+	prog := j.prog
 	d.mu.Unlock()
 
-	prog, err := decodeAndValidate(payload, ds.dev.Spec())
+	// The program was decoded and validated against this partition's spec at
+	// submission (and requeue only ever targets same-spec partitions), so
+	// dispatch reuses the cached decode; the legacy decode-and-validate runs
+	// only for records that somehow lack one.
+	var err error
+	if prog == nil {
+		prog, err = decodeAndValidate(payload, ds.dev.Spec())
+	}
 	if err == nil {
 		ds.mu.Lock()
 		ds.submitting = true
@@ -952,10 +1057,9 @@ func (d *Daemon) startJob(ds *deviceState, j *Job, taskID string) {
 		j.StartedAt = now
 		j.DeviceTask = taskID
 		wait := now - j.SubmittedAt
-		d.waitByClass[j.Class] = append(d.waitByClass[j.Class], wait)
-		if d.mWait != nil {
-			d.mWait.Observe(telemetry.Labels{"class": j.Class.String()}, wait.Seconds())
-		}
+		d.waitSum[j.Class] += wait
+		d.waitCount[j.Class]++
+		d.bWait[j.Class].Observe(wait.Seconds())
 		d.feedWait(j.Class, wait, now)
 		d.notify(JobEventStarted, *j)
 	}
@@ -1006,13 +1110,12 @@ func (d *Daemon) settleTask(ds *deviceState, j *Job, taskID string, state device
 		res, err := ds.dev.TaskResult(taskID)
 		if err != nil {
 			d.finishJob(j, JobFailed, nil, err)
-		} else if raw, mErr := json.Marshal(res); mErr != nil {
-			d.finishJob(j, JobFailed, nil, mErr)
 		} else {
 			d.mu.Lock()
 			d.usageByUser[j.User] += res.QPUSeconds
+			j.res = res
 			d.mu.Unlock()
-			d.finishJob(j, JobCompleted, raw, nil)
+			d.finishJob(j, JobCompleted, nil, nil)
 		}
 	case device.TaskFailed:
 		_, err := ds.dev.TaskResult(taskID)
@@ -1119,7 +1222,11 @@ func (d *Daemon) finishLocked(j *Job, state JobState, result []byte, err error) 
 		j.Error = err.Error()
 	}
 	if d.mJobs != nil {
-		d.mJobs.Inc(telemetry.Labels{"class": j.Class.String(), "state": string(state)}, 1)
+		if b := d.bJobs[j.Class][state]; b != nil {
+			b.Inc(1)
+		} else {
+			d.mJobs.Inc(telemetry.Labels{"class": j.Class.String(), "state": string(state)}, 1)
+		}
 	}
 	if state == JobCompleted && j.ExpectedQPUSeconds > 0 {
 		d.feedSlowdown(j.Class, (j.FinishedAt-j.SubmittedAt).Seconds()/j.ExpectedQPUSeconds, j.FinishedAt)
@@ -1204,7 +1311,16 @@ func (d *Daemon) JobResult(token, jobID string) ([]byte, error) {
 	switch j.State {
 	case JobCompleted:
 		d.mu.Lock()
-		res := d.jobs[jobID].result
+		rec := d.jobs[jobID]
+		if rec.result == nil && rec.res != nil {
+			raw, mErr := json.Marshal(rec.res)
+			if mErr != nil {
+				d.mu.Unlock()
+				return nil, mErr
+			}
+			rec.result = raw
+		}
+		res := rec.result
 		d.mu.Unlock()
 		return res, nil
 	case JobFailed:
@@ -1295,12 +1411,10 @@ func (d *Daemon) AdminStatus() StatusReport {
 	for _, j := range d.jobs {
 		rep.JobsBySource[j.Source]++
 	}
-	for class, waits := range d.waitByClass {
-		var sum time.Duration
-		for _, w := range waits {
-			sum += w
+	for class, n := range d.waitCount {
+		if n > 0 {
+			rep.MeanWait[class.String()] = d.waitSum[class] / time.Duration(n)
 		}
-		rep.MeanWait[class.String()] = sum / time.Duration(len(waits))
 	}
 	return rep
 }
@@ -1390,22 +1504,18 @@ func (d *Daemon) emitQueueTelemetry() {
 		for _, c := range classes {
 			n := float64(ds.queue.LenClass(c))
 			totals[c] += n
-			if d.mDevQueueLen != nil {
-				d.mDevQueueLen.Set(telemetry.Labels{"device": ds.id, "class": c.String()}, n)
-			}
+			ds.gQueue[c].Set(n)
 			if d.cfg.TSDB != nil {
 				d.cfg.TSDB.Append("daemon_device_queue_length",
 					telemetry.Labels{"device": ds.id, "class": c.String()}, now, n)
 			}
 		}
-		if d.mDevUtil != nil {
-			d.mDevUtil.Set(telemetry.Labels{"device": ds.id}, ds.dev.Utilization())
+		if ds.gUtil != nil {
+			ds.gUtil.Set(ds.dev.Utilization())
 		}
 	}
 	for _, c := range classes {
-		if d.mQueueLen != nil {
-			d.mQueueLen.Set(telemetry.Labels{"class": c.String()}, totals[c])
-		}
+		d.bQueueTotal[c].Set(totals[c])
 		if d.cfg.TSDB != nil {
 			d.cfg.TSDB.Append("daemon_queue_length", telemetry.Labels{"class": c.String()}, now, totals[c])
 		}

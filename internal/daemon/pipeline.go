@@ -170,16 +170,17 @@ func (d *Daemon) admitStage(req SubmitRequest, user string) admission.Decision {
 		Now:                d.cfg.Clock.Now(),
 	}, view)
 	if d.mAdmission != nil {
-		d.mAdmission.Inc(telemetry.Labels{
-			"class":   req.Class.String(),
-			"outcome": string(dec.Outcome),
-		}, 1)
+		if b := d.bAdmit[req.Class][dec.Outcome]; b != nil {
+			b.Inc(1)
+		} else {
+			d.mAdmission.Inc(telemetry.Labels{
+				"class":   req.Class.String(),
+				"outcome": string(dec.Outcome),
+			}, 1)
+		}
 	}
 	if dec.Outcome == admission.Rejected && d.mAdmissionRejected != nil {
-		d.mAdmissionRejected.Inc(telemetry.Labels{
-			"class":  req.Class.String(),
-			"policy": d.admitter.Name(),
-		}, 1)
+		d.bAdmitRej[req.Class].Inc(1)
 	}
 	return dec
 }
@@ -230,7 +231,11 @@ func (d *Daemon) recordRejected(s *Session, token string, req SubmitRequest, dec
 		d.rejectedIDs = append(d.rejectedIDs[:0:0], d.rejectedIDs[n:]...)
 	}
 	if d.mJobs != nil {
-		d.mJobs.Inc(telemetry.Labels{"class": j.Class.String(), "state": string(JobRejected)}, 1)
+		if b := d.bJobs[j.Class][JobRejected]; b != nil {
+			b.Inc(1)
+		} else {
+			d.mJobs.Inc(telemetry.Labels{"class": j.Class.String(), "state": string(JobRejected)}, 1)
+		}
 	}
 	d.notify(JobEventRejected, *j)
 	d.mu.Unlock()

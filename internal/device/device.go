@@ -88,6 +88,14 @@ type Config struct {
 	DriftSigma float64
 	// QAInterval is how often the internal QA check runs (default 1h).
 	QAInterval time.Duration
+	// TimingOnly skips the emulator substrate entirely: tasks still occupy
+	// the QPU for their estimated shot time on the simulation clock, drift
+	// and QA still run, but results carry no measured counts. Replay and
+	// sweep analytics never read counts — only timing — so this removes the
+	// dominant CPU/allocation cost from the scheduling hot path without
+	// changing a single report byte. The RNG draw per task is preserved so
+	// timing-only and full-emulation runs stay stream-compatible.
+	TimingOnly bool
 	// Registry and TSDB receive telemetry when non-nil.
 	Registry *telemetry.Registry
 	TSDB     *telemetry.TSDB
@@ -132,6 +140,7 @@ type Device struct {
 
 	// listener is notified on task terminal transitions (see SetTaskListener).
 	listener func(deviceID, taskID string, state TaskState)
+
 
 	// telemetry handles (nil-safe)
 	mQueueLen, mRabi, mDetOff, mStatus *telemetry.Metric
@@ -247,9 +256,13 @@ func (d *Device) Utilization() float64 {
 }
 
 // Submit validates and enqueues a program, returning a task ID. Execution
-// happens on the simulation clock at the device shot rate.
+// happens on the simulation clock at the device shot rate. Validation runs
+// through the qir verdict memo: the daemon dispatches the same decoded
+// program against the same spec thousands of times per replay, and the memo
+// collapses the repeated full-waveform walks to one. Submitted programs must
+// therefore not be mutated afterwards.
 func (d *Device) Submit(p *qir.Program) (string, error) {
-	if err := p.Validate(&d.spec); err != nil {
+	if err := qir.ValidateCached(p, &d.spec); err != nil {
 		return "", err
 	}
 	d.mu.Lock()
@@ -259,7 +272,7 @@ func (d *Device) Submit(p *qir.Program) (string, error) {
 	}
 	d.nextID++
 	t := &task{
-		id:       fmt.Sprintf("qpu-task-%d", d.nextID),
+		id:       "qpu-task-" + strconv.Itoa(d.nextID),
 		program:  p,
 		state:    TaskQueued,
 		queuedAt: d.cfg.Clock.Now(),
@@ -289,7 +302,7 @@ func (d *Device) pump() {
 	if dur <= 0 {
 		dur = time.Second
 	}
-	t.event = d.cfg.Clock.Schedule(dur, "qpu-exec-"+t.id, func() { d.finish(t) })
+	t.event = d.cfg.Clock.Schedule(dur, "qpu-exec", func() { d.finish(t) })
 	d.mu.Unlock()
 }
 
@@ -339,6 +352,24 @@ func (d *Device) finish(t *task) {
 // execute runs the program through the emulator substrate with the current
 // calibration distortions applied — the "hardware truth" of the model.
 func (d *Device) execute(p *qir.Program, calib Calibration, seed int64) (*qir.Result, error) {
+	if p.Kind == qir.KindDigital && !d.spec.Digital {
+		return nil, fmt.Errorf("device: %s is analog-only", d.spec.Name)
+	}
+	if d.cfg.TimingOnly {
+		// Timing-only results carry no measured counts and no calibration
+		// snapshot (nothing was executed against the calibration state), so
+		// none of the per-task float formatting is paid either. QPUSeconds —
+		// the only field scheduling analytics consume — is still set.
+		res := &qir.Result{
+			Counts:   qir.Counts{},
+			Metadata: map[string]string{"backend": d.spec.Name, "method": "timing-only"},
+		}
+		if d.Status() == StatusDegraded {
+			res.Metadata["degraded"] = "true"
+		}
+		res.QPUSeconds = p.EstimatedQPUSeconds(&d.spec)
+		return res, nil
+	}
 	distorted := p
 	if p.Kind == qir.KindAnalog && (calib.RabiFactor != 1 || calib.DetuningOffset != 0) {
 		distorted = distortProgram(p, calib)
@@ -347,9 +378,6 @@ func (d *Device) execute(p *qir.Program, calib Calibration, seed int64) (*qir.Re
 		EpsPrep:     calib.AtomLossProb,
 		EpsFalsePos: 0.01,
 		EpsFalseNeg: 0.02,
-	}
-	if p.Kind == qir.KindDigital && !d.spec.Digital {
-		return nil, fmt.Errorf("device: %s is analog-only", d.spec.Name)
 	}
 	// Pick the emulation substrate for the "hardware truth": exact for
 	// small programs, tensor network above the state-vector limit.
@@ -363,10 +391,15 @@ func (d *Device) execute(p *qir.Program, calib Calibration, seed int64) (*qir.Re
 	if err != nil {
 		return nil, err
 	}
-	// Overwrite emulator identity with device identity plus the per-job
-	// calibration metadata users need to interpret noisy results.
+	d.annotateResult(res, p, calib, "hardware")
+	return res, nil
+}
+
+// annotateResult overwrites emulator identity with device identity plus the
+// per-job calibration metadata users need to interpret noisy results.
+func (d *Device) annotateResult(res *qir.Result, p *qir.Program, calib Calibration, method string) {
 	res.Metadata["backend"] = d.spec.Name
-	res.Metadata["method"] = "hardware"
+	res.Metadata["method"] = method
 	res.Metadata["calib_rabi_factor"] = strconv.FormatFloat(calib.RabiFactor, 'g', 6, 64)
 	res.Metadata["calib_detuning_offset"] = strconv.FormatFloat(calib.DetuningOffset, 'g', 6, 64)
 	res.Metadata["calib_age_seconds"] = strconv.FormatFloat((d.cfg.Clock.Now() - calib.LastCalibrated).Seconds(), 'g', 6, 64)
@@ -374,7 +407,6 @@ func (d *Device) execute(p *qir.Program, calib Calibration, seed int64) (*qir.Re
 		res.Metadata["degraded"] = "true"
 	}
 	res.QPUSeconds = p.EstimatedQPUSeconds(&d.spec)
-	return res, nil
 }
 
 // distortProgram applies calibration error to every global pulse.
@@ -583,6 +615,9 @@ func (d *Device) RunQACheck() bool {
 
 // emitTelemetry pushes the current state to the registry and TSDB.
 func (d *Device) emitTelemetry() {
+	if d.mQueueLen == nil && d.cfg.TSDB == nil {
+		return
+	}
 	d.mu.Lock()
 	queueLen := float64(len(d.queue))
 	rabi := d.calib.RabiFactor

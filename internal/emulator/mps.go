@@ -105,7 +105,19 @@ func (m *MPS) ApplyTwoSiteAdjacent(q int, u *Matrix) (float64, error) {
 	if u.Rows != 4 || u.Cols != 4 {
 		return 0, fmt.Errorf("emulator: two-site gate must be 4×4, got %d×%d", u.Rows, u.Cols)
 	}
-	left, right := m.Sites[q], m.Sites[q+1]
+	newLeft, newRight, discarded := applyBondGate(m.Sites[q], m.Sites[q+1], u, m.MaxBond, m.Cutoff)
+	m.TruncationError += discarded
+	m.Sites[q] = newLeft
+	m.Sites[q+1] = newRight
+	return discarded, nil
+}
+
+// applyBondGate is the pure core of a two-site update: contract the bond pair
+// into theta, apply the gate, SVD, truncate, and split back into two site
+// tensors. It touches no MPS state, so gates on disjoint bonds — the parity
+// layers of a Trotter step — can run on separate goroutines and be committed
+// in bond order afterwards, bit-identically to the serial sweep.
+func applyBondGate(left, right *Tensor3, u *Matrix, maxBond int, cutoff float64) (*Tensor3, *Tensor3, float64) {
 	chiL, chiR := left.L, right.R
 	// theta[l, p0, p1, r] = Σ_k left[l,p0,k]·right[k,p1,r]
 	theta := make([]complex128, chiL*2*2*chiR)
@@ -158,8 +170,7 @@ func (m *MPS) ApplyTwoSiteAdjacent(q int, u *Matrix) (float64, error) {
 	for _, s := range svd.S {
 		total += s * s
 	}
-	trunc, discarded := TruncateSVD(svd, m.MaxBond, m.Cutoff)
-	m.TruncationError += discarded
+	trunc, discarded := TruncateSVD(svd, maxBond, cutoff)
 	chi := len(trunc.S)
 	// Rescale the kept weight back to theta's own norm. The MPS is not kept
 	// in canonical gauge, so theta's local norm is not the state norm and
@@ -190,9 +201,7 @@ func (m *MPS) ApplyTwoSiteAdjacent(q int, u *Matrix) (float64, error) {
 			}
 		}
 	}
-	m.Sites[q] = newLeft
-	m.Sites[q+1] = newRight
-	return discarded, nil
+	return newLeft, newRight, discarded
 }
 
 // swapGate is the 4×4 SWAP unitary.

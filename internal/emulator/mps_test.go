@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"hpcqc/internal/qir"
@@ -349,5 +350,45 @@ func TestExpSingleSitePiPulse(t *testing.T) {
 	}
 	if cmplx.Abs(c-complex(0, -1)) > 1e-10 {
 		t.Fatalf("pi pulse off-diagonal = %v", c)
+	}
+}
+
+func TestTEBDParallelLayerBitIdentical(t *testing.T) {
+	// The parity-layer fan-out must be invisible: the same evolution run with
+	// one OS thread (serial path) and with all cores (parallel path) must
+	// produce bit-identical tensors and truncation error. 12 atoms puts 6/5
+	// bonds in the even/odd layers, past the tebdParallelBonds threshold.
+	spec := qir.DefaultAnalogSpec()
+	n := 12
+	seq := chainSequence(n, 7, 2*math.Pi, 300)
+
+	run := func(procs int) *MPS {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		m, err := NewMPS(n, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.EvolveAnalogTEBD(seq, spec.C6, 1); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	serial := run(1)
+	parallel := run(runtime.NumCPU())
+	if serial.TruncationError != parallel.TruncationError {
+		t.Fatalf("truncation error differs: serial %v parallel %v", serial.TruncationError, parallel.TruncationError)
+	}
+	for q := 0; q < n; q++ {
+		a, b := serial.Sites[q], parallel.Sites[q]
+		if a.L != b.L || a.P != b.P || a.R != b.R {
+			t.Fatalf("site %d shape differs: (%d,%d,%d) vs (%d,%d,%d)", q, a.L, a.P, a.R, b.L, b.P, b.R)
+		}
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("site %d element %d differs: %v vs %v", q, i, a.Data[i], b.Data[i])
+			}
+		}
 	}
 }

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
@@ -46,6 +47,12 @@ type ClosedLoopConfig struct {
 	Patterns     workload.Mix
 	ServiceScale float64
 	Jitter       float64
+	// StreamTo optionally receives the trace as JSONL while the capture
+	// runs: every arrival is encoded as it is observed, so a capture that
+	// errors (or a process that dies) mid-run leaves the records it saw on
+	// the sink instead of losing them with the in-memory buffer. Stream
+	// failures fail the capture rather than silently truncating the trace.
+	StreamTo io.Writer
 }
 
 // GenerateClosedLoop runs a live fleet on a virtual clock under closed-loop
@@ -91,6 +98,15 @@ func GenerateClosedLoop(cfg ClosedLoopConfig) (*Trace, error) {
 		return nil, fmt.Errorf("loadgen: closed-loop fleet: %w", err)
 	}
 	rec := NewRecorder(canonicalShotRateHz)
+	if cfg.StreamTo != nil {
+		if err := rec.Stream(cfg.StreamTo, cfg.Seed, "closed-loop", cfg.Horizon.Microseconds()); err != nil {
+			return nil, err
+		}
+	}
+	// Close on every exit path: flush buffered stream bytes (so an erroring
+	// capture still lands the records it observed) and surface — never
+	// swallow — any record the sink failed to take.
+	defer rec.Close()
 	// owner maps an in-flight job to the user index waiting on it. Accessed
 	// only from clock callbacks and the daemon's synchronous listener, which
 	// all run on this goroutine.
@@ -98,7 +114,7 @@ func GenerateClosedLoop(cfg ClosedLoopConfig) (*Trace, error) {
 	var submitUser func(u int)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	specs := workload.DefaultPatternSpecs()
-	cache := newProgramCache()
+	cache := sharedPrograms
 
 	d, err := daemon.NewDaemon(daemon.Config{
 		Devices:          fleet.Devices(),
@@ -182,6 +198,12 @@ func GenerateClosedLoop(cfg ClosedLoopConfig) (*Trace, error) {
 		clk.Schedule(stagger, fmt.Sprintf("start-user-%02d", u), func() { submitUser(u) })
 	}
 	clk.RunUntil(cfg.Horizon)
+	if err := rec.Close(); err != nil {
+		if submitErr != nil {
+			return nil, fmt.Errorf("%w (and %d trace records failed to stream: %v)", submitErr, rec.Dropped(), err)
+		}
+		return nil, fmt.Errorf("loadgen: closed-loop capture dropped %d trace records: %w", rec.Dropped(), err)
+	}
 	if submitErr != nil {
 		return nil, submitErr
 	}

@@ -1,0 +1,54 @@
+package loadgen
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSweep24hBurstyByteIdentical is the explicit byte-for-byte gate every
+// replay-path optimization lands against: the full 3×3×4 policy matrix over
+// a 24 h bursty trace, run twice — and once with GOMAXPROCS=1, so any
+// parallelism added to the hot path (emulator parity layers, future fan-out)
+// is proven invisible to the report bytes, not just to the Go race detector.
+func TestSweep24hBurstyByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24h bursty determinism sweep is a test-full experiment")
+	}
+	proc, err := NewProcess("bursty", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(Config{Seed: 2, Horizon: 24 * time.Hour, Process: proc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SweepConfig{Devices: 4, Seed: 2}
+	s1, err := Sweep(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * 3 * len(AllAdmissions()); len(s1.Results) != want {
+		t.Fatalf("sweep produced %d results, want %d", len(s1.Results), want)
+	}
+	b1 := marshalReport(t, s1)
+
+	s2, err := Sweep(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, marshalReport(t, s2)) {
+		t.Fatal("24h bursty sweep differs between identical reruns")
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	s3, err := Sweep(tr, cfg)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, marshalReport(t, s3)) {
+		t.Fatal("24h bursty sweep differs under GOMAXPROCS=1")
+	}
+}

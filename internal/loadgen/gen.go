@@ -192,6 +192,12 @@ func newProgramCache() *programCache {
 	return &programCache{by: make(map[[2]int][]byte)}
 }
 
+// sharedPrograms is the process-wide payload cache. Payload bytes are a pure
+// function of (qubits, shots), so replays and closed-loop runs share one
+// cache: a what-if sweep builds and marshals each canonical program once,
+// not once per policy combination.
+var sharedPrograms = newProgramCache()
+
 // payload returns the serialized program for a record's parameters.
 func (c *programCache) payload(qubits, shots int) ([]byte, error) {
 	key := [2]int{qubits, shots}

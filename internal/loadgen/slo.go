@@ -16,6 +16,15 @@ type Quantiles struct {
 }
 
 // quantiles computes nearest-rank quantiles of an unsorted sample set.
+//
+// The convention, locked in by table tests (N=0,1,2,100) because sweep
+// reports must stay byte-identical across refactors: the percentile p maps to
+// 1-based rank round(p·N) (half away from zero), clamped into [1, N], and the
+// quantile is the sample at that rank — no interpolation. Consequences worth
+// naming: an empty sample set yields zeros (never NaN or a panic); a single
+// sample is every percentile; at N=2 the p50 is the *lower* sample (rank
+// round(1.0) = 1) while p95/p99 take the upper; at N=100 the p50/p95/p99 are
+// the 50th/95th/99th order statistics.
 func quantiles(samples []float64) Quantiles {
 	if len(samples) == 0 {
 		return Quantiles{}
@@ -141,6 +150,11 @@ type Analyzer struct {
 	lastTerminal  time.Duration
 
 	mWait, mSlowdown *telemetry.Metric
+	// Pre-bound per-class series: one job finishing observes at most two
+	// histograms, and binding at construction keeps label-map allocation and
+	// key rendering out of that per-job path. Nil maps (no registry) and nil
+	// entries both no-op.
+	bWait, bSlowdown map[string]*telemetry.BoundSeries
 }
 
 // NewAnalyzer returns an analyzer; reg may be nil to skip metric exposition.
@@ -154,6 +168,12 @@ func NewAnalyzer(reg *telemetry.Registry) *Analyzer {
 			[]float64{1, 5, 15, 60, 300, 1800, 7200})
 		a.mSlowdown = reg.MustHistogram("loadgen_slowdown", "Job slowdown (turnaround / expected service) by class.",
 			[]float64{1, 1.5, 2, 3, 5, 8, 16, 64})
+		a.bWait = make(map[string]*telemetry.BoundSeries, 3)
+		a.bSlowdown = make(map[string]*telemetry.BoundSeries, 3)
+		for _, class := range []string{"production", "test", "dev"} {
+			a.bWait[class] = a.mWait.Bind(telemetry.Labels{"class": class})
+			a.bSlowdown[class] = a.mSlowdown.Bind(telemetry.Labels{"class": class})
+		}
 	}
 	return a
 }
@@ -225,12 +245,11 @@ func (a *Analyzer) Observe(ev daemon.JobEvent) {
 		if ev.At > a.lastTerminal {
 			a.lastTerminal = ev.At
 		}
-		labels := telemetry.Labels{"class": t.class}
-		if a.mWait != nil && t.started {
-			a.mWait.Observe(labels, (t.firstStart - t.submitted).Seconds())
+		if t.started {
+			a.bWait[t.class].Observe((t.firstStart - t.submitted).Seconds())
 		}
-		if a.mSlowdown != nil && ev.Job.State == daemon.JobCompleted && t.expected > 0 {
-			a.mSlowdown.Observe(labels, (t.finished-t.submitted).Seconds()/t.expected)
+		if ev.Job.State == daemon.JobCompleted && t.expected > 0 {
+			a.bSlowdown[t.class].Observe((t.finished-t.submitted).Seconds() / t.expected)
 		}
 	}
 }

@@ -1,0 +1,57 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantilesTable locks in the nearest-rank convention documented on
+// quantiles(): percentile p → 1-based rank round(p·N) half away from zero,
+// clamped into [1, N], no interpolation. Sweep reports must stay
+// byte-identical across refactors, so these expectations are the contract —
+// a change that shifts any rank is a report-format change, not a cleanup.
+func TestQuantilesTable(t *testing.T) {
+	hundred := make([]float64, 100)
+	for i := range hundred {
+		// Distinct, unsorted input: 1..100 shuffled by a fixed stride so the
+		// test also covers the sort step.
+		hundred[i] = float64((i*37)%100 + 1)
+	}
+	cases := []struct {
+		name    string
+		samples []float64
+		want    Quantiles
+	}{
+		// N=0: zeros, never NaN and never a panic.
+		{name: "empty", samples: nil, want: Quantiles{}},
+		{name: "empty-non-nil", samples: []float64{}, want: Quantiles{}},
+		// N=1: every percentile is the sample.
+		{name: "single", samples: []float64{42}, want: Quantiles{P50: 42, P95: 42, P99: 42}},
+		// N=2: p50 rank round(0.5·2)=1 → lower sample; p95 rank
+		// round(1.9)=2 and p99 rank round(1.98)=2 → upper sample.
+		{name: "pair", samples: []float64{7, 3}, want: Quantiles{P50: 3, P95: 7, P99: 7}},
+		// N=100: ranks 50/95/99 → the 50th/95th/99th order statistics.
+		{name: "hundred", samples: hundred, want: Quantiles{P50: 50, P95: 95, P99: 99}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := quantiles(tc.samples)
+			if got != tc.want {
+				t.Fatalf("quantiles(%s) = %+v, want %+v", tc.name, got, tc.want)
+			}
+			if math.IsNaN(got.P50) || math.IsNaN(got.P95) || math.IsNaN(got.P99) {
+				t.Fatalf("quantiles(%s) produced NaN: %+v", tc.name, got)
+			}
+		})
+	}
+}
+
+// TestQuantilesDoesNotMutateInput guards the copy-before-sort: callers hand
+// quantiles their live per-class sample slices.
+func TestQuantilesDoesNotMutateInput(t *testing.T) {
+	in := []float64{9, 1, 5}
+	quantiles(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}

@@ -91,6 +91,9 @@ func (t *Trace) Validate() error {
 	if t.Header.Version != TraceVersion {
 		return fmt.Errorf("loadgen: unsupported trace version %d (supported: %d)", t.Header.Version, TraceVersion)
 	}
+	if t.Header.Jobs < 0 {
+		return fmt.Errorf("loadgen: streamed trace header has unresolved job count %d (read it through ReadTrace)", t.Header.Jobs)
+	}
 	if t.Header.Jobs != len(t.Records) {
 		return fmt.Errorf("loadgen: header says %d jobs, file has %d", t.Header.Jobs, len(t.Records))
 	}
@@ -170,6 +173,13 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("loadgen: reading trace: %w", err)
+	}
+	if t.Header.Jobs < 0 {
+		// Streamed capture (Recorder.Stream): the header was written before
+		// the record count was known. Resolve it to the lines present — for a
+		// crash-truncated stream that recovers exactly the records that made
+		// it to the sink.
+		t.Header.Jobs = len(t.Records)
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,94 @@
+package qir
+
+import (
+	"strings"
+	"sync"
+)
+
+// specKey captures every DeviceSpec field in a comparable form. Two specs
+// with equal keys are indistinguishable to Validate — including the error
+// strings, which embed the spec name — so a verdict memoized under one key is
+// exact for any spec that produces the same key. New DeviceSpec fields must
+// be added here or the memo goes stale.
+type specKey struct {
+	name                string
+	maxQubits           int
+	minAtomSpacing      float64
+	maxRabi             float64
+	maxDetuning         float64
+	maxSequenceDuration float64
+	maxSlope            float64
+	c6                  float64
+	localDetuning       bool
+	digital             bool
+	nativeGates         string
+	shotRateHz          float64
+	maxShotsPerTask     int
+}
+
+func keyOf(s *DeviceSpec) specKey {
+	k := specKey{
+		name:                s.Name,
+		maxQubits:           s.MaxQubits,
+		minAtomSpacing:      s.MinAtomSpacing,
+		maxRabi:             s.MaxRabi,
+		maxDetuning:         s.MaxDetuning,
+		maxSequenceDuration: s.MaxSequenceDuration,
+		maxSlope:            s.MaxSlope,
+		c6:                  s.C6,
+		localDetuning:       s.SupportsLocalDetuning,
+		digital:             s.Digital,
+		shotRateHz:          s.ShotRateHz,
+		maxShotsPerTask:     s.MaxShotsPerTask,
+	}
+	if len(s.NativeGates) > 0 {
+		k.nativeGates = strings.Join(s.NativeGates, "\x00")
+	}
+	return k
+}
+
+type validKey struct {
+	prog *Program
+	spec specKey
+}
+
+var (
+	validMu   sync.Mutex
+	validMemo = make(map[validKey]error)
+)
+
+// validMemoLimit bounds the verdict memo. A stream of unique programs or
+// specs resets the map instead of growing it; replay and dispatch workloads
+// cycle through a few dozen (program, spec) pairs, far under the bound.
+const validMemoLimit = 4096
+
+// ValidateCached is Validate with a process-wide verdict memo keyed by the
+// program's identity and the spec's full contents. Validate walks every
+// waveform sample in the program; on hot dispatch paths the same decoded
+// program is checked against the same device specs thousands of times, and
+// the memo collapses each distinct (program, spec) pair to one walk.
+//
+// Callers must treat a program as immutable once passed here: the memo
+// trusts pointer identity, so mutating a validated program would leave stale
+// verdicts behind. Every production path decodes programs once and never
+// writes to them afterwards.
+func ValidateCached(p *Program, spec *DeviceSpec) error {
+	if p == nil || spec == nil {
+		return p.Validate(spec)
+	}
+	k := validKey{prog: p, spec: keyOf(spec)}
+	validMu.Lock()
+	err, ok := validMemo[k]
+	validMu.Unlock()
+	if ok {
+		return err
+	}
+	err = p.Validate(spec)
+	validMu.Lock()
+	if len(validMemo) >= validMemoLimit {
+		validMemo = make(map[validKey]error, 64)
+	}
+	validMemo[k] = err
+	validMu.Unlock()
+	return err
+}

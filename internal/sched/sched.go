@@ -97,6 +97,13 @@ type Item struct {
 	ExpectedQPU time.Duration
 	// Payload is opaque to the queue (the daemon stores its job record).
 	Payload any
+
+	// removed marks an item taken out of its queue (Pop/PopBy/Remove). The
+	// per-class oldest-heap keeps stale pointers until they surface at the
+	// head, so ClassLoads can skip them lazily instead of the queue paying
+	// an O(backlog) re-scan per bulk read. Items must not be re-Pushed after
+	// leaving a queue; the daemon allocates a fresh Item per (re)queue.
+	removed bool
 }
 
 // ShortestExpectedFirst is a PopBy comparator implementing the paper's
@@ -123,6 +130,11 @@ func ShortestExpectedFirst(a, b *Item) bool {
 type ClassQueue struct {
 	mu     sync.Mutex
 	queues [3][]*Item
+	// oldest is a per-class lazy min-heap over Enqueued. Push adds to it;
+	// removals only flag the item (see Item.removed), and ClassLoads drains
+	// flagged heads on read. This makes the admission stage's bulk load view
+	// O(classes) amortized instead of O(backlog) per submission.
+	oldest [3][]*Item
 }
 
 // NewClassQueue returns an empty queue.
@@ -138,8 +150,49 @@ func (q *ClassQueue) Push(it *Item) error {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	it.removed = false
 	q.queues[it.Class] = append(q.queues[it.Class], it)
+	heapPushOldest(&q.oldest[it.Class], it)
 	return nil
+}
+
+// heapPushOldest sifts an item into a min-heap ordered by Enqueued.
+func heapPushOldest(h *[]*Item, it *Item) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].Enqueued <= (*h)[i].Enqueued {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+// heapPopOldest removes the head of an Enqueued min-heap.
+func heapPopOldest(h *[]*Item) {
+	old := *h
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	old = old[:n]
+	*h = old
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && old[l].Enqueued < old[small].Enqueued {
+			small = l
+		}
+		if r := 2*i + 2; r < n && old[r].Enqueued < old[small].Enqueued {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
 }
 
 // Pop removes and returns the highest-priority item, or nil when empty.
@@ -150,6 +203,7 @@ func (q *ClassQueue) Pop() *Item {
 		if len(q.queues[c]) > 0 {
 			it := q.queues[c][0]
 			q.queues[c] = q.queues[c][1:]
+			it.removed = true
 			return it
 		}
 	}
@@ -180,6 +234,7 @@ func (q *ClassQueue) PopBy(less func(a, b *Item) bool) *Item {
 		}
 		it := items[best]
 		q.queues[c] = append(items[:best], items[best+1:]...)
+		it.removed = true
 		return it
 	}
 	return nil
@@ -205,6 +260,7 @@ func (q *ClassQueue) Remove(id string) bool {
 		for i, it := range q.queues[c] {
 			if it.ID == id {
 				q.queues[c] = append(q.queues[c][:i], q.queues[c][i+1:]...)
+				it.removed = true
 				return true
 			}
 		}
@@ -226,27 +282,56 @@ func (q *ClassQueue) Len() int {
 // ClassLoads snapshots every class's queued count and earliest Enqueued
 // time under a single lock acquisition — the bulk read behind the admission
 // stage's fleet load view. has[c] reports whether class c has any backlog
-// (oldest[c] is meaningful only then). FIFO order within a class makes the
-// head the oldest, but PopBy-based orders may remove from the middle, so
-// each class is scanned in full.
+// (oldest[c] is meaningful only then). Counts are O(1) slice lengths; the
+// earliest Enqueued comes from the per-class lazy min-heap, so the cost per
+// call is O(classes) plus amortized O(log n) per item ever removed — not the
+// O(backlog) full scan this used to be (which made every admission decision
+// linear in total queued work).
 func (q *ClassQueue) ClassLoads() (counts [ClassProduction + 1]int, oldest [ClassProduction + 1]time.Duration, has [ClassProduction + 1]bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for c := ClassDev; c <= ClassProduction; c++ {
-		items := q.queues[c]
-		counts[c] = len(items)
-		if len(items) == 0 {
-			continue
+		counts[c] = len(q.queues[c])
+		h := &q.oldest[c]
+		// Drain removed items that have surfaced at the heap head. Stale
+		// entries deeper in the heap are left for later reads; if middle
+		// removals (PopBy orders) ever let them pile up well past the live
+		// backlog, rebuild the heap from the live queue in one O(n) pass.
+		for len(*h) > 0 && (*h)[0].removed {
+			heapPopOldest(h)
 		}
-		has[c] = true
-		oldest[c] = items[0].Enqueued
-		for _, it := range items[1:] {
-			if it.Enqueued < oldest[c] {
-				oldest[c] = it.Enqueued
+		if len(*h) > 4*len(q.queues[c])+64 {
+			rebuilt := append((*h)[:0:0], q.queues[c]...)
+			for i := len(rebuilt)/2 - 1; i >= 0; i-- {
+				siftDownOldest(rebuilt, i)
 			}
+			*h = rebuilt
+		}
+		if len(*h) > 0 {
+			has[c] = true
+			oldest[c] = (*h)[0].Enqueued
 		}
 	}
 	return counts, oldest, has
+}
+
+// siftDownOldest restores the min-heap property below index i.
+func siftDownOldest(h []*Item, i int) {
+	n := len(h)
+	for {
+		small := i
+		if l := 2*i + 1; l < n && h[l].Enqueued < h[small].Enqueued {
+			small = l
+		}
+		if r := 2*i + 2; r < n && h[r].Enqueued < h[small].Enqueued {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
 }
 
 // LenClass returns the queued count for one class.

@@ -148,6 +148,75 @@ func (m *Metric) Observe(l Labels, v float64) {
 	}
 }
 
+// BoundSeries is a pre-resolved (metric family, label set) pair. Hot paths
+// that update the same labelled series once per job — dispatch loops, replay
+// analyzers — pay the canonical label-key rendering (sort + quote + map
+// lookup) once at Bind time instead of on every update. A nil BoundSeries is
+// valid and drops all updates, so call sites can bind unconditionally even
+// when telemetry is disabled.
+type BoundSeries struct {
+	m *Metric
+	s *series
+}
+
+// Bind resolves (and creates, if absent) the series for a label set. A nil
+// receiver yields a nil BoundSeries whose update methods no-op.
+func (m *Metric) Bind(l Labels) *BoundSeries {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	s := m.getSeries(l)
+	m.mu.Unlock()
+	return &BoundSeries{m: m, s: s}
+}
+
+// Inc adds delta to a bound counter series (negative deltas are ignored).
+func (b *BoundSeries) Inc(delta float64) {
+	if b == nil || b.m.Type != TypeCounter || delta < 0 {
+		return
+	}
+	b.m.mu.Lock()
+	b.s.value += delta
+	b.m.mu.Unlock()
+}
+
+// Set assigns a bound gauge series.
+func (b *BoundSeries) Set(v float64) {
+	if b == nil || b.m.Type != TypeGauge {
+		return
+	}
+	b.m.mu.Lock()
+	b.s.value = v
+	b.m.mu.Unlock()
+}
+
+// Add adds to a bound gauge series.
+func (b *BoundSeries) Add(delta float64) {
+	if b == nil || b.m.Type != TypeGauge {
+		return
+	}
+	b.m.mu.Lock()
+	b.s.value += delta
+	b.m.mu.Unlock()
+}
+
+// Observe records a histogram observation on a bound series.
+func (b *BoundSeries) Observe(v float64) {
+	if b == nil || b.m.Type != TypeHistogram {
+		return
+	}
+	b.m.mu.Lock()
+	b.s.sum += v
+	b.s.count++
+	for i, bound := range b.m.bounds {
+		if v <= bound {
+			b.s.buckets[i]++
+		}
+	}
+	b.m.mu.Unlock()
+}
+
 // Value returns the current value of a counter/gauge series (0 if absent).
 func (m *Metric) Value(l Labels) float64 {
 	m.mu.Lock()
