@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full test-race bench bench-json bench-diff vet check
+.PHONY: build test test-full test-race bench bench-json bench-diff vet vet-trace check
 
 # Where bench-diff writes its fresh recording; override for parallel runs.
 BENCH_FRESH ?= $(if $(TMPDIR),$(TMPDIR),/tmp)/hpcqc_bench_fresh.json
@@ -46,4 +46,12 @@ bench-diff:
 vet:
 	$(GO) vet ./...
 
-check: vet build test test-race
+# vet-trace is the trace-subsystem gate: vet plus the race detector over the
+# span pipeline. Span emission happens under daemon locks from dispatch-side
+# goroutines, so the trace package earns its own race pass beyond the
+# test-race bundle.
+vet-trace:
+	$(GO) vet ./internal/trace/...
+	$(GO) test -race ./internal/trace/...
+
+check: vet vet-trace build test test-race

@@ -12,6 +12,7 @@ package hpcqc
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"hpcqc/internal/sched"
 	"hpcqc/internal/simclock"
 	"hpcqc/internal/telemetry"
+	"hpcqc/internal/trace"
 	"hpcqc/internal/workload"
 )
 
@@ -454,6 +456,99 @@ func BenchmarkLoadgenReplay(b *testing.B) {
 		rep, err = loadgen.Replay(tr, loadgen.ReplayConfig{Devices: 4, Seed: 1})
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Records))*float64(b.N)/b.Elapsed().Seconds(), "jobs_per_wall_s")
+	b.ReportMetric(float64(rep.Completed), "jobs_completed")
+}
+
+// BenchmarkLoadgenReplayTraced measures the same 2-hour replay with tracing
+// enabled — the `--tracing` default every qcload replay and sweep cell pays:
+// span emission through the whole pipeline plus per-stage latency
+// attribution in the SLO analyzer.
+//
+// Each iteration runs a traced and an untraced replay back to back and the
+// benchmark reports their ratio as trace_overhead_pct — interleaving makes
+// the number immune to the heap-growth/GC-pacing drift that skews
+// comparisons between benchmarks run minutes apart in the same process.
+// benchdiff's -trace-overhead rule gates that metric in CI. allocs/op and
+// B/op are measured around the traced replay only (the span pipeline's
+// allocation budget), overriding the framework's combined numbers.
+func BenchmarkLoadgenReplayTraced(b *testing.B) {
+	tr, err := loadgen.Generate(loadgen.Config{
+		Seed: 1, Horizon: 2 * time.Hour,
+		Process: &loadgen.Poisson{RatePerHour: 150},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// ReportAllocs makes the framework print the B/op and allocs/op columns;
+	// the ReportMetric overrides below replace its pair-combined numbers with
+	// the traced replay's own.
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep *loadgen.Report
+	var tOn, tOff time.Duration
+	var mallocs, bytes uint64
+	var ms0, ms1 runtime.MemStats
+	for i := 0; i < b.N; i++ {
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		rep, err = loadgen.Replay(tr, loadgen.ReplayConfig{
+			Devices: 4, Seed: 1, Tracing: true,
+		})
+		tOn += time.Since(t0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runtime.ReadMemStats(&ms1)
+		mallocs += ms1.Mallocs - ms0.Mallocs
+		bytes += ms1.TotalAlloc - ms0.TotalAlloc
+		t0 = time.Now()
+		if _, err := loadgen.Replay(tr, loadgen.ReplayConfig{
+			Devices: 4, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		tOff += time.Since(t0)
+	}
+	if len(rep.PerClass["production"].Stages) == 0 {
+		b.Fatal("traced replay reported no stage attribution")
+	}
+	b.ReportMetric(float64(mallocs)/float64(b.N), "allocs/op")
+	b.ReportMetric(float64(bytes)/float64(b.N), "B/op")
+	b.ReportMetric(float64(len(tr.Records))*float64(b.N)/tOn.Seconds(), "jobs_per_wall_s")
+	b.ReportMetric(float64(rep.Completed), "jobs_completed")
+	b.ReportMetric((tOn.Seconds()/tOff.Seconds()-1)*100, "trace_overhead_pct")
+}
+
+// BenchmarkLoadgenReplayRecorded additionally attaches a flight recorder
+// sized to retain every job trace — the `qcload trace export` configuration,
+// the most expensive consumer (every span is stored, not just aggregated).
+// Recorded in BENCH_fleet.json for trajectory; not CI-gated, since exports
+// are one-shot flows rather than the sweep hot path.
+func BenchmarkLoadgenReplayRecorded(b *testing.B) {
+	tr, err := loadgen.Generate(loadgen.Config{
+		Seed: 1, Horizon: 2 * time.Hour,
+		Process: &loadgen.Poisson{RatePerHour: 150},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep *loadgen.Report
+	for i := 0; i < b.N; i++ {
+		rec := trace.NewFlightRecorder(len(tr.Records))
+		rep, err = loadgen.Replay(tr, loadgen.ReplayConfig{
+			Devices: 4, Seed: 1,
+			Tracing: true, SpanListener: rec.Observe,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := rec.Len(); done == 0 {
+			b.Fatal("flight recorder captured no terminal traces")
 		}
 	}
 	b.ReportMetric(float64(len(tr.Records))*float64(b.N)/b.Elapsed().Seconds(), "jobs_per_wall_s")

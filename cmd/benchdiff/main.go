@@ -7,13 +7,22 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.20] [-metrics m1,m2] baseline.json fresh.json
+//	benchdiff [-threshold 0.20] [-metrics m1,m2] [-trace-overhead 0.10] baseline.json fresh.json
 //
 // Only higher-is-better wall-clock throughput metrics are compared; ns/op
 // and sim-time metrics vary with benchtime and fleet width in ways that are
 // not regressions. Benchmarks present in one file but not the other are
 // reported but never fail the diff, so adding or renaming a benchmark does
 // not require regenerating the baseline in the same commit.
+//
+// One intra-run rule rides along: the traced replay benchmark interleaves
+// traced and untraced replays in the same iterations and reports their cost
+// ratio as trace_overhead_pct; that metric must stay at or under the
+// -trace-overhead limit — span emission is sold as allocation-lean
+// observation, and this is where that claim is enforced. Because the two
+// sides of the ratio run back to back inside one benchmark, the rule is
+// immune both to machine-speed noise across files and to the heap-growth
+// drift between benchmarks minutes apart in one run.
 package main
 
 import (
@@ -102,9 +111,10 @@ func parseResultLine(line string) (string, map[string]float64, bool) {
 func main() {
 	threshold := flag.Float64("threshold", 0.20, "maximum allowed fractional drop in a guarded metric")
 	metricsFlag := flag.String("metrics", defaultMetrics, "comma-separated higher-is-better metrics to guard")
+	traceOverhead := flag.Float64("trace-overhead", 0.10, "maximum fractional jobs/wall-s cost of the traced replay vs the untraced one, same run")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.20] [-metrics m1,m2] baseline.json fresh.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.20] [-metrics m1,m2] [-trace-overhead 0.10] baseline.json fresh.json")
 		os.Exit(2)
 	}
 	baseline, err := parseFile(flag.Arg(0))
@@ -170,12 +180,25 @@ func main() {
 			fmt.Printf("NEW  %s: absent from baseline\n", name)
 		}
 	}
+	// Tracing-overhead rule: the interleaved traced/untraced cost ratio the
+	// traced replay benchmark measured within its own iterations.
+	if pct, ok := fresh["BenchmarkLoadgenReplayTraced"]["trace_overhead_pct"]; ok {
+		compared++
+		status := "ok  "
+		if pct > *traceOverhead*100 {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s tracing overhead: %.1f%% traced-vs-untraced replay cost (limit %.0f%%)\n",
+			status, pct, *traceOverhead*100)
+	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: no guarded metrics in common — wrong files?")
 		os.Exit(2)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: throughput regressed more than %.0f%% against %s\n", *threshold*100, flag.Arg(0))
+		fmt.Fprintf(os.Stderr, "benchdiff: benchmark gate failed (threshold %.0f%% vs %s, tracing overhead limit %.0f%%)\n",
+			*threshold*100, flag.Arg(0), *traceOverhead*100)
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: %d guarded metrics within %.0f%% of baseline\n", compared, *threshold*100)

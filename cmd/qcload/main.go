@@ -14,6 +14,10 @@
 //	               [--admission accept-all] [--devices 4] [--seed 1]
 //	qcload sweep   --trace trace.jsonl [--routers all] [--schedulers all]
 //	               [--admissions all] [--devices 4] [--seed 1] [--out report.json]
+//	               [--tracing=true]
+//	qcload trace export --trace trace.jsonl --out spans.json
+//	               [--router least-loaded] [--scheduler fifo]
+//	               [--admission accept-all] [--devices 4] [--seed 1]
 //
 // gen synthesizes an open-loop trace from an arrival process. capture records
 // arrivals from a live closed-loop fleet run (completion-driven submitters)
@@ -24,7 +28,14 @@
 // prints the SLO report. sweep replays the trace against the whole
 // router × scheduler × admission matrix concurrently and writes a
 // machine-readable comparison — the same trace and seed always produce
-// byte-identical output.
+// byte-identical output. replay and sweep run with span tracing on by
+// default, which adds a per-class, per-stage latency breakdown (validate,
+// admission, route, queued, requeued, execute) to each SLO report cell;
+// --tracing=false turns it off (the schedule itself is identical either
+// way). trace export replays a trace with the flight recorder attached and
+// writes the full span set as Chrome trace-event JSON — open it in Perfetto
+// (or chrome://tracing) to see partitions as busy/idle tracks and every
+// job's lifecycle as a waterfall.
 package main
 
 import (
@@ -38,6 +49,7 @@ import (
 	"time"
 
 	"hpcqc/internal/loadgen"
+	"hpcqc/internal/trace"
 	"hpcqc/internal/workload"
 )
 
@@ -50,7 +62,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("need a subcommand: gen, capture, import, info, replay, sweep")
+		return fmt.Errorf("need a subcommand: gen, capture, import, info, replay, sweep, trace")
 	}
 	switch args[0] {
 	case "gen":
@@ -65,8 +77,13 @@ func run(args []string, out io.Writer) error {
 		return runReplay(args[1:], out)
 	case "sweep":
 		return runSweep(args[1:], out)
+	case "trace":
+		if len(args) < 2 || args[1] != "export" {
+			return fmt.Errorf("trace: need a subcommand: export")
+		}
+		return runTraceExport(args[2:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (gen, capture, import, info, replay, sweep)", args[0])
+		return fmt.Errorf("unknown subcommand %q (gen, capture, import, info, replay, sweep, trace)", args[0])
 	}
 }
 
@@ -260,6 +277,7 @@ func runReplay(args []string, out io.Writer) error {
 	admission := fs.String("admission", "accept-all", "admission policy: accept-all, queue-depth, token-bucket, slo-guard")
 	devices := fs.Int("devices", 4, "fleet size")
 	seed := fs.Int64("seed", 1, "replay seed")
+	tracing := fs.Bool("tracing", true, "attach span tracing and report per-stage latency breakdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -272,6 +290,7 @@ func runReplay(args []string, out io.Writer) error {
 	}
 	rep, err := loadgen.Replay(tr, loadgen.ReplayConfig{
 		Devices: *devices, Router: *router, Scheduler: *scheduler, Admission: *admission, Seed: *seed,
+		Tracing: *tracing,
 	})
 	if err != nil {
 		return err
@@ -290,6 +309,7 @@ func runSweep(args []string, out io.Writer) error {
 	devices := fs.Int("devices", 4, "fleet size per combination")
 	seed := fs.Int64("seed", 1, "replay seed shared by every combination")
 	outPath := fs.String("out", "", "report file (default stdout)")
+	tracing := fs.Bool("tracing", true, "attach span tracing and report per-stage latency breakdown per cell")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -307,6 +327,7 @@ func runSweep(args []string, out io.Writer) error {
 		Routers:    splitAxis(*routers),
 		Schedulers: splitAxis(*schedulers),
 		Admissions: splitAxis(*admissions),
+		Tracing:    *tracing,
 	})
 	if err != nil {
 		return err
@@ -325,6 +346,55 @@ func runSweep(args []string, out io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// runTraceExport replays a trace with the flight recorder attached and
+// writes every span — one track per partition (busy/idle occupancy), one
+// per job (lifecycle waterfall) — as Chrome trace-event JSON for Perfetto.
+func runTraceExport(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace export", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "trace file (required)")
+	router := fs.String("router", "least-loaded", "routing policy")
+	scheduler := fs.String("scheduler", "fifo", "within-class order: fifo, fair-share, shortest-first")
+	admission := fs.String("admission", "accept-all", "admission policy: accept-all, queue-depth, token-bucket, slo-guard")
+	devices := fs.Int("devices", 4, "fleet size")
+	seed := fs.Int64("seed", 1, "replay seed")
+	outPath := fs.String("out", "", "trace-event JSON file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("trace export: --trace is required")
+	}
+	tr, err := loadgen.ReadTraceFile(*tracePath)
+	if err != nil {
+		return err
+	}
+	// Size the recorder to hold every job's trace: a replay-wide export is a
+	// full recording, not a flight-recorder tail.
+	rec := trace.NewFlightRecorder(max(1, len(tr.Records)))
+	if _, err := loadgen.Replay(tr, loadgen.ReplayConfig{
+		Devices: *devices, Router: *router, Scheduler: *scheduler, Admission: *admission, Seed: *seed,
+		SpanListener: rec.Observe,
+	}); err != nil {
+		return err
+	}
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteChrome(w, rec.Jobs(), rec.Occupancy()); err != nil {
+		return err
+	}
+	live, done := rec.Len()
+	fmt.Fprintf(os.Stderr, "qcload: exported %d job traces across %d partitions (%s/%s/%s)\n",
+		live+done, *devices, *router, *scheduler, *admission)
+	return nil
 }
 
 // splitAxis turns a comma-separated flag value into a policy axis.

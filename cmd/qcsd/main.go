@@ -6,6 +6,8 @@
 //
 //	qcsd [-listen :8080] [-admin-token TOKEN] [-seed N] [-timescale X]
 //	     [-devices N] [-router POLICY] [-admission POLICY]
+//	     [-slo-wait-target D] [-slo-warn-fraction F]
+//	     [-trace-buffer N] [-debug-listen ADDR]
 //
 // -timescale compresses simulated device time: X simulated seconds advance
 // per wall-clock second (default 10), so a 1 Hz-shot device is usable
@@ -14,7 +16,19 @@
 // -devices sets the number of managed QPU partitions; -router picks how
 // jobs are spread across them (round-robin, least-loaded, class-affinity);
 // -admission picks the load-shedding policy at the submit pipeline's door
-// (accept-all, queue-depth, token-bucket, slo-guard).
+// (accept-all, queue-depth, token-bucket, slo-guard — slo-guard also takes
+// inline parameters, e.g. slo-guard:wait=45s:warn=0.7).
+//
+// -slo-wait-target and -slo-warn-fraction override the slo-guard
+// controller's production p99 wait target and down-class pressure fraction
+// (they require -admission slo-guard).
+//
+// -trace-buffer sizes the flight recorder: the daemon retains the last N
+// terminal job traces for GET /api/v1/trace and `qctl trace <job>`
+// (0 disables tracing).
+//
+// -debug-listen starts a separate debug mux with net/http/pprof endpoints
+// on the given address (off by default; keep it off untrusted networks).
 package main
 
 import (
@@ -22,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -30,6 +45,7 @@ import (
 	"hpcqc/internal/device"
 	"hpcqc/internal/simclock"
 	"hpcqc/internal/telemetry"
+	"hpcqc/internal/trace"
 )
 
 // node is the assembled quantum access node: the simulated device fleet, the
@@ -42,10 +58,28 @@ type node struct {
 	d     *daemon.Daemon
 }
 
+// nodeOptions carries the tunables beyond the core sextet newNode has always
+// taken — slo-guard controller overrides and the flight-recorder size.
+type nodeOptions struct {
+	// sloWaitTarget overrides the slo-guard production p99 wait target when
+	// positive; sloWarnFraction overrides its down-class pressure fraction
+	// when non-negative. Both require an slo-guard admission policy.
+	sloWaitTarget   time.Duration
+	sloWarnFraction float64
+	// traceBuffer is the flight recorder's terminal-trace ring size; zero or
+	// negative disables tracing entirely.
+	traceBuffer int
+}
+
 // newNode wires the fleet, daemon and observability stack exactly as the
-// serving binary runs them. Split from main so tests can boot the same
-// composition without sockets or flags.
+// serving binary runs them, with a default-sized flight recorder. Split from
+// main so tests can boot the same composition without sockets or flags.
 func newNode(adminToken string, seed int64, timescale float64, devices int, routerPolicy, admissionPolicy string) (*node, error) {
+	return newNodeOpts(adminToken, seed, timescale, devices, routerPolicy, admissionPolicy,
+		nodeOptions{sloWarnFraction: -1, traceBuffer: trace.DefaultFlightCapacity})
+}
+
+func newNodeOpts(adminToken string, seed int64, timescale float64, devices int, routerPolicy, admissionPolicy string, opts nodeOptions) (*node, error) {
 	if adminToken == "" {
 		return nil, fmt.Errorf("qcsd: -admin-token is required")
 	}
@@ -59,6 +93,25 @@ func newNode(adminToken string, seed int64, timescale float64, devices int, rout
 	admitter, err := admission.NewPolicy(admissionPolicy)
 	if err != nil {
 		return nil, fmt.Errorf("qcsd: %w", err)
+	}
+	if opts.sloWaitTarget > 0 || opts.sloWarnFraction >= 0 {
+		guard, ok := admitter.(*admission.SLOGuard)
+		if !ok {
+			return nil, fmt.Errorf("qcsd: -slo-wait-target/-slo-warn-fraction require -admission slo-guard (got %q)", admitter.Name())
+		}
+		if opts.sloWaitTarget > 0 {
+			guard.WaitTarget = opts.sloWaitTarget
+		}
+		if opts.sloWarnFraction >= 0 {
+			if opts.sloWarnFraction > 1 {
+				return nil, fmt.Errorf("qcsd: -slo-warn-fraction must be in [0, 1], got %g", opts.sloWarnFraction)
+			}
+			guard.WarnFraction = opts.sloWarnFraction
+		}
+	}
+	var flight *trace.FlightRecorder
+	if opts.traceBuffer > 0 {
+		flight = trace.NewFlightRecorder(opts.traceBuffer)
 	}
 	clk := simclock.New()
 	reg := telemetry.NewRegistry()
@@ -74,7 +127,8 @@ func newNode(adminToken string, seed int64, timescale float64, devices int, rout
 		AdminToken:       adminToken,
 		EnablePreemption: true,
 		Registry:         reg, TSDB: tsdb,
-		Seed: seed,
+		Flight: flight,
+		Seed:   seed,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("qcsd: daemon: %w", err)
@@ -105,10 +159,15 @@ func main() {
 	timescale := flag.Float64("timescale", 10, "simulated seconds per wall second")
 	devices := flag.Int("devices", 1, "number of managed QPU partitions")
 	router := flag.String("router", "least-loaded", "fleet routing policy (round-robin, least-loaded, class-affinity)")
-	admissionPolicy := flag.String("admission", "accept-all", "admission policy (accept-all, queue-depth, token-bucket, slo-guard)")
+	admissionPolicy := flag.String("admission", "accept-all", "admission policy (accept-all, queue-depth, token-bucket, slo-guard[:key=value...])")
+	sloWait := flag.Duration("slo-wait-target", 0, "slo-guard production p99 wait target (0 = policy default; requires -admission slo-guard)")
+	sloWarn := flag.Float64("slo-warn-fraction", -1, "slo-guard down-class pressure fraction in [0,1] (-1 = policy default; requires -admission slo-guard)")
+	traceBuffer := flag.Int("trace-buffer", trace.DefaultFlightCapacity, "flight recorder size: retained terminal job traces (0 disables tracing)")
+	debugListen := flag.String("debug-listen", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
 
-	n, err := newNode(*adminToken, *seed, *timescale, *devices, *router, *admissionPolicy)
+	n, err := newNodeOpts(*adminToken, *seed, *timescale, *devices, *router, *admissionPolicy,
+		nodeOptions{sloWaitTarget: *sloWait, sloWarnFraction: *sloWarn, traceBuffer: *traceBuffer})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -117,6 +176,23 @@ func main() {
 	stop := make(chan struct{})
 	defer close(stop)
 	go n.pump(*timescale, 100*time.Millisecond, stop)
+
+	if *debugListen != "" {
+		// The profiler rides a separate mux on a separate listener, so
+		// production API exposure never includes pprof by accident.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("qcsd: pprof debug mux on %s", *debugListen)
+			if err := http.ListenAndServe(*debugListen, dbg); err != nil {
+				log.Printf("qcsd: debug mux: %v", err)
+			}
+		}()
+	}
 
 	log.Printf("qcsd: serving %s ×%d (%s routing, %s admission) on %s (timescale %gx)",
 		n.dev.Spec().Name, n.fleet.Size(), n.d.RouterName(), n.d.AdmissionName(), *listen, *timescale)

@@ -10,6 +10,8 @@
 //	qctl ... jobs
 //	qctl ... op recalibrate|qa_check|maintenance_on|maintenance_off
 //	qctl ... metrics
+//	qctl ... trace <job-id>
+//	qctl ... trace
 //
 // devices renders the fleet from /api/v1/devices — one line per partition
 // with status, utilization and queue depth by class — through a throwaway
@@ -18,6 +20,12 @@
 // jobs renders the admin job listing as a table — one line per job with
 // class, state and device; jobs shed by the admission stage show as
 // "rejected" with the policy's reason in the DETAIL column.
+//
+// trace <job-id> renders the job's lifecycle trace from the daemon's flight
+// recorder as a stage waterfall — where the job's seconds went (admission,
+// queueing, dispatch, execution) with the policy annotations per stage. A
+// bare trace lists every trace the recorder still holds. Like devices, it
+// uses a throwaway session.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"text/tabwriter"
+	"time"
 )
 
 func main() {
@@ -37,7 +46,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "qctl: need a subcommand: status, devices, jobs, op <name>, metrics")
+		fmt.Fprintln(os.Stderr, "qctl: need a subcommand: status, devices, jobs, op <name>, metrics, trace [job-id]")
 		os.Exit(2)
 	}
 	if err := run(*endpoint, *token, flag.Args()); err != nil {
@@ -61,6 +70,11 @@ func run(endpoint, token string, args []string) error {
 			return fmt.Errorf("op needs an operation name")
 		}
 		return post(endpoint+"/admin/v1/lowlevel/"+args[1], token)
+	case "trace":
+		if len(args) >= 2 {
+			return traceJob(endpoint, args[1], os.Stdout)
+		}
+		return traceList(endpoint, os.Stdout)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -175,6 +189,95 @@ func jobs(endpoint, token string, out io.Writer) error {
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n", j.ID, j.User, j.Class, j.State, dev, detail)
 	}
 	return tw.Flush()
+}
+
+// traceSpan mirrors the trace.Span JSON (start/end are nanosecond offsets).
+type traceSpan struct {
+	Stage  string        `json:"stage"`
+	Class  string        `json:"class"`
+	Device string        `json:"device"`
+	Start  time.Duration `json:"start"`
+	End    time.Duration `json:"end"`
+	Detail string        `json:"detail"`
+}
+
+// traceRecord mirrors the trace.JobTrace JSON.
+type traceRecord struct {
+	Job    string      `json:"job"`
+	Class  string      `json:"class"`
+	Device string      `json:"device"`
+	State  string      `json:"state"`
+	Spans  []traceSpan `json:"spans"`
+}
+
+// traceJob renders one job's trace from the flight recorder as a stage
+// waterfall: per stage, the simulation-time offset it began at, how long it
+// took, and the policy annotation.
+func traceJob(endpoint, id string, out io.Writer) error {
+	token, err := openSession(endpoint, "qctl")
+	if err != nil {
+		return err
+	}
+	defer closeSession(endpoint, token)
+	body, err := request(http.MethodGet, endpoint+"/api/v1/trace/"+id, token)
+	if err != nil {
+		return err
+	}
+	var t traceRecord
+	if err := json.Unmarshal(body, &t); err != nil {
+		return fmt.Errorf("parsing trace: %w", err)
+	}
+	state := t.State
+	if state == "" {
+		state = "live"
+	}
+	fmt.Fprintf(out, "trace %s: class %s, device %s, %s\n", t.Job, t.Class, orDash(t.Device), state)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "STAGE\tAT\tDUR\tDEVICE\tDETAIL")
+	for _, s := range t.Spans {
+		fmt.Fprintf(tw, "%s\t+%s\t%s\t%s\t%s\n",
+			s.Stage, s.Start, s.End-s.Start, orDash(s.Device), s.Detail)
+	}
+	return tw.Flush()
+}
+
+// traceList summarizes every trace the flight recorder still holds.
+func traceList(endpoint string, out io.Writer) error {
+	token, err := openSession(endpoint, "qctl")
+	if err != nil {
+		return err
+	}
+	defer closeSession(endpoint, token)
+	body, err := request(http.MethodGet, endpoint+"/api/v1/trace", token)
+	if err != nil {
+		return err
+	}
+	var listing struct {
+		Live int           `json:"live"`
+		Done int           `json:"done"`
+		Jobs []traceRecord `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		return fmt.Errorf("parsing trace listing: %w", err)
+	}
+	fmt.Fprintf(out, "flight recorder: %d live, %d terminal\n", listing.Live, listing.Done)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "JOB\tCLASS\tDEVICE\tSTATE\tSPANS")
+	for _, t := range listing.Jobs {
+		state := t.State
+		if state == "" {
+			state = "live"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\n", t.Job, t.Class, orDash(t.Device), state, len(t.Spans))
+	}
+	return tw.Flush()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 // openSession creates a throwaway user session and returns its token.

@@ -1,0 +1,99 @@
+// trace_perfetto walks the sim-time tracing pipeline end to end: replay a
+// generated workload with the span subsystem attached, print where each
+// class's seconds went (the per-stage latency attribution the SLO analyzer
+// folds into sweep reports), render one job's lifecycle waterfall from the
+// flight recorder, and export the whole replay as Chrome trace-event JSON.
+//
+// Open the exported file in Perfetto: https://ui.perfetto.dev → "Open trace
+// file" → fleet_trace.json (chrome://tracing and speedscope read it too).
+// The "fleet partitions" process has one track per QPU partition showing
+// busy slices named by the occupying job with explicit idle gaps; the
+// "jobs" process has one track per job walking validate → admission →
+// route → queued → dispatch → execute → completed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"hpcqc/internal/loadgen"
+	"hpcqc/internal/trace"
+)
+
+func main() {
+	// One hour of Poisson arrivals — enough to show queueing under load.
+	tr, err := loadgen.Generate(loadgen.Config{
+		Seed: 7, Horizon: time.Hour,
+		Process: &loadgen.Poisson{RatePerHour: 180},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay on a 2-partition fleet with the flight recorder sized to hold
+	// every trace (a live daemon would bound it; an export wants it all).
+	rec := trace.NewFlightRecorder(len(tr.Records))
+	rep, err := loadgen.Replay(tr, loadgen.ReplayConfig{
+		Devices: 2, Router: "least-loaded", Scheduler: "fifo", Admission: "slo-guard",
+		Seed: 7, SpanListener: rec.Observe,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %d jobs: %d completed, %d rejected, %d preemptions\n\n",
+		rep.Jobs, rep.Completed, rep.Rejected, rep.Preemptions)
+
+	// Stage-latency attribution: the same numbers a traced `qcload sweep`
+	// reports per cell.
+	fmt.Println("— where each class's seconds went (p50/p99 per stage) —")
+	classes := make([]string, 0, len(rep.PerClass))
+	for class := range rep.PerClass {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		c := rep.PerClass[class]
+		if len(c.Stages) == 0 {
+			continue
+		}
+		fmt.Printf("  %s:\n", class)
+		stages := make([]string, 0, len(c.Stages))
+		for stage := range c.Stages {
+			stages = append(stages, stage)
+		}
+		sort.Strings(stages)
+		for _, stage := range stages {
+			st := c.Stages[stage]
+			fmt.Printf("    %-9s %5d spans  p50 %8.3fs  p99 %8.3fs  total %9.1fs\n",
+				stage, st.Spans, st.Seconds.P50, st.Seconds.P99, st.TotalSeconds)
+		}
+	}
+
+	// One job's waterfall from the flight recorder — what `qctl trace
+	// <job>` renders against a live daemon.
+	jobs := rec.Jobs()
+	var pick trace.JobTrace
+	for _, t := range jobs {
+		if t.State == trace.MarkCompleted && len(t.Spans) > len(pick.Spans) {
+			pick = t
+		}
+	}
+	fmt.Printf("\n— trace %s: class %s, device %s, %s —\n", pick.Job, pick.Class, pick.Device, pick.State)
+	for _, s := range pick.Spans {
+		fmt.Printf("  %-10s +%-12s %-12s %s\n", s.Stage, s.Start, s.Dur(), s.Detail)
+	}
+
+	// Chrome trace-event export for Perfetto.
+	f, err := os.Create("fleet_trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteChrome(f, jobs, rec.Occupancy()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote fleet_trace.json (%d job tracks) — open it at https://ui.perfetto.dev\n", len(jobs))
+}

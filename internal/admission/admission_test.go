@@ -191,3 +191,78 @@ func TestSLOGuardIgnoresBestEffortSignals(t *testing.T) {
 		t.Fatalf("best-effort signals moved the controller: pressure %g", p)
 	}
 }
+
+func TestNewPolicyParameterizedSLOGuard(t *testing.T) {
+	p, err := NewPolicy("slo-guard:wait=45s:warn=0.7:slowdown=2.5:window=15m:shed=3:min=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := p.(*SLOGuard)
+	if !ok {
+		t.Fatalf("parameterized slo-guard built %T", p)
+	}
+	if g.WaitTarget != 45*time.Second || g.WarnFraction != 0.7 || g.SlowdownTarget != 2.5 ||
+		g.Window != 15*time.Minute || g.ShedTestFactor != 3 || g.MinSamples != 5 {
+		t.Fatalf("parameters not applied: %+v", g)
+	}
+	// The full spelling is the policy name, so two tunings stay apart in
+	// sweep reports and telemetry.
+	if want := "slo-guard:wait=45s:warn=0.7:slowdown=2.5:window=15m:shed=3:min=5"; g.Name() != want {
+		t.Fatalf("Name() = %q, want %q", g.Name(), want)
+	}
+	// A bare slo-guard keeps the bare name and defaults.
+	bare, err := NewPolicy("slo-guard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Name() != "slo-guard" {
+		t.Fatalf("bare Name() = %q", bare.Name())
+	}
+	if bare.(*SLOGuard).WaitTarget != 60*time.Second {
+		t.Fatalf("bare wait target = %v", bare.(*SLOGuard).WaitTarget)
+	}
+}
+
+func TestNewPolicyParameterErrors(t *testing.T) {
+	for _, name := range []string{
+		"slo-guard:wait=0s",       // non-positive target
+		"slo-guard:wait=banana",   // unparseable duration
+		"slo-guard:warn=1.5",      // fraction out of range
+		"slo-guard:shed=0.5",      // below 1
+		"slo-guard:min=0",         // non-positive
+		"slo-guard:wait",          // not key=value
+		"slo-guard:p99=10s",       // unknown key
+		"token-bucket:rate=5",     // non-parameterizable policy
+		"accept-all:x=1",          // non-parameterizable policy
+	} {
+		if _, err := NewPolicy(name); err == nil {
+			t.Errorf("NewPolicy(%q) accepted", name)
+		}
+	}
+}
+
+func TestParameterizedSLOGuardTunedBehavior(t *testing.T) {
+	// With warn dropped to 0.2 and the wait target halved, a 15s production
+	// wait window (p99 = 15) yields pressure 15/30 = 0.5 ≥ warn, so test work
+	// is down-classed while the default controller would accept it.
+	tuned, err := NewPolicy("slo-guard:wait=30s:warn=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(p Policy) {
+		o := p.(Observer)
+		for i := 0; i < 5; i++ {
+			o.Observe(Signal{Class: sched.ClassProduction, At: time.Minute, WaitSeconds: 15})
+		}
+	}
+	feed(tuned)
+	req := Request{Class: sched.ClassTest, Now: time.Minute}
+	if dec := tuned.Admit(req, View{}); dec.Outcome != Downgraded {
+		t.Fatalf("tuned guard at pressure 0.5 = %+v, want downgrade", dec)
+	}
+	def := NewSLOGuard()
+	feed(def)
+	if dec := def.Admit(req, View{}); dec.Outcome != Accepted {
+		t.Fatalf("default guard at pressure 0.25 = %+v, want accept", dec)
+	}
+}

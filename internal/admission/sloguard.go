@@ -3,6 +3,8 @@ package admission
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -43,6 +45,10 @@ type SLOGuard struct {
 	// trusted (default 3); below it only the backlog-age term acts.
 	MinSamples int
 
+	// label is the full parameterized spelling when the controller was built
+	// from one (e.g. "slo-guard:wait=45s:warn=0.7"); empty for defaults.
+	label string
+
 	mu    sync.Mutex
 	waits []signalPoint
 	slows []signalPoint
@@ -65,8 +71,66 @@ func NewSLOGuard() *SLOGuard {
 	}
 }
 
-// Name implements Policy.
-func (p *SLOGuard) Name() string { return "slo-guard" }
+// Name implements Policy. A controller built from a parameterized spelling
+// keeps it, so reports and telemetry distinguish tunings.
+func (p *SLOGuard) Name() string {
+	if p.label != "" {
+		return p.label
+	}
+	return "slo-guard"
+}
+
+// configure applies colon-separated key=value controller parameters (see
+// NewPolicy for the grammar).
+func (p *SLOGuard) configure(params string) error {
+	for _, kv := range strings.Split(params, ":") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || v == "" {
+			return fmt.Errorf("admission: slo-guard parameter %q is not key=value", kv)
+		}
+		switch k {
+		case "wait":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return fmt.Errorf("admission: slo-guard wait target %q must be a positive duration", v)
+			}
+			p.WaitTarget = d
+		case "window":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return fmt.Errorf("admission: slo-guard window %q must be a positive duration", v)
+			}
+			p.Window = d
+		case "slowdown":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 {
+				return fmt.Errorf("admission: slo-guard slowdown target %q must be a positive number", v)
+			}
+			p.SlowdownTarget = f
+		case "warn":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				return fmt.Errorf("admission: slo-guard warn fraction %q must be in [0, 1]", v)
+			}
+			p.WarnFraction = f
+		case "shed":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 1 {
+				return fmt.Errorf("admission: slo-guard shed factor %q must be >= 1", v)
+			}
+			p.ShedTestFactor = f
+		case "min":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("admission: slo-guard min samples %q must be a positive integer", v)
+			}
+			p.MinSamples = n
+		default:
+			return fmt.Errorf("admission: unknown slo-guard parameter %q (wait, slowdown, window, warn, shed, min)", k)
+		}
+	}
+	return nil
+}
 
 // Observe implements Observer: only production signals steer the controller.
 // Window-expired samples are pruned here as well as in Pressure, so a

@@ -32,6 +32,7 @@ import (
 	"hpcqc/internal/sched"
 	"hpcqc/internal/simclock"
 	"hpcqc/internal/telemetry"
+	"hpcqc/internal/trace"
 )
 
 // JobState is the daemon-level job lifecycle. Preempted jobs return to
@@ -116,6 +117,10 @@ type Job struct {
 	// preemption requeues), so the dispatch loop never re-decodes JSON.
 	// Programs are immutable after decode.
 	prog *qir.Program
+	// enqueuedAt is when the job last entered a queue (submission, then each
+	// preemption requeue) — the start of its current queued/requeued trace
+	// span. Guarded by d.mu like the exported timing fields.
+	enqueuedAt time.Duration
 }
 
 // ClassName renders the class for JSON consumers.
@@ -209,6 +214,26 @@ type Config struct {
 	// not call back into the daemon (schedule follow-up work on the clock
 	// instead).
 	JobListener func(JobEvent)
+	// SpanListener receives simulation-time pipeline and occupancy spans when
+	// non-nil — the tracing analogue of JobListener, with the same contract:
+	// it may be invoked under daemon locks, must return quickly, and must not
+	// call back into the daemon. Spans are pure functions of the simulation
+	// clock and the scheduling decisions, so attaching a deterministic
+	// listener preserves replay determinism.
+	SpanListener trace.Listener
+	// Flight, when non-nil, is a flight recorder the daemon additionally
+	// feeds every span — the bounded in-process trace store behind
+	// GET /api/v1/trace and `qctl trace <job>`. Usable with or without a
+	// SpanListener.
+	Flight *trace.FlightRecorder
+	// PipelineSpansOnly restricts emission to the duration-carrying pipeline
+	// stages (validate/admission/route/queued/requeued/execute), skipping
+	// instant lifecycle marks, dispatch hand-off marks and partition
+	// busy/idle occupancy spans. Stage-latency attribution is a pure
+	// consumer of the pipeline stages, so a listener that only aggregates
+	// (the loadgen SLO analyzer) sets this to halve the span traffic; trace
+	// stores and exporters must leave it false.
+	PipelineSpansOnly bool
 	// Registry receives daemon metrics when non-nil.
 	Registry *telemetry.Registry
 	// TSDB receives queue telemetry when non-nil.
@@ -255,6 +280,9 @@ type deviceState struct {
 	// after its last queue check.
 	dispatching bool
 	wakeups     uint64
+	// occSince is when the partition last flipped between busy and idle —
+	// the open edge of its current occupancy span (tracing only).
+	occSince time.Duration
 }
 
 // Daemon is the middleware service core. The HTTP layer in http.go is a thin
@@ -271,6 +299,9 @@ type Daemon struct {
 	// admitObserver is the admitter's Observer side, when it has one —
 	// the stage-4 → stage-1 SLO feedback sink.
 	admitObserver admission.Observer
+	// admitDetails interns the reason-less admission span annotations
+	// ("<policy> <outcome>") so traced accepts don't concatenate per job.
+	admitDetails map[admission.Outcome]string
 
 	// fleet and byDevice are immutable after NewDaemon: the partition pool
 	// (validated through device.FleetOf) with scheduling state layered on.
@@ -317,6 +348,14 @@ type Daemon struct {
 	bAdmit      [3]map[admission.Outcome]*telemetry.BoundSeries
 	bAdmitRej   [3]*telemetry.BoundSeries
 
+	// spanMarks reports whether instant marks and occupancy spans are
+	// emitted (false under Config.PipelineSpansOnly).
+	spanMarks bool
+	// span is the wired trace listener (Config.SpanListener teed with the
+	// flight recorder); nil means tracing off and every emission site reduces
+	// to one nil check.
+	span   trace.Listener
+	flight *trace.FlightRecorder
 }
 
 // The decode-once program cache: payload bytes → decoded program. Replay and
@@ -413,6 +452,14 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 		usageByUser: make(map[string]float64),
 	}
 	d.admitObserver, _ = admitter.(admission.Observer)
+	d.internAdmissionDetails()
+	d.flight = cfg.Flight
+	if d.flight != nil {
+		d.span = trace.Tee(cfg.SpanListener, d.flight.Observe)
+	} else {
+		d.span = cfg.SpanListener
+	}
+	d.spanMarks = d.span != nil && !cfg.PipelineSpansOnly
 	// FleetOf owns the nil-device and unique-ID invariants.
 	fleet, err := device.FleetOf(devices...)
 	if err != nil {
@@ -601,6 +648,15 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	if req.ExpectedQPUSeconds < 0 {
 		return nil, fmt.Errorf("daemon: negative expected QPU seconds %g", req.ExpectedQPUSeconds)
 	}
+	// Pipeline-stage timestamps for tracing, buffered in locals — the job ID
+	// the spans carry is only minted after admission. In pure replay the
+	// stages collapse to instants (the clock does not advance inside Submit);
+	// under the live wall-clock pump they carry real deliberation time.
+	traced := d.traced()
+	var tSubmit, tValidate, tAdmit time.Duration
+	if traced {
+		tSubmit = d.cfg.Clock.Now()
+	}
 	// Validation precedes admission so a submission no partition could run
 	// (bad pin, undecodable or invalid program) cannot drain a stateful
 	// policy's quota: tokens are spent only on submissions some partition
@@ -658,11 +714,26 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	if estimated {
 		req.ExpectedQPUSeconds = prog.EstimatedQPUSeconds(&vspec)
 	}
+	if traced {
+		tValidate = d.cfg.Clock.Now()
+	}
 	// Stage 1: admission. Pins bypass the router, not the door; a rejected
 	// submission terminates here with a queryable job record.
 	dec := d.admitStage(req, s.User)
+	if traced {
+		tAdmit = d.cfg.Clock.Now()
+	}
 	if dec.Outcome == admission.Rejected {
 		j := d.recordRejected(s, token, req, dec)
+		if traced {
+			cls := req.Class.String()
+			d.emitSpan(trace.Span{Job: j.ID, Stage: trace.StageValidate, Class: cls, Start: tSubmit, End: tValidate})
+			d.emitSpan(trace.Span{Job: j.ID, Stage: trace.StageAdmission, Class: cls, Start: tValidate, End: tAdmit,
+				Detail: d.admissionDetail(dec)})
+			if d.spanMarks {
+				d.emitSpan(trace.Span{Job: j.ID, Stage: trace.MarkRejected, Class: cls, Start: j.FinishedAt, End: j.FinishedAt})
+			}
+		}
 		return nil, &RejectedError{Job: j, Reason: dec.Reason}
 	}
 	// Enforce the Decision contract on custom policies before the class is
@@ -711,6 +782,7 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 		}
 	}
 	d.mu.Lock()
+	now := d.cfg.Clock.Now()
 	j := &Job{
 		ID:                 d.allocJobIDLocked(),
 		Session:            token,
@@ -723,9 +795,10 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 		Pinned:             req.Device != "",
 		ExpectedQPUSeconds: req.ExpectedQPUSeconds,
 		State:              JobQueued,
-		SubmittedAt:        d.cfg.Clock.Now(),
+		SubmittedAt:        now,
 		payload:            req.Program,
 		prog:               prog,
+		enqueuedAt:         now,
 	}
 	if dec.Outcome != admission.Accepted {
 		j.AdmissionOutcome = string(dec.Outcome)
@@ -737,6 +810,18 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	// concurrent cancel and "submitted" always precedes "started" in
 	// listener order.
 	d.notify(JobEventSubmitted, *j)
+	if traced {
+		cls := class.String()
+		routeDetail := d.router.Name()
+		if req.Device != "" {
+			routeDetail = "pinned"
+		}
+		d.emitSpan(trace.Span{Job: j.ID, Stage: trace.StageValidate, Class: cls, Start: tSubmit, End: tValidate})
+		d.emitSpan(trace.Span{Job: j.ID, Stage: trace.StageAdmission, Class: cls, Start: tValidate, End: tAdmit,
+			Detail: d.admissionDetail(dec)})
+		d.emitSpan(trace.Span{Job: j.ID, Stage: trace.StageRoute, Class: cls, Device: ds.id,
+			Start: tAdmit, End: now, Detail: routeDetail})
+	}
 	d.mu.Unlock()
 
 	// Stage 3: queueing — the partition's ClassQueue holds the job under
@@ -1062,6 +1147,22 @@ func (d *Daemon) startJob(ds *deviceState, j *Job, taskID string) {
 		d.bWait[j.Class].Observe(wait.Seconds())
 		d.feedWait(j.Class, wait, now)
 		d.notify(JobEventStarted, *j)
+		if d.traced() {
+			cls := j.Class.String()
+			if d.spanMarks {
+				// Close the partition's idle occupancy span (ds.mu is held).
+				if now > ds.occSince {
+					d.emitSpan(trace.Span{Stage: trace.StageIdle, Device: ds.id, Start: ds.occSince, End: now})
+				}
+				ds.occSince = now
+			}
+			d.emitSpan(trace.Span{Job: j.ID, Stage: waitStage(j), Class: cls, Device: ds.id,
+				Start: j.enqueuedAt, End: now})
+			if d.spanMarks {
+				d.emitSpan(trace.Span{Job: j.ID, Stage: trace.StageDispatch, Class: cls, Device: ds.id,
+					Start: now, End: now, Detail: taskID})
+			}
+		}
 	}
 	d.mu.Unlock()
 	ds.mu.Unlock()
@@ -1097,6 +1198,13 @@ func (d *Daemon) onDeviceTask(deviceID, taskID string, state device.TaskState) {
 	delete(ds.byTask, taskID)
 	if ds.running == j {
 		ds.running = nil
+		if d.spanMarks {
+			// Close the partition's busy occupancy span (ds.mu is held).
+			now := d.cfg.Clock.Now()
+			d.emitSpan(trace.Span{Job: j.ID, Stage: trace.StageBusy, Class: j.Class.String(),
+				Device: ds.id, Start: ds.occSince, End: now})
+			ds.occSince = now
+		}
 	}
 	ds.mu.Unlock()
 	d.settleTask(ds, j, taskID, state)
@@ -1127,6 +1235,17 @@ func (d *Daemon) settleTask(ds *deviceState, j *Job, taskID string, state device
 		if preempted {
 			j.State = JobQueued
 			j.DeviceTask = ""
+			now := d.cfg.Clock.Now()
+			j.enqueuedAt = now
+			if d.traced() {
+				cls := j.Class.String()
+				d.emitSpan(trace.Span{Job: j.ID, Stage: trace.StageExecute, Class: cls, Device: ds.id,
+					Start: j.StartedAt, End: now, Detail: "preempted"})
+				if d.spanMarks {
+					d.emitSpan(trace.Span{Job: j.ID, Stage: trace.MarkPreempted, Class: cls, Device: ds.id,
+						Start: now, End: now})
+				}
+			}
 		}
 		d.mu.Unlock()
 		if preempted {
@@ -1140,6 +1259,10 @@ func (d *Daemon) settleTask(ds *deviceState, j *Job, taskID string, state device
 				j.Device = target.id
 			}
 			d.notify(JobEventRequeued, *j)
+			if d.spanMarks {
+				d.emitSpan(trace.Span{Job: j.ID, Stage: trace.MarkRequeued, Class: j.Class.String(),
+					Device: target.id, Start: j.enqueuedAt, End: j.enqueuedAt})
+			}
 			d.mu.Unlock()
 			_ = target.queue.Push(d.queueItem(j))
 			if target != ds {
@@ -1215,6 +1338,7 @@ func (d *Daemon) finishLocked(j *Job, state JobState, result []byte, err error) 
 	if j.State == JobCompleted || j.State == JobFailed || j.State == JobCancelled || j.State == JobRejected {
 		return false
 	}
+	prior := j.State
 	j.State = state
 	j.FinishedAt = d.cfg.Clock.Now()
 	j.result = result
@@ -1232,6 +1356,23 @@ func (d *Daemon) finishLocked(j *Job, state JobState, result []byte, err error) 
 		d.feedSlowdown(j.Class, (j.FinishedAt-j.SubmittedAt).Seconds()/j.ExpectedQPUSeconds, j.FinishedAt)
 	}
 	d.notify(JobEventFinished, *j)
+	if d.traced() {
+		cls := j.Class.String()
+		switch prior {
+		case JobRunning:
+			d.emitSpan(trace.Span{Job: j.ID, Stage: trace.StageExecute, Class: cls, Device: j.Device,
+				Start: j.StartedAt, End: j.FinishedAt, Detail: string(state)})
+		case JobQueued:
+			// Cancelled while waiting — or an orphaned completion whose
+			// terminal device notification raced ahead of start bookkeeping.
+			d.emitSpan(trace.Span{Job: j.ID, Stage: waitStage(j), Class: cls, Device: j.Device,
+				Start: j.enqueuedAt, End: j.FinishedAt, Detail: string(state)})
+		}
+		if d.spanMarks {
+			d.emitSpan(trace.Span{Job: j.ID, Stage: terminalMark(state), Class: cls, Device: j.Device,
+				Start: j.FinishedAt, End: j.FinishedAt})
+		}
+	}
 	return true
 }
 

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"hpcqc/internal/qrmi"
 	"hpcqc/internal/sched"
+	"hpcqc/internal/telemetry"
 )
 
 // Handler returns the daemon's REST API:
@@ -21,7 +24,12 @@ import (
 //	GET    /api/v1/jobs/{id}                job status
 //	GET    /api/v1/jobs/{id}/result         job result
 //	DELETE /api/v1/jobs/{id}                cancel
+//	GET    /api/v1/trace                    flight-recorder listing (token auth)
+//	GET    /api/v1/trace/{id}               one job's trace (token auth)
 //	GET    /metrics                         Prometheus exposition (public)
+//	GET    /api/v1/metrics/query            TSDB range query (public):
+//	                                        ?name=...&from=...&to=...[&window=...&agg=...];
+//	                                        other params select label values
 //	GET    /healthz                         liveness (public)
 //	GET    /admin/v1/status                 admin overview (admin token)
 //	GET    /admin/v1/jobs                   all jobs (admin token)
@@ -162,6 +170,33 @@ func (d *Daemon) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "cancelled"})
 	}))
 
+	mux.HandleFunc("GET /api/v1/trace", d.withSession(func(token string, w http.ResponseWriter, r *http.Request) {
+		if d.flight == nil {
+			writeErr(w, http.StatusNotFound, errors.New("flight recorder disabled"))
+			return
+		}
+		live, done := d.flight.Len()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"live":      live,
+			"done":      done,
+			"jobs":      d.flight.Jobs(),
+			"occupancy": d.flight.Occupancy(),
+		})
+	}))
+	mux.HandleFunc("GET /api/v1/trace/{id}", d.withSession(func(token string, w http.ResponseWriter, r *http.Request) {
+		if d.flight == nil {
+			writeErr(w, http.StatusNotFound, errors.New("flight recorder disabled"))
+			return
+		}
+		t, ok := d.flight.Job(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no trace for job %q (evicted or unknown)", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, t)
+	}))
+	mux.HandleFunc("GET /api/v1/metrics/query", d.handleMetricsQuery)
+
 	mux.HandleFunc("GET /admin/v1/status", d.withAdmin(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.AdminStatus())
 	}))
@@ -188,6 +223,115 @@ func (d *Daemon) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": msg})
 	}))
 	return mux
+}
+
+// handleMetricsQuery is the TSDB range-query endpoint — the first external
+// window into the in-memory time-series store. Query parameters:
+//
+//	name     series name (required; see "names" in the error response)
+//	from,to  range bounds as Go durations ("30m") or plain seconds; from
+//	         defaults to 0, to defaults to the current simulation time
+//	window   optional downsampling window (same formats); requires agg
+//	agg      reduction for window ("mean", "max", "min", "last", "count")
+//
+// Every other parameter selects a label value (e.g. &class=production).
+// Timestamps in the response are simulation-time seconds.
+func (d *Daemon) handleMetricsQuery(w http.ResponseWriter, r *http.Request) {
+	db := d.cfg.TSDB
+	if db == nil {
+		writeErr(w, http.StatusNotFound, errors.New("tsdb disabled"))
+		return
+	}
+	q := r.URL.Query()
+	name := q.Get("name")
+	if name == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": "missing name parameter",
+			"names": db.SeriesNames(),
+		})
+		return
+	}
+	from, err := parseSimTime(q.Get("from"), 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad from: %w", err))
+		return
+	}
+	to, err := parseSimTime(q.Get("to"), d.cfg.Clock.Now())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad to: %w", err))
+		return
+	}
+	window, err := parseSimTime(q.Get("window"), 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad window: %w", err))
+		return
+	}
+	labels := telemetry.Labels{}
+	for k, vs := range q {
+		switch k {
+		case "name", "from", "to", "window", "agg":
+			continue
+		}
+		if len(vs) > 0 {
+			labels[k] = vs[0]
+		}
+	}
+	var points []telemetry.Point
+	if window > 0 {
+		kind, err := parseAgg(q.Get("agg"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		points = db.Downsample(name, labels, from, to, window, kind)
+	} else if q.Get("agg") != "" {
+		writeErr(w, http.StatusBadRequest, errors.New("agg requires window"))
+		return
+	} else {
+		points = db.Query(name, labels, from, to)
+	}
+	out := make([]map[string]float64, len(points))
+	for i, p := range points {
+		out[i] = map[string]float64{"at_seconds": p.At.Seconds(), "value": p.Value}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":   name,
+		"labels": labels,
+		"points": out,
+	})
+}
+
+// parseSimTime accepts a Go duration string ("90m") or plain seconds ("5400")
+// as a simulation-time offset.
+func parseSimTime(s string, def time.Duration) (time.Duration, error) {
+	if s == "" {
+		return def, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		return d, nil
+	}
+	secs, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is neither a duration nor seconds", s)
+	}
+	return time.Duration(secs * float64(time.Second)), nil
+}
+
+func parseAgg(s string) (telemetry.AggregateKind, error) {
+	switch s {
+	case "mean", "":
+		return telemetry.AggMean, nil
+	case "max":
+		return telemetry.AggMax, nil
+	case "min":
+		return telemetry.AggMin, nil
+	case "last":
+		return telemetry.AggLast, nil
+	case "count":
+		return telemetry.AggCount, nil
+	default:
+		return 0, fmt.Errorf("unknown agg %q (mean, max, min, last, count)", s)
+	}
 }
 
 // withSession authenticates the bearer session token.

@@ -11,6 +11,7 @@ import (
 	"hpcqc/internal/sched"
 	"hpcqc/internal/simclock"
 	"hpcqc/internal/telemetry"
+	"hpcqc/internal/trace"
 )
 
 // AllRouters lists the routing policies a sweep expands "all" to.
@@ -43,6 +44,15 @@ type ReplayConfig struct {
 	// DrainGrace bounds how far past the trace horizon the replay advances
 	// waiting for the backlog to drain (default 14 days of simulation time).
 	DrainGrace time.Duration
+	// Tracing turns on simulation-time span emission: the report then carries
+	// per-class per-stage latency attribution (ClassSLO.Stages). Spans are
+	// deterministic, so tracing does not perturb schedule decisions or report
+	// byte-stability — it only adds the stage breakdown.
+	Tracing bool
+	// SpanListener, when non-nil, additionally receives every emitted span
+	// (implies Tracing) — the hook `qcload trace export` uses to capture a
+	// replay into a flight recorder for Chrome trace-event export.
+	SpanListener trace.Listener
 }
 
 // Replay submits every trace record at its recorded arrival instant against
@@ -92,17 +102,28 @@ func Replay(tr *Trace, cfg ReplayConfig) (*Report, error) {
 		return nil, fmt.Errorf("loadgen: replay fleet: %w", err)
 	}
 	an := NewAnalyzer(cfg.Registry)
+	var spans trace.Listener
+	pipelineOnly := false
+	if cfg.Tracing || cfg.SpanListener != nil {
+		spans = trace.Tee(an.ObserveSpan, cfg.SpanListener)
+		// With only the analyzer listening, marks and occupancy spans would
+		// be built and discarded — have the daemon skip them. Any external
+		// listener (flight recorder, exporter) gets the full stream.
+		pipelineOnly = cfg.SpanListener == nil
+	}
 	d, err := daemon.NewDaemon(daemon.Config{
-		Devices:          fleet.Devices(),
-		Router:           router,
-		Order:            order,
-		Admission:        admitter,
-		Clock:            clk,
-		AdminToken:       "loadgen",
-		EnablePreemption: true,
-		Seed:             cfg.Seed,
-		JobListener:      an.Observe,
-		Registry:         cfg.Registry,
+		Devices:           fleet.Devices(),
+		Router:            router,
+		Order:             order,
+		Admission:         admitter,
+		Clock:             clk,
+		AdminToken:        "loadgen",
+		EnablePreemption:  true,
+		Seed:              cfg.Seed,
+		JobListener:       an.Observe,
+		SpanListener:      spans,
+		PipelineSpansOnly: pipelineOnly,
+		Registry:          cfg.Registry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: replay daemon: %w", err)

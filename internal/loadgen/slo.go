@@ -6,6 +6,7 @@ import (
 
 	"hpcqc/internal/daemon"
 	"hpcqc/internal/telemetry"
+	"hpcqc/internal/trace"
 )
 
 // Quantiles carries the p50/p95/p99 of one SLO distribution.
@@ -31,6 +32,14 @@ func quantiles(samples []float64) Quantiles {
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
+	return quantilesSorted(s)
+}
+
+// quantilesSorted is quantiles for an already-sorted slice the caller owns.
+func quantilesSorted(s []float64) Quantiles {
+	if len(s) == 0 {
+		return Quantiles{}
+	}
 	pick := func(p float64) float64 {
 		i := int(p*float64(len(s))+0.5) - 1
 		if i < 0 {
@@ -71,6 +80,25 @@ type ClassSLO struct {
 	// Slowdown is turnaround divided by the job's expected QPU service time
 	// (1.0 = ran the instant it arrived, with no queueing or preemption).
 	Slowdown Quantiles `json:"slowdown"`
+	// Stages is the stage-latency attribution, present when the replay ran
+	// with tracing: per pipeline stage (validate, admission, route, queued,
+	// requeued, execute), the distribution of that stage's duration for jobs
+	// of this class — the decomposition that turns "p99 wait fell 11.5 s"
+	// into "9 s out of queueing, 2.5 s out of admission retry".
+	Stages map[string]*StageSLO `json:"stages,omitempty"`
+}
+
+// StageSLO is the per-stage slice of the stage-latency attribution.
+type StageSLO struct {
+	// Spans counts observed stage spans (a preempted job contributes one
+	// execute span per run segment, one requeued span per requeue).
+	Spans int `json:"spans"`
+	// Seconds is the distribution of the stage's span durations.
+	Seconds     Quantiles `json:"seconds"`
+	MeanSeconds float64   `json:"mean_seconds"`
+	// TotalSeconds is the summed stage time across the class's jobs — the
+	// stage's share of where the class's seconds went.
+	TotalSeconds float64 `json:"total_seconds"`
 }
 
 // DeviceSLO is the per-partition slice of a report.
@@ -155,6 +183,21 @@ type Analyzer struct {
 	// key rendering out of that per-job path. Nil maps (no registry) and nil
 	// entries both no-op.
 	bWait, bSlowdown map[string]*telemetry.BoundSeries
+
+	// stages accumulates per-class per-stage duration samples from pipeline
+	// spans (class → stage → seconds), populated when ObserveSpan is wired as
+	// the daemon's span listener. Samples arrive in emission order — the
+	// deterministic single-goroutine replay order — so the report's stage
+	// quantiles are byte-stable.
+	// Samples stay in the emission unit (time.Duration) — the float64
+	// seconds conversion happens once per sample at Report time, not on the
+	// per-span hot path.
+	stages map[string]map[trace.Stage][]time.Duration
+	// lastClass/lastStages memoize the most recent class lookup: spans for
+	// one job arrive back-to-back, so consecutive samples usually share a
+	// class and skip the outer map hash.
+	lastClass  string
+	lastStages map[trace.Stage][]time.Duration
 }
 
 // NewAnalyzer returns an analyzer; reg may be nil to skip metric exposition.
@@ -249,9 +292,40 @@ func (a *Analyzer) Observe(ev daemon.JobEvent) {
 			a.bWait[t.class].Observe((t.firstStart - t.submitted).Seconds())
 		}
 		if ev.Job.State == daemon.JobCompleted && t.expected > 0 {
-			a.bSlowdown[t.class].Observe((t.finished-t.submitted).Seconds() / t.expected)
+			a.bSlowdown[t.class].Observe((t.finished - t.submitted).Seconds() / t.expected)
 		}
 	}
+}
+
+// ObserveSpan consumes one pipeline span — wire it as (or inside) the
+// daemon's Config.SpanListener to get stage-latency attribution in the
+// report. Occupancy spans and instant lifecycle marks are skipped; what
+// accumulates is where each job's seconds went, per class and stage. Like
+// Observe, not safe for concurrent use with itself.
+func (a *Analyzer) ObserveSpan(s trace.Span) {
+	switch s.Stage {
+	case trace.StageValidate, trace.StageAdmission, trace.StageRoute,
+		trace.StageQueued, trace.StageRequeued, trace.StageExecute:
+	default:
+		return
+	}
+	byStage := a.lastStages
+	if byStage == nil || a.lastClass != s.Class {
+		if a.stages == nil {
+			a.stages = make(map[string]map[trace.Stage][]time.Duration, 3)
+		}
+		byStage = a.stages[s.Class]
+		if byStage == nil {
+			byStage = make(map[trace.Stage][]time.Duration, 6)
+			a.stages[s.Class] = byStage
+		}
+		a.lastClass, a.lastStages = s.Class, byStage
+	}
+	samples := byStage[s.Stage]
+	if cap(samples) == 0 {
+		samples = make([]time.Duration, 0, 128)
+	}
+	byStage[s.Stage] = append(samples, s.End-s.Start)
 }
 
 // Counts reports (accepted, terminal) job totals — the replay driver's drain
@@ -356,6 +430,28 @@ func (a *Analyzer) Report() *Report {
 		}
 		if rep.MakespanSeconds > 0 {
 			c.GoodputJobsPerHour = float64(c.Completed) / (rep.MakespanSeconds / 3600)
+		}
+	}
+	for class, byStage := range a.stages {
+		c := classSLO(class)
+		c.Stages = make(map[string]*StageSLO, len(byStage))
+		for stage, samples := range byStage {
+			secs := make([]float64, len(samples))
+			for i, v := range samples {
+				secs[i] = v.Seconds()
+			}
+			st := &StageSLO{Spans: len(secs)}
+			for _, v := range secs {
+				st.TotalSeconds += v
+			}
+			// secs is a scratch copy already — sort it in place rather than
+			// paying quantiles' defensive copy.
+			sort.Float64s(secs)
+			st.Seconds = quantilesSorted(secs)
+			if len(secs) > 0 {
+				st.MeanSeconds = st.TotalSeconds / float64(len(secs))
+			}
+			c.Stages[string(stage)] = st
 		}
 	}
 	return rep

@@ -18,6 +18,9 @@ type SweepConfig struct {
 	Routers    []string
 	Schedulers []string
 	Admissions []string
+	// Tracing runs every combination with span emission, so each cell's
+	// report carries the per-class per-stage latency attribution.
+	Tracing bool
 }
 
 // SweepReport is the machine-readable policy comparison: one SLO report per
@@ -99,6 +102,7 @@ func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
 				Scheduler: c.scheduler,
 				Admission: c.admission,
 				Seed:      cfg.Seed,
+				Tracing:   cfg.Tracing,
 			})
 		}(i, c)
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -64,6 +65,10 @@ type Clock struct {
 	events  eventHeap
 	nextSeq uint64
 	running bool
+	// nowAtomic mirrors now (written only under mu) so Now() is a lock-free
+	// load — it sits on every hot path (device status, span emission) and a
+	// mutex round-trip per read is measurable at replay rates.
+	nowAtomic atomic.Int64
 }
 
 // New returns a clock at time zero with no pending events.
@@ -73,9 +78,7 @@ func New() *Clock {
 
 // Now returns the current simulation time as an offset from the epoch.
 func (c *Clock) Now() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return time.Duration(c.nowAtomic.Load())
 }
 
 // NowSeconds returns the current simulation time in seconds.
@@ -157,6 +160,7 @@ func (c *Clock) Step() bool {
 	e := heap.Pop(&c.events).(*Event)
 	if e.At > c.now {
 		c.now = e.At
+		c.nowAtomic.Store(int64(e.At))
 	}
 	c.mu.Unlock()
 	if !e.dead && e.Fn != nil {
@@ -188,6 +192,7 @@ func (c *Clock) RunUntil(deadline time.Duration) int {
 		if len(c.events) == 0 || c.events[0].At > deadline {
 			if c.now < deadline {
 				c.now = deadline
+				c.nowAtomic.Store(int64(deadline))
 			}
 			c.mu.Unlock()
 			return fired

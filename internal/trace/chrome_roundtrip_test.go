@@ -1,0 +1,168 @@
+package trace_test
+
+// The round-trip gate for the Chrome export: replay a real 2-hour generated
+// workload (294 jobs) with the flight recorder attached, export it, and
+// validate every emitted event against the Trace Event Format schema — the
+// contract Perfetto and chrome://tracing actually enforce. Lives in package
+// trace_test so it can drive the loadgen replay pipeline without an import
+// cycle (loadgen imports trace).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"hpcqc/internal/loadgen"
+	"hpcqc/internal/trace"
+)
+
+// chromeEvent mirrors the exported Trace Event fields for validation.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   *float64          `json:"ts"`
+	Dur  *float64          `json:"dur"`
+	Pid  *int              `json:"pid"`
+	Tid  *int              `json:"tid"`
+	S    string            `json:"s"`
+	Args map[string]string `json:"args"`
+}
+
+// validateChromeEvent enforces the Trace Event Format requirements for the
+// phases the exporter emits.
+func validateChromeEvent(ev chromeEvent) error {
+	if ev.Name == "" {
+		return fmt.Errorf("event missing name")
+	}
+	if ev.Pid == nil || ev.Tid == nil {
+		return fmt.Errorf("%s event %q missing pid/tid", ev.Ph, ev.Name)
+	}
+	switch ev.Ph {
+	case "M":
+		if ev.Name != "process_name" && ev.Name != "thread_name" {
+			return fmt.Errorf("metadata event with unknown name %q", ev.Name)
+		}
+		if ev.Args["name"] == "" {
+			return fmt.Errorf("%s metadata missing args.name", ev.Name)
+		}
+	case "X":
+		if ev.Ts == nil || *ev.Ts < 0 {
+			return fmt.Errorf("complete event %q has bad ts", ev.Name)
+		}
+		if ev.Dur == nil || *ev.Dur < 0 {
+			return fmt.Errorf("complete event %q has bad dur", ev.Name)
+		}
+	case "i":
+		if ev.Ts == nil || *ev.Ts < 0 {
+			return fmt.Errorf("instant event %q has bad ts", ev.Name)
+		}
+		if ev.S != "t" && ev.S != "p" && ev.S != "g" {
+			return fmt.Errorf("instant event %q has bad scope %q", ev.Name, ev.S)
+		}
+	default:
+		return fmt.Errorf("unexpected phase %q", ev.Ph)
+	}
+	return nil
+}
+
+func TestChromeExportRoundTrip294JobReplay(t *testing.T) {
+	tr, err := loadgen.Generate(loadgen.Config{
+		Seed: 1, Horizon: 2 * time.Hour,
+		Process: &loadgen.Poisson{RatePerHour: 150},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 294 {
+		t.Fatalf("generated %d jobs, want the 294-job reference trace", len(tr.Records))
+	}
+	rec := trace.NewFlightRecorder(len(tr.Records))
+	rep, err := loadgen.Replay(tr, loadgen.ReplayConfig{
+		Devices: 4, Seed: 1, SpanListener: rec.Observe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, rec.Jobs(), rec.Occupancy()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict decode: the wrapper carries exactly traceEvents and
+	// displayTimeUnit, nothing else.
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	var file struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+	}
+	if err := dec.Decode(&file); err != nil {
+		t.Fatalf("export is not valid JSON Object Format: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+
+	jobThreads := map[string]bool{}
+	deviceThreads := map[string]bool{}
+	stageEvents := 0
+	for i, raw := range file.TraceEvents {
+		var ev chromeEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if err := validateChromeEvent(ev); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		switch {
+		case ev.Ph == "M" && ev.Name == "thread_name" && *ev.Pid == 2:
+			jobThreads[ev.Args["name"]] = true
+		case ev.Ph == "M" && ev.Name == "thread_name" && *ev.Pid == 1:
+			deviceThreads[ev.Args["name"]] = true
+		case ev.Cat == "pipeline":
+			// Zero-duration pipeline decisions (validate/admission/route in
+			// pure replay) export as instants, timed stages as complete spans.
+			stageEvents++
+		}
+	}
+
+	// Every job in the trace — completed or rejected — must have a track;
+	// every fleet partition must have one too.
+	if len(jobThreads) != len(tr.Records) {
+		t.Fatalf("export has %d job tracks, want %d", len(jobThreads), len(tr.Records))
+	}
+	if len(deviceThreads) != 4 {
+		t.Fatalf("export has %d partition tracks, want 4", len(deviceThreads))
+	}
+	// Sanity-scale check: each non-rejected job walks at least
+	// validate/admission/route/queued/dispatch/execute/terminal — 7 pipeline
+	// events — and each rejected one validate/admission/rejected.
+	nonRejected, rejected := 0, 0
+	for _, c := range rep.PerClass {
+		nonRejected += c.Jobs - c.Rejected
+		rejected += c.Rejected
+	}
+	if want := 7*nonRejected + 3*rejected; stageEvents < want {
+		t.Fatalf("export has %d pipeline events, want >= %d (%d jobs, %d rejected)",
+			stageEvents, want, len(tr.Records), rejected)
+	}
+
+	// Determinism: a second identical replay exports byte-identical JSON.
+	rec2 := trace.NewFlightRecorder(len(tr.Records))
+	if _, err := loadgen.Replay(tr, loadgen.ReplayConfig{
+		Devices: 4, Seed: 1, SpanListener: rec2.Observe,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := trace.WriteChrome(&buf2, rec2.Jobs(), rec2.Occupancy()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("identical replays exported different Chrome trace bytes")
+	}
+}

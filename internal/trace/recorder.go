@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// FlightRecorder is the bounded in-daemon trace store: a ring buffer of the
+// last N terminal job traces plus the live (not yet terminal) ones, and a
+// bounded occupancy track per partition. It is the span consumer behind
+// GET /api/v1/trace and `qctl trace <job>` — enough history to answer "where
+// did that job's seconds go" without growing daemon memory with the job
+// count.
+//
+// Memory stays flat under sustained load two ways: terminal traces evict
+// FIFO past the capacity, and the evicted traces' span slices are recycled
+// into a free list (the span-pool analogue of telemetry.BoundSeries — the
+// steady-state hot path appends into pre-owned backing arrays instead of
+// growing fresh ones per job).
+type FlightRecorder struct {
+	mu sync.Mutex
+	// capacity bounds the terminal ring; live traces are bounded by the
+	// daemon's own queue depths (every queued or running job has exactly one
+	// live trace).
+	capacity int
+	live     map[string]*JobTrace
+	done     map[string]*JobTrace
+	ring     []string // terminal eviction order
+	// occ holds per-device occupancy spans, each track bounded at capacity.
+	occ      map[string][]Span
+	occOrder []string
+	// free is the recycled span-slice pool (len 0, capacity retained).
+	free [][]Span
+	// lastID/last memoize the most recent live lookup: a job's spans arrive
+	// in bursts (validate/admission/route together, then queued/dispatch,
+	// then execute/terminal), so consecutive spans usually hit the same
+	// trace and skip the map hash.
+	lastID string
+	last   *JobTrace
+	// spanArena and traceArena are bump allocators: fresh traces carve
+	// fixed-size blocks out of chunk allocations instead of paying one
+	// malloc per job on the emission path.
+	spanArena  []Span
+	traceArena []JobTrace
+}
+
+// DefaultFlightCapacity is the ring size when none is given: deep enough to
+// hold a burst of a few hundred jobs, small enough (~60 B/span, ~8 spans/job)
+// to be irrelevant next to the daemon's job map.
+const DefaultFlightCapacity = 256
+
+// NewFlightRecorder returns a recorder retaining the last capacity terminal
+// job traces (DefaultFlightCapacity when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{
+		capacity: capacity,
+		live:     make(map[string]*JobTrace),
+		done:     make(map[string]*JobTrace),
+		occ:      make(map[string][]Span),
+	}
+}
+
+// Observe consumes one span — attach it as (or inside) the daemon's span
+// listener. Safe for concurrent use.
+func (r *FlightRecorder) Observe(s Span) {
+	r.mu.Lock()
+	if s.Stage == StageBusy || s.Stage == StageIdle {
+		r.observeOccupancyLocked(s)
+		r.mu.Unlock()
+		return
+	}
+	t := r.last
+	if t == nil || r.lastID != s.Job {
+		t = r.live[s.Job]
+		if t == nil {
+			t = r.allocTraceLocked(s.Job)
+			r.live[s.Job] = t
+		}
+		r.lastID, r.last = s.Job, t
+	}
+	t.Spans = append(t.Spans, s)
+	if s.Class != "" {
+		t.Class = s.Class
+	}
+	if s.Device != "" {
+		t.Device = s.Device
+	}
+	if !s.Stage.Terminal() {
+		r.mu.Unlock()
+		return
+	}
+	t.State = s.Stage
+	r.lastID, r.last = "", nil
+	delete(r.live, s.Job)
+	r.done[s.Job] = t
+	r.ring = append(r.ring, s.Job)
+	if len(r.ring) > r.capacity {
+		evict := r.ring[0]
+		r.ring = r.ring[1:]
+		if old := r.done[evict]; old != nil {
+			r.recycleLocked(old.Spans)
+			delete(r.done, evict)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// observeOccupancyLocked appends to a partition's bounded occupancy track.
+// Tracks are allocated at full ring capacity up front (bounded, a few
+// hundred spans), so steady-state appends never grow the backing array.
+func (r *FlightRecorder) observeOccupancyLocked(s Span) {
+	track, ok := r.occ[s.Device]
+	if !ok {
+		r.occOrder = append(r.occOrder, s.Device)
+		track = make([]Span, 0, r.capacity+1)
+	}
+	track = append(track, s)
+	if over := len(track) - r.capacity; over > 0 {
+		track = track[:copy(track, track[over:])]
+	}
+	r.occ[s.Device] = track
+}
+
+// spansPerTrace is the arena block size: a clean lifecycle is 7 pipeline
+// spans plus a terminal mark; preempted jobs overflow the block and grow
+// normally.
+const spansPerTrace = 8
+
+// arenaChunk is how many traces' worth of arena is charged per chunk malloc.
+const arenaChunk = 64
+
+// allocTraceLocked hands out a fresh *JobTrace with span storage attached —
+// recycled from an evicted trace when available, otherwise carved from the
+// bump arenas so the per-job cost is 1/arenaChunk of a malloc.
+func (r *FlightRecorder) allocTraceLocked(job string) *JobTrace {
+	if len(r.traceArena) == 0 {
+		r.traceArena = make([]JobTrace, arenaChunk)
+	}
+	t := &r.traceArena[0]
+	r.traceArena = r.traceArena[1:]
+	t.Job = job
+	if n := len(r.free); n > 0 {
+		t.Spans = r.free[n-1]
+		r.free = r.free[:n-1]
+		return t
+	}
+	if len(r.spanArena) < spansPerTrace {
+		r.spanArena = make([]Span, arenaChunk*spansPerTrace)
+	}
+	t.Spans = r.spanArena[:0:spansPerTrace]
+	r.spanArena = r.spanArena[spansPerTrace:]
+	return t
+}
+
+// recycleLocked returns an evicted trace's backing array to the pool. The
+// pool is bounded by the ring capacity: at most one recycled slice per
+// retained trace can be outstanding.
+func (r *FlightRecorder) recycleLocked(s []Span) {
+	if cap(s) == 0 || len(r.free) >= r.capacity {
+		return
+	}
+	r.free = append(r.free, s[:0])
+}
+
+// Job returns a copy of one job's trace (live or retained terminal), or
+// false when the recorder no longer has it.
+func (r *FlightRecorder) Job(id string) (JobTrace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.live[id]
+	if t == nil {
+		t = r.done[id]
+	}
+	if t == nil {
+		return JobTrace{}, false
+	}
+	cp := *t
+	cp.Spans = append([]Span(nil), t.Spans...)
+	return cp, true
+}
+
+// Jobs returns copies of every held trace: live first, then terminal, each
+// group in job-ID order, so the listing is deterministic.
+func (r *FlightRecorder) Jobs() []JobTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobTrace, 0, len(r.live)+len(r.done))
+	appendSorted := func(m map[string]*JobTrace) {
+		ids := make([]string, 0, len(m))
+		for id := range m {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			t := m[id]
+			cp := *t
+			cp.Spans = append([]Span(nil), t.Spans...)
+			out = append(out, cp)
+		}
+	}
+	appendSorted(r.live)
+	appendSorted(r.done)
+	return out
+}
+
+// Occupancy returns each partition's occupancy track (copies), keyed by
+// device ID.
+func (r *FlightRecorder) Occupancy() map[string][]Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]Span, len(r.occ))
+	for dev, track := range r.occ {
+		out[dev] = append([]Span(nil), track...)
+	}
+	return out
+}
+
+// Len reports (live, terminal) trace counts.
+func (r *FlightRecorder) Len() (live, done int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.live), len(r.done)
+}
