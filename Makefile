@@ -26,22 +26,31 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
+# The benchmark selection behind bench-json and bench-diff: the replay and
+# dispatch hot paths in the root package plus the program-cache/router
+# primitives in internal/daemon.
+BENCH_PATTERN = BenchmarkFleetDispatch|BenchmarkDaemonDispatch|BenchmarkLoadgen|BenchmarkProgramCache|BenchmarkWeightedRouterPick
+BENCH_PKGS = . ./internal/daemon
+
 # bench-json records the fleet-scaling and load-generation benchmark
 # trajectory as machine-readable test2json events in BENCH_fleet.json, so
 # regressions in the dispatch and replay hot paths are diffable across
 # commits.
 bench-json:
-	$(GO) test -bench='BenchmarkFleetDispatch|BenchmarkDaemonDispatch|BenchmarkLoadgen' \
-		-benchmem -run='^$$' -json . > BENCH_fleet.json
+	$(GO) test -bench='$(BENCH_PATTERN)' \
+		-benchmem -run='^$$' -json $(BENCH_PKGS) > BENCH_fleet.json
 
 # bench-diff re-runs the bench-json suite into a scratch file and fails if
 # any jobs/wall-second throughput metric regressed >20% against the
 # committed BENCH_fleet.json — the CI gate that keeps the replay hot path
-# from sliding back.
+# from sliding back. The untraced and affinity replay benchmarks are
+# -required: renaming or dropping either must fail the gate, not skip it.
 bench-diff:
-	$(GO) test -bench='BenchmarkFleetDispatch|BenchmarkDaemonDispatch|BenchmarkLoadgen' \
-		-benchmem -run='^$$' -json . > $(BENCH_FRESH)
-	$(GO) run ./cmd/benchdiff BENCH_fleet.json $(BENCH_FRESH)
+	$(GO) test -bench='$(BENCH_PATTERN)' \
+		-benchmem -run='^$$' -json $(BENCH_PKGS) > $(BENCH_FRESH)
+	$(GO) run ./cmd/benchdiff \
+		-require BenchmarkLoadgenReplay,BenchmarkLoadgenReplayAffinity \
+		BENCH_fleet.json $(BENCH_FRESH)
 
 vet:
 	$(GO) vet ./...

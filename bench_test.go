@@ -462,6 +462,38 @@ func BenchmarkLoadgenReplay(b *testing.B) {
 	b.ReportMetric(float64(rep.Completed), "jobs_completed")
 }
 
+// BenchmarkLoadgenReplayAffinity measures the replay hot path with the
+// program cache and the affinity router engaged on a repeated-program trace
+// (the parameter-sweep workload shape the cache exists for): per-partition
+// LRU touches, warm-set probes in every pick, and hit/miss accounting in the
+// analyzer. cache_hit_rate is reported for trajectory; jobs_per_wall_s is the
+// guarded metric — the cache must not buy its hit rate with dispatch-path
+// allocation.
+func BenchmarkLoadgenReplayAffinity(b *testing.B) {
+	tr, err := loadgen.Generate(loadgen.Config{
+		Seed: 1, Horizon: 2 * time.Hour,
+		Process:  &loadgen.Poisson{RatePerHour: 150},
+		Programs: 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rep *loadgen.Report
+	for i := 0; i < b.N; i++ {
+		rep, err = loadgen.Replay(tr, loadgen.ReplayConfig{
+			Devices: 4, Seed: 1, Router: "affinity",
+			ProgramCache: 8, SetupSeconds: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Records))*float64(b.N)/b.Elapsed().Seconds(), "jobs_per_wall_s")
+	b.ReportMetric(rep.ProgramCacheHitRate, "cache_hit_rate")
+	b.ReportMetric(float64(rep.Completed), "jobs_completed")
+}
+
 // BenchmarkLoadgenReplayTraced measures the same 2-hour replay with tracing
 // enabled — the `--tracing` default every qcload replay and sweep cell pays:
 // span emission through the whole pipeline plus per-stage latency

@@ -7,13 +7,17 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.20] [-metrics m1,m2] [-trace-overhead 0.10] baseline.json fresh.json
+//	benchdiff [-threshold 0.20] [-metrics m1,m2] [-trace-overhead 0.10]
+//	          [-require b1,b2] baseline.json fresh.json
 //
 // Only higher-is-better wall-clock throughput metrics are compared; ns/op
 // and sim-time metrics vary with benchtime and fleet width in ways that are
 // not regressions. Benchmarks present in one file but not the other are
 // reported but never fail the diff, so adding or renaming a benchmark does
-// not require regenerating the baseline in the same commit.
+// not require regenerating the baseline in the same commit — except the
+// benchmarks named by -require, which must appear in both files: those are
+// the gate's load-bearing members, and silently dropping one (a renamed
+// benchmark, a stale baseline) would otherwise turn the gate into a no-op.
 //
 // One intra-run rule rides along: the traced replay benchmark interleaves
 // traced and untraced replays in the same iterations and reports their cost
@@ -112,9 +116,10 @@ func main() {
 	threshold := flag.Float64("threshold", 0.20, "maximum allowed fractional drop in a guarded metric")
 	metricsFlag := flag.String("metrics", defaultMetrics, "comma-separated higher-is-better metrics to guard")
 	traceOverhead := flag.Float64("trace-overhead", 0.10, "maximum fractional jobs/wall-s cost of the traced replay vs the untraced one, same run")
+	require := flag.String("require", "", "comma-separated benchmarks that must be present in both files")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.20] [-metrics m1,m2] [-trace-overhead 0.10] baseline.json fresh.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.20] [-metrics m1,m2] [-trace-overhead 0.10] [-require b1,b2] baseline.json fresh.json")
 		os.Exit(2)
 	}
 	baseline, err := parseFile(flag.Arg(0))
@@ -131,6 +136,25 @@ func main() {
 	for _, m := range strings.Split(*metricsFlag, ",") {
 		if m = strings.TrimSpace(m); m != "" {
 			guarded[m] = true
+		}
+	}
+	// Required benchmarks must exist on both sides before any comparison:
+	// a missing one means the gate would silently stop guarding it.
+	for _, name := range strings.Split(*require, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		missing := false
+		if _, ok := baseline[name]; !ok {
+			fmt.Fprintf(os.Stderr, "benchdiff: required benchmark %s absent from baseline %s\n", name, flag.Arg(0))
+			missing = true
+		}
+		if _, ok := fresh[name]; !ok {
+			fmt.Fprintf(os.Stderr, "benchdiff: required benchmark %s absent from fresh run %s\n", name, flag.Arg(1))
+			missing = true
+		}
+		if missing {
+			os.Exit(1)
 		}
 	}
 

@@ -3,18 +3,19 @@
 //
 //	qcload gen     --out trace.jsonl [--process poisson|bursty|diurnal]
 //	               [--rate 150] [--duration 24h] [--seed 1] [--users 8]
-//	               [--class-mix 1:2:7] [--pattern-mix 1:1:2]
+//	               [--class-mix 1:2:7] [--pattern-mix 1:1:2] [--programs N]
 //	qcload capture --out trace.jsonl [--router least-loaded] [--scheduler fifo]
 //	               [--admission accept-all] [--duration 24h] [--users 16]
 //	               [--think 5m] [--devices 4] [--seed 1]
-//	qcload import  --in jobs.swf --out trace.jsonl [--format swf] [--scale 1.0]
-//	               [--max-jobs N]
+//	qcload import  --in jobs.swf --out trace.jsonl [--format swf|sacct]
+//	               [--scale 1.0] [--max-jobs N]
 //	qcload info    --trace trace.jsonl
 //	qcload replay  --trace trace.jsonl [--router least-loaded] [--scheduler fifo]
 //	               [--admission accept-all] [--devices 4] [--seed 1]
+//	               [--cache 0] [--setup 0]
 //	qcload sweep   --trace trace.jsonl [--routers all] [--schedulers all]
 //	               [--admissions all] [--devices 4] [--seed 1] [--out report.json]
-//	               [--tracing=true]
+//	               [--tracing=true] [--cache 0] [--setup 0]
 //	qcload trace export --trace trace.jsonl --out spans.json
 //	               [--router least-loaded] [--scheduler fifo]
 //	               [--admission accept-all] [--devices 4] [--seed 1]
@@ -23,7 +24,8 @@
 // arrivals from a live closed-loop fleet run (completion-driven submitters)
 // executed under any router × scheduler × admission policy triple — the
 // knobs matter because closed-loop arrivals are completion-coupled. import
-// converts a Parallel Workloads Archive SWF log into the trace format.
+// converts an archived scheduler log — Parallel Workloads Archive SWF, or
+// Slurm `sacct --parsable2` accounting output — into the trace format.
 // replay runs one trace against one policy triple on a virtual clock and
 // prints the SLO report. sweep replays the trace against the whole
 // router × scheduler × admission matrix concurrently and writes a
@@ -32,7 +34,11 @@
 // default, which adds a per-class, per-stage latency breakdown (validate,
 // admission, route, queued, requeued, execute) to each SLO report cell;
 // --tracing=false turns it off (the schedule itself is identical either
-// way). trace export replays a trace with the flight recorder attached and
+// way). Router axis values may be parameterized scorer-weight spellings like
+// affinity:load=0.6:affinity=0.3:cap=0.1 (commas split the axis, so colons
+// inside one router name survive); --cache/--setup size the per-partition
+// program cache and the cold-setup cost a miss pays, the model the affinity
+// router exploits. trace export replays a trace with the flight recorder attached and
 // writes the full span set as Chrome trace-event JSON — open it in Perfetto
 // (or chrome://tracing) to see partitions as busy/idle tracks and every
 // job's lifecycle as a waterfall.
@@ -115,6 +121,7 @@ func runGen(args []string) error {
 	users := fs.Int("users", 8, "submitter pool size")
 	classMix := fs.String("class-mix", "1:2:7", "production:test:dev weights")
 	patternMix := fs.String("pattern-mix", "1:1:2", "qc-heavy:cc-heavy:balanced weights")
+	programs := fs.Int("programs", 0, "fixed per-pattern program variants (repeated-program workload; 0 = continuous jitter)")
 	// Accepted but unused: the old closed-mode flags still parse so a
 	// pre-capture invocation reaches the migration error below instead of
 	// dying on an unknown flag.
@@ -149,6 +156,7 @@ func runGen(args []string) error {
 		Classes:  loadgen.ClassMix{Production: cm[0], Test: cm[1], Dev: cm[2]},
 		Patterns: workload.Mix{QCHeavy: pm[0], CCHeavy: pm[1], Balanced: pm[2]},
 		Users:    *users,
+		Programs: *programs,
 	})
 	if err != nil {
 		return err
@@ -215,7 +223,7 @@ func runImport(args []string) error {
 	fs := flag.NewFlagSet("import", flag.ContinueOnError)
 	in := fs.String("in", "", "input workload file (required)")
 	out := fs.String("out", "", "trace file to write (required)")
-	format := fs.String("format", "swf", "input format (swf: Parallel Workloads Archive standard workload format)")
+	format := fs.String("format", "swf", "input format (swf: Parallel Workloads Archive standard workload format; sacct: Slurm sacct --parsable2 output)")
 	scale := fs.Float64("scale", 1.0, "service-time scale from log seconds to QPU seconds")
 	maxJobs := fs.Int("max-jobs", 0, "cap on imported jobs (0 = all)")
 	if err := fs.Parse(args); err != nil {
@@ -224,10 +232,16 @@ func runImport(args []string) error {
 	if *in == "" || *out == "" {
 		return fmt.Errorf("import: --in and --out are required")
 	}
-	if *format != "swf" {
-		return fmt.Errorf("import: unknown format %q (swf)", *format)
+	var tr *loadgen.Trace
+	var err error
+	switch *format {
+	case "swf":
+		tr, err = loadgen.ImportSWFFile(*in, loadgen.SWFOptions{ServiceScale: *scale, MaxJobs: *maxJobs})
+	case "sacct":
+		tr, err = loadgen.ImportSacctFile(*in, loadgen.SacctOptions{ServiceScale: *scale, MaxJobs: *maxJobs})
+	default:
+		return fmt.Errorf("import: unknown format %q (swf, sacct)", *format)
 	}
-	tr, err := loadgen.ImportSWFFile(*in, loadgen.SWFOptions{ServiceScale: *scale, MaxJobs: *maxJobs})
 	if err != nil {
 		return err
 	}
@@ -278,6 +292,8 @@ func runReplay(args []string, out io.Writer) error {
 	devices := fs.Int("devices", 4, "fleet size")
 	seed := fs.Int64("seed", 1, "replay seed")
 	tracing := fs.Bool("tracing", true, "attach span tracing and report per-stage latency breakdown")
+	cacheSize := fs.Int("cache", 0, "per-partition program-cache entries (0 = caching off)")
+	setup := fs.Float64("setup", 0, "cold-setup QPU seconds a program-cache miss pays (requires --cache)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -290,7 +306,7 @@ func runReplay(args []string, out io.Writer) error {
 	}
 	rep, err := loadgen.Replay(tr, loadgen.ReplayConfig{
 		Devices: *devices, Router: *router, Scheduler: *scheduler, Admission: *admission, Seed: *seed,
-		Tracing: *tracing,
+		Tracing: *tracing, ProgramCache: *cacheSize, SetupSeconds: *setup,
 	})
 	if err != nil {
 		return err
@@ -310,6 +326,8 @@ func runSweep(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "replay seed shared by every combination")
 	outPath := fs.String("out", "", "report file (default stdout)")
 	tracing := fs.Bool("tracing", true, "attach span tracing and report per-stage latency breakdown per cell")
+	cacheSize := fs.Int("cache", 0, "per-partition program-cache entries shared by every combination (0 = caching off)")
+	setup := fs.Float64("setup", 0, "cold-setup QPU seconds a program-cache miss pays (requires --cache)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -322,12 +340,14 @@ func runSweep(args []string, out io.Writer) error {
 	}
 	start := time.Now()
 	rep, err := loadgen.Sweep(tr, loadgen.SweepConfig{
-		Devices:    *devices,
-		Seed:       *seed,
-		Routers:    splitAxis(*routers),
-		Schedulers: splitAxis(*schedulers),
-		Admissions: splitAxis(*admissions),
-		Tracing:    *tracing,
+		Devices:      *devices,
+		Seed:         *seed,
+		Routers:      splitAxis(*routers),
+		Schedulers:   splitAxis(*schedulers),
+		Admissions:   splitAxis(*admissions),
+		Tracing:      *tracing,
+		ProgramCache: *cacheSize,
+		SetupSeconds: *setup,
 	})
 	if err != nil {
 		return err

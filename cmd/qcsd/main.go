@@ -6,6 +6,7 @@
 //
 //	qcsd [-listen :8080] [-admin-token TOKEN] [-seed N] [-timescale X]
 //	     [-devices N] [-router POLICY] [-admission POLICY]
+//	     [-program-cache N] [-setup S]
 //	     [-slo-wait-target D] [-slo-warn-fraction F]
 //	     [-trace-buffer N] [-debug-listen ADDR]
 //
@@ -14,10 +15,15 @@
 // interactively.
 //
 // -devices sets the number of managed QPU partitions; -router picks how
-// jobs are spread across them (round-robin, least-loaded, class-affinity);
+// jobs are spread across them (round-robin, least-loaded, class-affinity,
+// or the weighted scorer router affinity[:load=W:affinity=W:cap=W]);
 // -admission picks the load-shedding policy at the submit pipeline's door
 // (accept-all, queue-depth, token-bucket, slo-guard — slo-guard also takes
 // inline parameters, e.g. slo-guard:wait=45s:warn=0.7).
+//
+// -program-cache sizes each partition's calibration-warm program cache in
+// entries (0 disables it); -setup charges that many QPU seconds of cold
+// setup on every cache miss (requires -program-cache > 0).
 //
 // -slo-wait-target and -slo-warn-fraction override the slo-guard
 // controller's production p99 wait target and down-class pressure fraction
@@ -69,14 +75,25 @@ type nodeOptions struct {
 	// traceBuffer is the flight recorder's terminal-trace ring size; zero or
 	// negative disables tracing entirely.
 	traceBuffer int
+	// programCache sizes each partition's calibration-warm program cache
+	// (entries; 0 disables it); setupSeconds is the cold-setup QPU time a
+	// cache miss charges the device (requires programCache > 0).
+	programCache int
+	setupSeconds float64
 }
+
+// defaultProgramCache is the serving default: large enough that an
+// interactive session's re-runs stay calibration-warm, small enough that a
+// partition never pins more than a screenful of programs.
+const defaultProgramCache = 64
 
 // newNode wires the fleet, daemon and observability stack exactly as the
 // serving binary runs them, with a default-sized flight recorder. Split from
 // main so tests can boot the same composition without sockets or flags.
 func newNode(adminToken string, seed int64, timescale float64, devices int, routerPolicy, admissionPolicy string) (*node, error) {
 	return newNodeOpts(adminToken, seed, timescale, devices, routerPolicy, admissionPolicy,
-		nodeOptions{sloWarnFraction: -1, traceBuffer: trace.DefaultFlightCapacity})
+		nodeOptions{sloWarnFraction: -1, traceBuffer: trace.DefaultFlightCapacity,
+			programCache: defaultProgramCache})
 }
 
 func newNodeOpts(adminToken string, seed int64, timescale float64, devices int, routerPolicy, admissionPolicy string, opts nodeOptions) (*node, error) {
@@ -126,6 +143,8 @@ func newNodeOpts(adminToken string, seed int64, timescale float64, devices int, 
 		Devices: fleet.Devices(), Router: router, Admission: admitter, Clock: clk,
 		AdminToken:       adminToken,
 		EnablePreemption: true,
+		ProgramCache:     opts.programCache,
+		SetupSeconds:     opts.setupSeconds,
 		Registry:         reg, TSDB: tsdb,
 		Flight: flight,
 		Seed:   seed,
@@ -158,7 +177,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "device model seed")
 	timescale := flag.Float64("timescale", 10, "simulated seconds per wall second")
 	devices := flag.Int("devices", 1, "number of managed QPU partitions")
-	router := flag.String("router", "least-loaded", "fleet routing policy (round-robin, least-loaded, class-affinity)")
+	router := flag.String("router", "least-loaded", "fleet routing policy (round-robin, least-loaded, class-affinity, affinity[:load=W:affinity=W:cap=W])")
+	programCache := flag.Int("program-cache", defaultProgramCache, "per-partition calibration-warm program cache entries (0 disables)")
+	setupSeconds := flag.Float64("setup", 0, "cold-setup QPU seconds charged on a program-cache miss (requires -program-cache > 0)")
 	admissionPolicy := flag.String("admission", "accept-all", "admission policy (accept-all, queue-depth, token-bucket, slo-guard[:key=value...])")
 	sloWait := flag.Duration("slo-wait-target", 0, "slo-guard production p99 wait target (0 = policy default; requires -admission slo-guard)")
 	sloWarn := flag.Float64("slo-warn-fraction", -1, "slo-guard down-class pressure fraction in [0,1] (-1 = policy default; requires -admission slo-guard)")
@@ -167,7 +188,8 @@ func main() {
 	flag.Parse()
 
 	n, err := newNodeOpts(*adminToken, *seed, *timescale, *devices, *router, *admissionPolicy,
-		nodeOptions{sloWaitTarget: *sloWait, sloWarnFraction: *sloWarn, traceBuffer: *traceBuffer})
+		nodeOptions{sloWaitTarget: *sloWait, sloWarnFraction: *sloWarn, traceBuffer: *traceBuffer,
+			programCache: *programCache, setupSeconds: *setupSeconds})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

@@ -139,6 +139,12 @@ func devices(endpoint string, out io.Writer) error {
 			Status      string         `json:"status"`
 			Utilization float64        `json:"utilization"`
 			Queued      map[string]int `json:"queued"`
+			Cache       *struct {
+				Hits    uint64  `json:"hits"`
+				Misses  uint64  `json:"misses"`
+				Size    int     `json:"size"`
+				HitRate float64 `json:"hit_rate"`
+			} `json:"cache"`
 		} `json:"devices"`
 	}
 	if err := json.Unmarshal(body, &listing); err != nil {
@@ -146,11 +152,17 @@ func devices(endpoint string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "fleet: %d partition(s), %s routing\n", len(listing.Devices), listing.Router)
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "DEVICE\tSTATUS\tUTIL\tQUEUED(prod/test/dev)")
+	fmt.Fprintln(tw, "DEVICE\tSTATUS\tUTIL\tQUEUED(prod/test/dev)\tCACHE")
 	for _, d := range listing.Devices {
-		fmt.Fprintf(tw, "%s\t%s\t%.1f%%\t%d/%d/%d\n",
+		// The cache column reads "hit-rate% (warm entries)"; "-" when the
+		// daemon runs without a program cache.
+		cache := "-"
+		if d.Cache != nil {
+			cache = fmt.Sprintf("%.0f%% (%d)", d.Cache.HitRate*100, d.Cache.Size)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.1f%%\t%d/%d/%d\t%s\n",
 			d.ID, d.Status, d.Utilization*100,
-			d.Queued["production"], d.Queued["test"], d.Queued["dev"])
+			d.Queued["production"], d.Queued["test"], d.Queued["dev"], cache)
 	}
 	return tw.Flush()
 }

@@ -98,6 +98,10 @@ type Job struct {
 	// estimate from the validated program when none was given.
 	ExpectedQPUSeconds float64  `json:"expected_qpu_seconds"`
 	State              JobState `json:"state"`
+	// Cache records the partition program-cache outcome of the job's most
+	// recent dispatch ("hit" or "miss"). Empty when program caching is
+	// disabled (Config.ProgramCache == 0), so existing reports are unchanged.
+	Cache string `json:"cache,omitempty"`
 	// DeviceTask is the current underlying device task, when running.
 	DeviceTask  string        `json:"-"`
 	SubmittedAt time.Duration `json:"submitted_at"`
@@ -117,6 +121,10 @@ type Job struct {
 	// preemption requeues), so the dispatch loop never re-decodes JSON.
 	// Programs are immutable after decode.
 	prog *qir.Program
+	// progHash is the canonical program fingerprint, memoized alongside prog
+	// in the decode cache — the partition program-cache key. Zero means no
+	// fingerprint (the job bypasses the cache).
+	progHash uint64
 	// enqueuedAt is when the job last entered a queue (submission, then each
 	// preemption requeue) — the start of its current queued/requeued trace
 	// span. Guarded by d.mu like the exported timing fields.
@@ -234,6 +242,22 @@ type Config struct {
 	// (the loadgen SLO analyzer) sets this to halve the span traffic; trace
 	// stores and exporters must leave it false.
 	PipelineSpansOnly bool
+	// ProgramCache bounds each partition's calibration-warm program cache
+	// (entries per partition; the cache key is the canonical program
+	// fingerprint). A partition that recently ran a program holds warm state
+	// for it — calibration for that pulse family, compiled circuit, duration
+	// estimate — so a dispatch hitting the cache skips the cold setup cost
+	// and the affinity router can steer repeat programs back to warm
+	// partitions. Zero (the default) disables caching entirely: no counters,
+	// no report fields, no span annotations — output stays byte-identical to
+	// a cache-less daemon.
+	ProgramCache int
+	// SetupSeconds is the cold-setup cost a program-cache miss adds to a
+	// dispatch's device occupancy, in QPU seconds; hits pay nothing, and
+	// daemon-made duration estimates include it unless the routed partition
+	// is already warm. Requires ProgramCache > 0 (with no cache every
+	// dispatch would pay it, which models nothing).
+	SetupSeconds float64
 	// Registry receives daemon metrics when non-nil.
 	Registry *telemetry.Registry
 	// TSDB receives queue telemetry when non-nil.
@@ -250,6 +274,15 @@ type deviceState struct {
 	id    string
 	dev   *device.Device
 	queue *sched.ClassQueue
+	// spec is the partition's device spec, snapshotted once at construction
+	// (specs are immutable) so routing does not copy it per pick.
+	spec qir.DeviceSpec
+	// cache is the partition's calibration-warm program cache, nil when
+	// Config.ProgramCache is zero. It carries its own mutex (a leaf lock:
+	// nothing is acquired under it).
+	cache *progLRU
+	// Pre-bound cache counter series (nil without a registry or cache).
+	gCacheHits, gCacheMisses, gCacheEvictions *telemetry.BoundSeries
 
 	mu      sync.Mutex
 	running *Job
@@ -333,10 +366,11 @@ type Daemon struct {
 	rejectedTotal int
 	rejectedIDs   []string
 
-	mJobs, mQueueLen, mSessions    *telemetry.Metric
-	mWait                          *telemetry.Metric
-	mDevQueueLen, mDevUtil         *telemetry.Metric
-	mAdmission, mAdmissionRejected *telemetry.Metric
+	mJobs, mQueueLen, mSessions          *telemetry.Metric
+	mWait                                *telemetry.Metric
+	mDevQueueLen, mDevUtil               *telemetry.Metric
+	mAdmission, mAdmissionRejected       *telemetry.Metric
+	mCacheHits, mCacheMisses, mCacheEvic *telemetry.Metric
 
 	// Pre-bound label series for the dispatch hot path, indexed by class.
 	// All nil when no registry is configured (BoundSeries methods are
@@ -358,17 +392,24 @@ type Daemon struct {
 	flight *trace.FlightRecorder
 }
 
-// The decode-once program cache: payload bytes → decoded program. Replay and
-// load generation submit a handful of distinct payloads millions of times —
-// across many short-lived daemon instances — so the cache is process-wide:
-// a what-if sweep decodes each canonical payload once, not once per policy
-// combination. Decoding is a pure function of the bytes, and validation
-// verdicts are memoized separately in qir keyed by the full spec contents,
-// so sharing across daemons cannot leak one fleet's limits into another's.
-// Lookup by string(payload) is allocation-free.
+// The decode-once program cache: payload bytes → decoded program plus its
+// canonical fingerprint. Replay and load generation submit a handful of
+// distinct payloads millions of times — across many short-lived daemon
+// instances — so the cache is process-wide: a what-if sweep decodes (and
+// hashes) each canonical payload once, not once per policy combination.
+// Decoding is a pure function of the bytes, and validation verdicts are
+// memoized separately in qir keyed by the full spec contents, so sharing
+// across daemons cannot leak one fleet's limits into another's. Lookup by
+// string(payload) is allocation-free, which is what keeps the hot replay
+// path free of per-job hashing: the fingerprint rides the same memo.
+type progEntry struct {
+	prog *qir.Program
+	hash uint64
+}
+
 var (
 	progMu    sync.Mutex
-	progCache = make(map[string]*qir.Program)
+	progCache = make(map[string]progEntry)
 )
 
 // progCacheLimit bounds the decode cache. Replay workloads cycle through a
@@ -376,26 +417,27 @@ var (
 // simply resets the cache rather than growing process memory.
 const progCacheLimit = 256
 
-// cachedProgram decodes a payload through the process-wide cache. The
-// returned program is shared and must be treated as immutable.
-func cachedProgram(payload []byte) (*qir.Program, error) {
+// cachedProgram decodes a payload through the process-wide cache, returning
+// the shared immutable program and its canonical fingerprint.
+func cachedProgram(payload []byte) (*qir.Program, uint64, error) {
 	progMu.Lock()
-	p, ok := progCache[string(payload)]
+	e, ok := progCache[string(payload)]
 	progMu.Unlock()
 	if ok {
-		return p, nil
+		return e.prog, e.hash, nil
 	}
 	prog := new(qir.Program)
 	if err := prog.UnmarshalJSON(payload); err != nil {
-		return nil, fmt.Errorf("daemon: decoding program: %w", err)
+		return nil, 0, fmt.Errorf("daemon: decoding program: %w", err)
 	}
+	hash := fingerprint(payload)
 	progMu.Lock()
 	if len(progCache) >= progCacheLimit {
-		progCache = make(map[string]*qir.Program, progCacheLimit)
+		progCache = make(map[string]progEntry, progCacheLimit)
 	}
-	progCache[string(payload)] = prog
+	progCache[string(payload)] = progEntry{prog: prog, hash: hash}
 	progMu.Unlock()
-	return prog, nil
+	return prog, hash, nil
 }
 
 // NewDaemon wires the daemon to its device fleet.
@@ -415,6 +457,15 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 	}
 	if len(cfg.AllowedLowLevelOps) == 0 {
 		cfg.AllowedLowLevelOps = []string{"recalibrate", "qa_check"}
+	}
+	if cfg.ProgramCache < 0 {
+		return nil, fmt.Errorf("daemon: negative program cache capacity %d", cfg.ProgramCache)
+	}
+	if cfg.SetupSeconds < 0 {
+		return nil, fmt.Errorf("daemon: negative setup seconds %g", cfg.SetupSeconds)
+	}
+	if cfg.SetupSeconds > 0 && cfg.ProgramCache == 0 {
+		return nil, errors.New("daemon: SetupSeconds requires ProgramCache > 0 (without a cache every dispatch would pay setup)")
 	}
 	if cfg.RejectedHistory <= 0 {
 		cfg.RejectedHistory = 1024
@@ -470,6 +521,8 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 			id:      dev.ID(),
 			dev:     dev,
 			queue:   sched.NewClassQueue(),
+			spec:    dev.Spec(),
+			cache:   newProgLRU(cfg.ProgramCache),
 			byTask:  make(map[string]*Job),
 			orphans: make(map[string]device.TaskState),
 		}
@@ -505,6 +558,18 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 				ds.gQueue[c] = d.mDevQueueLen.Bind(telemetry.Labels{"device": ds.id, "class": c.String()})
 			}
 			ds.gUtil = d.mDevUtil.Bind(telemetry.Labels{"device": ds.id})
+		}
+		// Cache counters exist only when caching is on, so a cache-less
+		// daemon's metrics output is unchanged.
+		if cfg.ProgramCache > 0 {
+			d.mCacheHits = cfg.Registry.MustCounter("daemon_program_cache_hits_total", "Program-cache hits at dispatch, by device.")
+			d.mCacheMisses = cfg.Registry.MustCounter("daemon_program_cache_misses_total", "Program-cache misses at dispatch, by device.")
+			d.mCacheEvic = cfg.Registry.MustCounter("daemon_program_cache_evictions_total", "Program-cache LRU evictions, by device.")
+			for _, ds := range d.fleet {
+				ds.gCacheHits = d.mCacheHits.Bind(telemetry.Labels{"device": ds.id})
+				ds.gCacheMisses = d.mCacheMisses.Bind(telemetry.Labels{"device": ds.id})
+				ds.gCacheEvictions = d.mCacheEvic.Bind(telemetry.Labels{"device": ds.id})
+			}
 		}
 	}
 	for _, ds := range d.fleet {
@@ -665,7 +730,7 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	// (heterogeneous fleets only): a spec-blind router may still land on a
 	// partition whose re-check below fails after admission spent the token —
 	// capability-aware routing is the open ROADMAP fix.
-	prog, err := cachedProgram(req.Program)
+	prog, progHash, err := cachedProgram(req.Program)
 	if err != nil {
 		return nil, err
 	}
@@ -752,7 +817,7 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	}
 	class := dec.Class
 	// Stage 2: routing.
-	ds, err := d.route(class, req.Pattern, req.Device)
+	ds, err := d.route(class, req.Pattern, req.Device, prog, progHash)
 	if err != nil {
 		return nil, err
 	}
@@ -781,6 +846,16 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 			req.ExpectedQPUSeconds = prog.EstimatedQPUSeconds(&spec)
 		}
 	}
+	// Tighten the daemon-made estimate with the setup model: a cold dispatch
+	// occupies the device for setup + execution, so the hint the shortest-
+	// first order and admission policies see should include it — unless the
+	// routed partition is already warm for this program, in which case the
+	// hit will skip setup and the bare execution estimate is the tight one.
+	// (Submitter-declared hints are never touched; SetupSeconds > 0 implies
+	// caching is on, so the cache-less path is unchanged.)
+	if estimated && d.cfg.SetupSeconds > 0 && !ds.cache.contains(progHash) {
+		req.ExpectedQPUSeconds += d.cfg.SetupSeconds
+	}
 	d.mu.Lock()
 	now := d.cfg.Clock.Now()
 	j := &Job{
@@ -798,6 +873,7 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 		SubmittedAt:        now,
 		payload:            req.Program,
 		prog:               prog,
+		progHash:           progHash,
 		enqueuedAt:         now,
 	}
 	if dec.Outcome != admission.Accepted {
@@ -840,9 +916,11 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 // caller must release via routeDone once the job is enqueued or abandoned).
 // An explicit pin wins; otherwise the router chooses from a point-in-time
 // fleet snapshot whose load view includes other submissions still in flight.
-// The chosen class and pattern travel on a throwaway job record so routers
-// can specialize without the daemon pre-creating the real one.
-func (d *Daemon) route(class sched.Class, pattern sched.Pattern, pin string) (*deviceState, error) {
+// The chosen class, pattern and program identity travel on a throwaway job
+// record so routers can specialize — the affinity scorer probes partition
+// caches by fingerprint, the capability scorer validates the decoded program
+// — without the daemon pre-creating the real one.
+func (d *Daemon) route(class sched.Class, pattern sched.Pattern, pin string, prog *qir.Program, progHash uint64) (*deviceState, error) {
 	d.routeMu.Lock()
 	defer d.routeMu.Unlock()
 	var picked *deviceState
@@ -856,7 +934,7 @@ func (d *Daemon) route(class sched.Class, pattern sched.Pattern, pin string) (*d
 	case len(d.fleet) == 1:
 		picked = d.fleet[0]
 	default:
-		idx := d.router.Pick(&Job{Class: class, Pattern: pattern}, d.fleetInfosLocked())
+		idx := d.router.Pick(&Job{Class: class, Pattern: pattern, prog: prog, progHash: progHash}, d.fleetInfosLocked())
 		if idx < 0 || idx >= len(d.fleet) {
 			return nil, fmt.Errorf("daemon: router %q picked invalid device index %d", d.router.Name(), idx)
 		}
@@ -878,6 +956,8 @@ func (d *Daemon) fleetInfosLocked() []DeviceInfo {
 			ID:     ds.id,
 			Index:  i,
 			Status: ds.dev.Status(),
+			cache:  ds.cache,
+			spec:   &ds.spec,
 		}
 		ds.mu.Lock()
 		info.Queued = ds.queue.Len() + ds.inflight
@@ -1062,6 +1142,28 @@ func (d *Daemon) dispatchOnce(ds *deviceState) bool {
 	}
 	payload := j.payload
 	prog := j.prog
+	// Consult the partition's program cache at the moment of dispatch: a warm
+	// entry means this partition ran the program recently and skips the cold
+	// setup cost; a miss warms the cache (possibly evicting the LRU entry)
+	// and pays Config.SetupSeconds of extra device occupancy. The outcome is
+	// recorded on the job before the Started event fires, so listeners (the
+	// loadgen SLO analyzer) see it on every start. The cache mutex is a leaf
+	// lock, safe to take under d.mu.
+	var setup float64
+	if ds.cache != nil && j.progHash != 0 {
+		hit, evicted := ds.cache.touch(j.progHash)
+		if hit {
+			j.Cache = cacheHit
+			ds.gCacheHits.Inc(1)
+		} else {
+			j.Cache = cacheMiss
+			setup = d.cfg.SetupSeconds
+			ds.gCacheMisses.Inc(1)
+			if evicted {
+				ds.gCacheEvictions.Inc(1)
+			}
+		}
+	}
 	d.mu.Unlock()
 
 	// The program was decoded and validated against this partition's spec at
@@ -1077,7 +1179,7 @@ func (d *Daemon) dispatchOnce(ds *deviceState) bool {
 		ds.submitting = true
 		ds.mu.Unlock()
 		var taskID string
-		taskID, err = ds.dev.Submit(prog)
+		taskID, err = ds.dev.SubmitWithSetup(prog, setup)
 		if err == nil {
 			d.startJob(ds, j, taskID)
 			d.emitQueueTelemetry()
@@ -1157,7 +1259,7 @@ func (d *Daemon) startJob(ds *deviceState, j *Job, taskID string) {
 				ds.occSince = now
 			}
 			d.emitSpan(trace.Span{Job: j.ID, Stage: waitStage(j), Class: cls, Device: ds.id,
-				Start: j.enqueuedAt, End: now})
+				Start: j.enqueuedAt, End: now, Detail: cacheDetail(j.Cache)})
 			if d.spanMarks {
 				d.emitSpan(trace.Span{Job: j.ID, Stage: trace.StageDispatch, Class: cls, Device: ds.id,
 					Start: now, End: now, Detail: taskID})
@@ -1313,7 +1415,7 @@ func (d *Daemon) requeuePartition(j *Job, orig *deviceState) *deviceState {
 	if !idleElsewhere {
 		return orig
 	}
-	idx := d.router.Pick(&Job{Class: j.Class, Pattern: j.Pattern}, infos)
+	idx := d.router.Pick(&Job{Class: j.Class, Pattern: j.Pattern, prog: j.prog, progHash: j.progHash}, infos)
 	if idx < 0 || idx >= len(d.fleet) || !idleTarget(idx) {
 		return orig
 	}
@@ -1670,6 +1772,19 @@ func (d *Daemon) QueueLengths() map[string]int {
 		for name, n := range queueLens(ds.queue) {
 			out[name] += n
 		}
+	}
+	return out
+}
+
+// CacheStatsByDevice snapshots each partition's program-cache counters, or
+// nil when program caching is disabled.
+func (d *Daemon) CacheStatsByDevice() map[string]*CacheStats {
+	if d.cfg.ProgramCache <= 0 {
+		return nil
+	}
+	out := make(map[string]*CacheStats, len(d.fleet))
+	for _, ds := range d.fleet {
+		out[ds.id] = ds.cache.stats()
 	}
 	return out
 }

@@ -437,11 +437,11 @@ func TestCancelledQueuedJobDoesNotPreempt(t *testing.T) {
 // first pick's in-flight slot already counts as load for the second.
 func TestRouteReservesInflightSlot(t *testing.T) {
 	env := newFleetEnv(t, 2, NewLeastLoadedRouter())
-	a, err := env.d.route(sched.ClassTest, "", "")
+	a, err := env.d.route(sched.ClassTest, "", "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := env.d.route(sched.ClassTest, "", "")
+	b, err := env.d.route(sched.ClassTest, "", "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -452,7 +452,7 @@ func TestRouteReservesInflightSlot(t *testing.T) {
 	env.d.routeDone(b)
 	// Released reservations stop counting: the next pick ties back to the
 	// first partition.
-	c, err := env.d.route(sched.ClassTest, "", "")
+	c, err := env.d.route(sched.ClassTest, "", "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

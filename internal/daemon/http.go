@@ -85,16 +85,21 @@ func (d *Daemon) Handler() http.Handler {
 	}))
 	mux.HandleFunc("GET /api/v1/devices", d.withSession(func(token string, w http.ResponseWriter, r *http.Request) {
 		queues := d.QueueLengthsByDevice()
+		caches := d.CacheStatsByDevice()
 		out := make([]map[string]any, 0, len(d.fleet))
 		for _, dev := range d.Devices() {
-			out = append(out, map[string]any{
+			entry := map[string]any{
 				"id":          dev.ID(),
 				"spec":        dev.Spec(),
 				"calibration": dev.CalibrationSnapshot(),
 				"status":      dev.Status(),
 				"queued":      queues[dev.ID()],
 				"utilization": dev.Utilization(),
-			})
+			}
+			if cs := caches[dev.ID()]; cs != nil {
+				entry["cache"] = cs
+			}
+			out = append(out, entry)
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"router": d.RouterName(), "devices": out})
 	}))

@@ -1,0 +1,79 @@
+package daemon
+
+import (
+	"testing"
+
+	"hpcqc/internal/device"
+	"hpcqc/internal/sched"
+)
+
+// BenchmarkProgramCache measures the O(1) LRU primitives the dispatch hot
+// path leans on. The contract (enforced by TestCacheHotPathAllocs, visible in
+// the allocs/op column here): a warm touch, a cold touch-with-eviction and a
+// router probe all run without allocating — the node arena is preallocated at
+// construction, so steady-state cache traffic never grows the heap.
+func BenchmarkProgramCache(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		c := newProgLRU(256)
+		for h := uint64(1); h <= 256; h++ {
+			c.touch(h)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if hit, _ := c.touch(uint64(i%256) + 1); !hit {
+				b.Fatal("warm entry missed")
+			}
+		}
+	})
+	b.Run("miss-evict", func(b *testing.B) {
+		// Every touch is a miss that evicts the LRU entry: the worst-case
+		// steady state of a saturated cache under an adversarial trace.
+		c := newProgLRU(64)
+		for h := uint64(1); h <= 64; h++ {
+			c.touch(h)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if hit, _ := c.touch(uint64(i) + 1000); hit {
+				b.Fatal("unexpected hit")
+			}
+		}
+	})
+	b.Run("contains", func(b *testing.B) {
+		c := newProgLRU(256)
+		for h := uint64(1); h <= 256; h++ {
+			c.touch(h)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.contains(uint64(i%512) + 1)
+		}
+	})
+}
+
+// BenchmarkWeightedRouterPick measures one affinity-blend pick over an
+// 8-partition fleet — the per-job routing cost Submit pays. Allocation-free
+// after the scratch buffers warm up.
+func BenchmarkWeightedRouterPick(b *testing.B) {
+	r, err := NewRouter("affinity")
+	if err != nil {
+		b.Fatal(err)
+	}
+	infos := make([]DeviceInfo, 8)
+	warm := newProgLRU(16)
+	warm.touch(7)
+	for i := range infos {
+		infos[i] = DeviceInfo{ID: "p", Index: i, Status: device.StatusOnline, Queued: i % 3}
+	}
+	infos[5].cache = warm
+	j := &Job{Class: sched.ClassDev, progHash: 7}
+	r.Pick(j, infos)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Pick(j, infos)
+	}
+}

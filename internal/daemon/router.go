@@ -2,9 +2,12 @@ package daemon
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"hpcqc/internal/device"
+	"hpcqc/internal/qir"
 	"hpcqc/internal/sched"
 )
 
@@ -14,6 +17,15 @@ import (
 // composable means any router works with any within-class order (FIFO,
 // fair-share, shortest-expected-first) without either policy knowing about
 // the other.
+//
+// Since the calibration-affinity work, every router is a preset over one
+// weighted multi-scorer core: per pick, each configured scorer grades every
+// eligible partition into [0, 1], the grades are combined with normalized
+// weights, and the highest combined score wins (ties break to the lowest
+// fleet index, so picks are deterministic). The historical single-policy
+// routers are single-scorer presets with weight 1 and keep their names and
+// exact pick sequences; the parameterized "affinity" router blends the load,
+// cache-affinity and capability/class scorers with configurable weights.
 
 // DeviceInfo is the router's point-in-time view of one fleet partition.
 type DeviceInfo struct {
@@ -29,6 +41,14 @@ type DeviceInfo struct {
 	Busy bool
 	// RunningClass is the class of the occupying job; valid only when Busy.
 	RunningClass sched.Class
+
+	// cache is the partition's program cache (nil when disabled) — the
+	// affinity scorer's O(1) warm-set probe. The daemon fills it; probes are
+	// side-effect-free, so scoring never perturbs cache state.
+	cache *progLRU
+	// spec points at the partition's immutable device spec, the capability
+	// scorer's validation target. The daemon fills it; nil skips the check.
+	spec *qir.DeviceSpec
 }
 
 // load is the scalar the least-loaded policy minimizes.
@@ -52,58 +72,36 @@ type Router interface {
 	Pick(job *Job, infos []DeviceInfo) int
 }
 
-// eligible returns the indices of partitions not in maintenance, or every
-// index when the whole fleet is down (the job then waits out the window,
-// matching single-device semantics).
-func eligible(infos []DeviceInfo) []int {
-	out := make([]int, 0, len(infos))
+// eligibleInto fills buf with the indices of partitions not in maintenance,
+// or every index when the whole fleet is down (the job then waits out the
+// window, matching single-device semantics). Reusing the caller's buffer
+// keeps Pick allocation-free on the dispatch hot path.
+func eligibleInto(buf []int, infos []DeviceInfo) []int {
+	buf = buf[:0]
 	for i, info := range infos {
 		if info.Status != device.StatusMaintenance {
-			out = append(out, i)
+			buf = append(buf, i)
 		}
 	}
-	if len(out) == 0 {
+	if len(buf) == 0 {
 		for i := range infos {
-			out = append(out, i)
+			buf = append(buf, i)
 		}
 	}
-	return out
+	return buf
 }
 
-// roundRobinRouter cycles through eligible partitions in submission order.
-type roundRobinRouter struct {
-	mu   sync.Mutex
-	next int
+// scorer grades every eligible partition for a job into out (aligned with
+// el; higher is better, values in [0, 1]). score is called exactly once per
+// Pick, which is what lets the round-robin scorer keep rotation state.
+type scorer interface {
+	name() string
+	score(j *Job, infos []DeviceInfo, el []int, out []float64)
 }
 
-// NewRoundRobinRouter spreads submissions evenly across the fleet
-// irrespective of load — the cheapest policy, and a fair baseline when jobs
-// are similar in size.
-func NewRoundRobinRouter() Router { return &roundRobinRouter{} }
-
-func (r *roundRobinRouter) Name() string { return "round-robin" }
-
-func (r *roundRobinRouter) Pick(_ *Job, infos []DeviceInfo) int {
-	el := eligible(infos)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	idx := el[r.next%len(el)]
-	r.next++
-	return idx
-}
-
-// leastLoadedRouter picks the partition with the fewest queued-plus-running
-// jobs; ties break to the lowest fleet index for determinism.
-type leastLoadedRouter struct{}
-
-// NewLeastLoadedRouter balances by instantaneous backlog — the default
-// policy, and the right one under heterogeneous job sizes.
-func NewLeastLoadedRouter() Router { return leastLoadedRouter{} }
-
-func (leastLoadedRouter) Name() string { return "least-loaded" }
-
-func (leastLoadedRouter) Pick(_ *Job, infos []DeviceInfo) int {
-	el := eligible(infos)
+// leastLoadedPick is the shared load-balancing fallback: minimum load over
+// the eligible set, ties to the lowest fleet index.
+func leastLoadedPick(infos []DeviceInfo, el []int) int {
 	best := el[0]
 	for _, i := range el[1:] {
 		if infos[i].load() < infos[best].load() {
@@ -113,9 +111,95 @@ func (leastLoadedRouter) Pick(_ *Job, infos []DeviceInfo) int {
 	return best
 }
 
-// classAffinityRouter gives each priority class a home partition so
-// production traffic is isolated from dev churn: production jobs land on
-// partition 0, test on 1, dev on 2. Fleets smaller than the class count
+// loadScorer grades by instantaneous backlog: score 1/(1+load), so an idle
+// partition scores 1 and scores decay toward 0 as the queue grows. Argmax
+// with lowest-index ties reproduces the classic least-loaded pick exactly.
+type loadScorer struct{}
+
+func (loadScorer) name() string { return "load" }
+
+func (loadScorer) score(_ *Job, infos []DeviceInfo, el []int, out []float64) {
+	for k, i := range el {
+		out[k] = 1.0 / (1.0 + float64(infos[i].load()))
+	}
+}
+
+// affinityScorer grades by program-cache warmth: 1 when the partition's
+// cache holds the job's program fingerprint, else 0. With caching disabled
+// (nil cache or no fingerprint) every partition scores 0 and the scorer is
+// inert. The probe is an O(1) map lookup per partition — no scans.
+type affinityScorer struct{}
+
+func (affinityScorer) name() string { return "affinity" }
+
+func (affinityScorer) score(j *Job, infos []DeviceInfo, el []int, out []float64) {
+	for k, i := range el {
+		if infos[i].cache.contains(j.progHash) {
+			out[k] = 1
+		} else {
+			out[k] = 0
+		}
+	}
+}
+
+// capScorer is the capability/class grade: a partition whose spec cannot run
+// the job's program scores 0 (heterogeneous-fleet guard, memoized through
+// qir.ValidateCached so the probe is a map hit); a capable partition scores
+// 0.5, raised to 1.0 on the job's class-home partition (production → 0,
+// test → 1, dev → 2 — the class-affinity isolation prior).
+type capScorer struct{}
+
+func (capScorer) name() string { return "cap" }
+
+func (capScorer) score(j *Job, infos []DeviceInfo, el []int, out []float64) {
+	home := -1
+	if j != nil {
+		if h := int(sched.ClassProduction - j.Class); h >= 0 && h < len(infos) {
+			home = h
+		}
+	}
+	for k, i := range el {
+		if j != nil && j.prog != nil && infos[i].spec != nil &&
+			qir.ValidateCached(j.prog, infos[i].spec) != nil {
+			out[k] = 0
+			continue
+		}
+		if i == home {
+			out[k] = 1
+		} else {
+			out[k] = 0.5
+		}
+	}
+}
+
+// roundRobinScorer rotates a full score across the eligible set in pick
+// order — the stateful scorer behind the round-robin preset. Relies on the
+// one-score-call-per-Pick contract to advance exactly once per job.
+type roundRobinScorer struct {
+	next int
+}
+
+func (*roundRobinScorer) name() string { return "round-robin" }
+
+func (r *roundRobinScorer) score(_ *Job, _ []DeviceInfo, el []int, out []float64) {
+	for k := range el {
+		out[k] = 0
+	}
+	out[r.next%len(el)] = 1
+	r.next++
+}
+
+// classHomeScorer encodes the class-affinity placement rules as a one-hot
+// grade: the partition the rules choose scores 1, everything else 0. The
+// rules are deliberately rule-shaped rather than a smooth formula — spill
+// only to provably idle capacity, never back onto partition 0 — so the
+// scorer computes the rule pick and one-hots it, which makes the policy
+// composable with the other scorers without changing its standalone
+// behavior one bit.
+//
+// The rules (unchanged from the pre-scorer classAffinityRouter): each class
+// has a home partition (production → 0, test → 1, dev → 2) so production
+// traffic is isolated from dev churn. Fleets smaller than the class count
 // spill the overflow classes across the non-production partitions (never
 // back onto partition 0, which would defeat the isolation), and a home in
 // maintenance falls back to the least-loaded eligible partition.
@@ -126,24 +210,32 @@ func (leastLoadedRouter) Pick(_ *Job, infos []DeviceInfo) int {
 // wait time only when there is provably idle capacity. Production never
 // spills: it preempts on its home, and keeping it on partition 0 is the
 // isolation the policy exists for.
-type classAffinityRouter struct{}
+type classHomeScorer struct{}
 
-// NewClassAffinityRouter isolates classes onto dedicated partitions, trading
-// some load balance for fewer cross-class preemptions.
-func NewClassAffinityRouter() Router { return classAffinityRouter{} }
+func (classHomeScorer) name() string { return "class" }
 
-func (classAffinityRouter) Name() string { return "class-affinity" }
+func (classHomeScorer) score(j *Job, infos []DeviceInfo, el []int, out []float64) {
+	target := classHomePick(j, infos, el)
+	for k, i := range el {
+		if i == target {
+			out[k] = 1
+		} else {
+			out[k] = 0
+		}
+	}
+}
 
-func (classAffinityRouter) Pick(j *Job, infos []DeviceInfo) int {
+// classHomePick applies the class-affinity rules over the eligible set.
+func classHomePick(j *Job, infos []DeviceInfo, el []int) int {
 	home := int(sched.ClassProduction - j.Class)
 	if home < 0 {
 		// Out-of-range classes (possible for direct Pick callers; Submit
 		// validates before routing) fall back to load balancing.
-		return leastLoadedRouter{}.Pick(j, infos)
+		return leastLoadedPick(infos, el)
 	}
 	if home < len(infos) {
 		if infos[home].Status == device.StatusMaintenance {
-			return leastLoadedRouter{}.Pick(j, infos)
+			return leastLoadedPick(infos, el)
 		}
 		if j.Class != sched.ClassProduction && infos[home].load() >= 2 {
 			for i := 1; i < len(infos); i++ {
@@ -171,20 +263,176 @@ func (classAffinityRouter) Pick(j *Job, infos []DeviceInfo) int {
 	if best >= 0 {
 		return best
 	}
-	return leastLoadedRouter{}.Pick(j, infos)
+	return leastLoadedPick(infos, el)
 }
 
-// NewRouter builds a router by policy name ("round-robin", "least-loaded",
-// "class-affinity") — the switch behind qcsd's -router flag.
+// weightedRouter is the multi-scorer core every routing policy is a preset
+// of. Pick grades the eligible partitions with each positively-weighted
+// scorer, combines the grades with the normalized weights, and returns the
+// argmax — ties to the lowest fleet index, so the pick sequence is a pure
+// function of the (job, fleet-view) sequence. The scratch buffers are reused
+// across picks under the mutex, keeping the hot path allocation-free.
+type weightedRouter struct {
+	label   string
+	scorers []scorer
+	weights []float64 // same length as scorers, normalized to sum 1
+
+	mu  sync.Mutex
+	el  []int
+	buf []float64
+	acc []float64
+}
+
+// newWeightedRouter normalizes the weights (dropping nothing — zero-weight
+// scorers are kept but skipped per pick) and rejects non-positive totals.
+func newWeightedRouter(label string, scorers []scorer, weights []float64) (*weightedRouter, error) {
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("daemon: router %q: negative weight %g for scorer %q", label, w, scorers[i].name())
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("daemon: router %q: at least one scorer weight must be positive", label)
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / total
+	}
+	return &weightedRouter{label: label, scorers: scorers, weights: norm}, nil
+}
+
+func (r *weightedRouter) Name() string { return r.label }
+
+func (r *weightedRouter) Pick(j *Job, infos []DeviceInfo) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.el = eligibleInto(r.el, infos)
+	el := r.el
+	if cap(r.acc) < len(el) {
+		r.acc = make([]float64, len(el))
+		r.buf = make([]float64, len(el))
+	}
+	acc := r.acc[:len(el)]
+	buf := r.buf[:len(el)]
+	for k := range acc {
+		acc[k] = 0
+	}
+	for si, s := range r.scorers {
+		w := r.weights[si]
+		if w == 0 {
+			continue
+		}
+		s.score(j, infos, el, buf)
+		for k := range el {
+			acc[k] += w * buf[k]
+		}
+	}
+	best := 0
+	for k := 1; k < len(el); k++ {
+		if acc[k] > acc[best] {
+			best = k
+		}
+	}
+	return el[best]
+}
+
+// NewRoundRobinRouter spreads submissions evenly across the fleet
+// irrespective of load — the cheapest policy, and a fair baseline when jobs
+// are similar in size.
+func NewRoundRobinRouter() Router {
+	r, _ := newWeightedRouter("round-robin", []scorer{&roundRobinScorer{}}, []float64{1})
+	return r
+}
+
+// NewLeastLoadedRouter balances by instantaneous backlog — the default
+// policy, and the right one under heterogeneous job sizes.
+func NewLeastLoadedRouter() Router {
+	r, _ := newWeightedRouter("least-loaded", []scorer{loadScorer{}}, []float64{1})
+	return r
+}
+
+// NewClassAffinityRouter isolates classes onto dedicated partitions, trading
+// some load balance for fewer cross-class preemptions.
+func NewClassAffinityRouter() Router {
+	r, _ := newWeightedRouter("class-affinity", []scorer{classHomeScorer{}}, []float64{1})
+	return r
+}
+
+// Default affinity-router weights: load still dominates (idle capacity beats
+// warmth when the spread is large), warmth breaks backlog near-ties (a 0.3
+// bonus outweighs the load-score gap between, say, 3 and 5 queued jobs), and
+// the capability/class grade is a thin prior.
+const (
+	defaultAffinityLoadWeight = 0.6
+	defaultAffinityWarmWeight = 0.3
+	defaultAffinityCapWeight  = 0.1
+)
+
+// NewAffinityRouter blends the load, cache-affinity and capability/class
+// scorers with the given weights (each ≥ 0, at least one positive; they are
+// normalized internally). label becomes the router's reported name.
+func NewAffinityRouter(label string, load, warm, capability float64) (Router, error) {
+	return newWeightedRouter(label,
+		[]scorer{loadScorer{}, affinityScorer{}, capScorer{}},
+		[]float64{load, warm, capability})
+}
+
+// routerUsage is the catalogue NewRouter errors point at.
+const routerUsage = "round-robin, least-loaded, class-affinity, affinity[:load=W:affinity=W:cap=W]"
+
+// NewRouter builds a router by policy name — the switch behind qcsd's
+// -router flag and the sweep axis values. The three classic names take no
+// parameters. "affinity" accepts colon-separated key=value weights for its
+// three scorers (load, affinity, cap), e.g.
+// "affinity:load=0.6:affinity=0.3:cap=0.1"; omitted keys keep the defaults,
+// and the full spelling is preserved as the router's name so reports stay
+// self-describing.
 func NewRouter(policy string) (Router, error) {
-	switch policy {
+	base, params, hasParams := strings.Cut(policy, ":")
+	switch base {
 	case "round-robin":
+		if hasParams {
+			return nil, fmt.Errorf("daemon: router %q takes no parameters", base)
+		}
 		return NewRoundRobinRouter(), nil
 	case "least-loaded", "":
+		if hasParams {
+			return nil, fmt.Errorf("daemon: router %q takes no parameters", base)
+		}
 		return NewLeastLoadedRouter(), nil
 	case "class-affinity":
+		if hasParams {
+			return nil, fmt.Errorf("daemon: router %q takes no parameters", base)
+		}
 		return NewClassAffinityRouter(), nil
+	case "affinity":
+		load, warm, capability := defaultAffinityLoadWeight, defaultAffinityWarmWeight, defaultAffinityCapWeight
+		if hasParams {
+			for _, kv := range strings.Split(params, ":") {
+				key, val, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("daemon: router affinity: parameter %q is not key=value", kv)
+				}
+				w, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("daemon: router affinity: weight %s=%q is not a number", key, val)
+				}
+				switch key {
+				case "load":
+					load = w
+				case "affinity":
+					warm = w
+				case "cap":
+					capability = w
+				default:
+					return nil, fmt.Errorf("daemon: router affinity: unknown parameter %q (load, affinity, cap)", key)
+				}
+			}
+		}
+		return NewAffinityRouter(policy, load, warm, capability)
 	default:
-		return nil, fmt.Errorf("daemon: unknown router policy %q (round-robin, least-loaded, class-affinity)", policy)
+		return nil, fmt.Errorf("daemon: unknown router policy %q (%s)", policy, routerUsage)
 	}
 }

@@ -112,6 +112,10 @@ type task struct {
 	startAt  time.Duration
 	endAt    time.Duration
 	event    *simclock.Event
+	// setup is extra cold-start occupancy charged before the shots — the
+	// daemon's program-cache miss cost. Zero for warm (or cache-less)
+	// submissions, leaving timing untouched.
+	setup time.Duration
 }
 
 // Device is the simulated QPU.
@@ -140,7 +144,6 @@ type Device struct {
 
 	// listener is notified on task terminal transitions (see SetTaskListener).
 	listener func(deviceID, taskID string, state TaskState)
-
 
 	// telemetry handles (nil-safe)
 	mQueueLen, mRabi, mDetOff, mStatus *telemetry.Metric
@@ -262,6 +265,17 @@ func (d *Device) Utilization() float64 {
 // collapses the repeated full-waveform walks to one. Submitted programs must
 // therefore not be mutated afterwards.
 func (d *Device) Submit(p *qir.Program) (string, error) {
+	return d.SubmitWithSetup(p, 0)
+}
+
+// SubmitWithSetup is Submit with an explicit cold-setup charge: the task
+// occupies the QPU for setupSeconds before its shots begin. The daemon's
+// program-cache layer uses it to make cache misses pay calibration/compile
+// setup while warm hits skip it; zero setup is exactly Submit.
+func (d *Device) SubmitWithSetup(p *qir.Program, setupSeconds float64) (string, error) {
+	if setupSeconds < 0 {
+		return "", fmt.Errorf("device: negative setup seconds %g", setupSeconds)
+	}
 	if err := qir.ValidateCached(p, &d.spec); err != nil {
 		return "", err
 	}
@@ -276,6 +290,7 @@ func (d *Device) Submit(p *qir.Program) (string, error) {
 		program:  p,
 		state:    TaskQueued,
 		queuedAt: d.cfg.Clock.Now(),
+		setup:    simclock.Seconds(setupSeconds),
 	}
 	d.tasks[t.id] = t
 	d.queue = append(d.queue, t)
@@ -302,6 +317,9 @@ func (d *Device) pump() {
 	if dur <= 0 {
 		dur = time.Second
 	}
+	// Cold-setup occupancy precedes the shots; zero for warm submissions, so
+	// setup-free tasks keep their exact historical timing.
+	dur += t.setup
 	t.event = d.cfg.Clock.Schedule(dur, "qpu-exec", func() { d.finish(t) })
 	d.mu.Unlock()
 }

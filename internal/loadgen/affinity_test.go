@@ -1,0 +1,97 @@
+package loadgen
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestSweepAffinity24hRepeatedPrograms is the calibration-affinity acceptance
+// gate: on a repeated-program 24 h bursty trace (the parameter-sweep workload
+// shape: every job re-runs one of patterns × Programs canonical payloads)
+// with the program cache and a 30 s cold-setup penalty in force, the affinity
+// router must
+//
+//  1. keep the fleet calibration-warm — aggregate cache hit rate ≥ 50% —
+//     where load-blind least-loaded placement scatters programs across
+//     partitions, and
+//  2. convert that warmth into a better production p99 wait than
+//     least-loaded under the identical cache model, and
+//  3. stay as reproducible as every other policy: the sweep rerun is
+//     byte-identical.
+func TestSweepAffinity24hRepeatedPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24h affinity acceptance sweep is a test-full experiment")
+	}
+	proc, err := NewProcess("bursty", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(Config{Seed: 2, Horizon: 24 * time.Hour, Process: proc, Programs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SweepConfig{
+		Devices:      4,
+		Seed:         2,
+		Routers:      []string{"least-loaded", "affinity"},
+		Schedulers:   []string{"fifo"},
+		Admissions:   []string{"accept-all"},
+		ProgramCache: 8,
+		SetupSeconds: 30,
+	}
+	s1, err := Sweep(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll := s1.Find("least-loaded", "fifo", "accept-all")
+	aff := s1.Find("affinity", "fifo", "accept-all")
+	if ll == nil || aff == nil {
+		t.Fatalf("sweep missing a cell: least-loaded=%v affinity=%v", ll != nil, aff != nil)
+	}
+	if aff.Completed != ll.Completed {
+		t.Fatalf("policies completed different job counts: affinity %d vs least-loaded %d",
+			aff.Completed, ll.Completed)
+	}
+
+	t.Logf("cache hit rate: affinity %.3f vs least-loaded %.3f",
+		aff.ProgramCacheHitRate, ll.ProgramCacheHitRate)
+	if aff.ProgramCacheHitRate < 0.5 {
+		t.Errorf("affinity hit rate %.3f below the 50%% acceptance bar", aff.ProgramCacheHitRate)
+	}
+	if aff.ProgramCacheHitRate <= ll.ProgramCacheHitRate {
+		t.Errorf("affinity hit rate %.3f does not beat least-loaded's %.3f",
+			aff.ProgramCacheHitRate, ll.ProgramCacheHitRate)
+	}
+
+	llProd, affProd := ll.PerClass["production"], aff.PerClass["production"]
+	if llProd == nil || affProd == nil {
+		t.Fatal("missing production class in a report")
+	}
+	t.Logf("production p99 wait: affinity %.1fs vs least-loaded %.1fs",
+		affProd.WaitSeconds.P99, llProd.WaitSeconds.P99)
+	if affProd.WaitSeconds.P99 >= llProd.WaitSeconds.P99 {
+		t.Errorf("affinity production p99 wait %.1fs does not beat least-loaded's %.1fs",
+			affProd.WaitSeconds.P99, llProd.WaitSeconds.P99)
+	}
+	// The per-class hit-rate attribution must be present and consistent with
+	// the aggregate counters.
+	hits, misses := 0, 0
+	for _, c := range aff.PerClass {
+		hits += c.CacheHits
+		misses += c.CacheMisses
+	}
+	if hits != aff.ProgramCacheHits || misses != aff.ProgramCacheMisses {
+		t.Fatalf("per-class cache counts (%d/%d) disagree with report aggregate (%d/%d)",
+			hits, misses, aff.ProgramCacheHits, aff.ProgramCacheMisses)
+	}
+
+	// Determinism: the cached sweep is as reproducible as a cache-less one.
+	s2, err := Sweep(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalReport(t, s1), marshalReport(t, s2)) {
+		t.Fatal("cached affinity sweep differs between identical reruns")
+	}
+}

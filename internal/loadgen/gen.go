@@ -72,6 +72,13 @@ type Config struct {
 	// selects the default of 0.2; pass a negative value to disable jitter
 	// entirely (constant service time per pattern).
 	Jitter float64
+	// Programs, when positive, quantizes each pattern's shot counts to a
+	// fixed menu of Programs variants spread evenly across the ±Jitter band
+	// instead of drawing a continuous value — the repeated-program workload
+	// shape (parameter sweeps, VQE iterations, shot batches) where program-
+	// cache affinity matters: the whole trace reuses patterns × Programs
+	// distinct payloads. Zero keeps the continuous draw.
+	Programs int
 	// MaxJobs caps the record count as a safety net against runaway rates
 	// (default 1_000_000).
 	MaxJobs int
@@ -124,7 +131,20 @@ func sampleJob(rng *rand.Rand, cfg Config, specs map[sched.Pattern]workload.Patt
 		return Record{}, fmt.Errorf("loadgen: no pattern spec for %q", pattern)
 	}
 	base := spec.TotalQuantum().Seconds() * cfg.ServiceScale
-	f := 1 + (rng.Float64()*2-1)*cfg.Jitter
+	var f float64
+	if cfg.Programs > 0 {
+		// Repeated-program mode: pick one of a fixed menu of per-pattern
+		// variants, spread evenly across the jitter band, instead of a
+		// continuous draw — every job is an exact re-run of one of
+		// patterns × Programs canonical programs.
+		f = 1.0
+		if cfg.Programs > 1 {
+			v := rng.Intn(cfg.Programs)
+			f = 1 + (2*float64(v)/float64(cfg.Programs-1)-1)*cfg.Jitter
+		}
+	} else {
+		f = 1 + (rng.Float64()*2-1)*cfg.Jitter
+	}
 	shots := int(math.Round(base * f))
 	if shots < 1 {
 		shots = 1

@@ -39,6 +39,15 @@ type ReplayConfig struct {
 	// Seed drives the fleet and daemon randomness. The same trace and seed
 	// produce bit-identical schedule decisions and reports.
 	Seed int64
+	// ProgramCache sizes each partition's calibration-warm program cache
+	// (entries per partition). Zero — the default — disables caching, and the
+	// report stays byte-identical to a cache-less replay; non-zero adds
+	// cache hit/miss accounting (and, with the affinity router, warm-steered
+	// placement) to the run.
+	ProgramCache int
+	// SetupSeconds is the cold-setup occupancy a program-cache miss charges
+	// the device, in QPU seconds. Requires ProgramCache > 0.
+	SetupSeconds float64
 	// Registry optionally receives the analyzer's telemetry histograms.
 	Registry *telemetry.Registry
 	// DrainGrace bounds how far past the trace horizon the replay advances
@@ -120,6 +129,8 @@ func Replay(tr *Trace, cfg ReplayConfig) (*Report, error) {
 		AdminToken:        "loadgen",
 		EnablePreemption:  true,
 		Seed:              cfg.Seed,
+		ProgramCache:      cfg.ProgramCache,
+		SetupSeconds:      cfg.SetupSeconds,
 		JobListener:       an.Observe,
 		SpanListener:      spans,
 		PipelineSpansOnly: pipelineOnly,

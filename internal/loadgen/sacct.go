@@ -1,0 +1,241 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Slurm's accounting tool exports job history as pipe-separated records:
+//
+//	sacct --parsable2 --format=JobID,User,Partition,Submit,Elapsed,Timelimit,State
+//
+// ImportSacct converts such an export into the versioned JSONL trace format,
+// so a site's own Slurm accounting drives the replay and sweep machinery the
+// same way archived SWF logs do (the daemon's primary intake is Slurm, §3.3).
+//
+// Parsing is header-driven: the first non-empty line names the columns, and
+// any column order or superset of the required ones works. Required columns:
+//
+//	JobID      — sub-step rows ("123.batch", "123.0") are skipped; only the
+//	             parent allocation becomes a trace record
+//	Submit     — ISO-8601 local timestamp (2006-01-02T15:04:05); arrivals are
+//	             rebased so the earliest submit is t=0
+//	Elapsed    — [DD-]HH:MM:SS wall time → QPU service demand, falling back
+//	             to Timelimit when Elapsed is zero or "INVALID"
+//
+// Optional columns: User (submitter; "user-unknown" when absent), Partition
+// (priority class: names containing "prod" → production, "test"/"debug" →
+// test, anything else → dev — the same partition-name convention the SWF
+// queue mapping mirrors), Timelimit (Elapsed fallback). State is accepted
+// but ignored: cancelled jobs still occupied the queue, so they count as
+// offered load. The mapping is deterministic; importing the same file twice
+// yields byte-identical traces.
+type SacctOptions struct {
+	// ServiceScale multiplies elapsed seconds into QPU service seconds
+	// (default 1.0). Slurm batch jobs run hours; scaling them down lets a
+	// month of accounting exercise a QPU fleet at realistic relative load.
+	ServiceScale float64
+	// MaxJobs caps the imported record count (0 = no cap).
+	MaxJobs int
+}
+
+// sacctTime is the timestamp layout sacct emits (no zone; site-local).
+const sacctTime = "2006-01-02T15:04:05"
+
+// parseSacctElapsed parses Slurm's [DD-]HH:MM:SS (or MM:SS) duration
+// rendering into seconds. "INVALID", "UNLIMITED", "Partition_Limit" and
+// empty all report as unusable (0).
+func parseSacctElapsed(s string) (float64, error) {
+	switch s {
+	case "", "INVALID", "UNLIMITED", "Partition_Limit":
+		return 0, nil
+	}
+	days := 0
+	if d, rest, ok := strings.Cut(s, "-"); ok {
+		n, err := strconv.Atoi(d)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("bad day count %q", d)
+		}
+		days = n
+		s = rest
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	secs := 0
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("bad duration component %q", p)
+		}
+		secs = secs*60 + n
+	}
+	return float64(days)*86400 + float64(secs), nil
+}
+
+// sacctClass maps a Slurm partition name onto a priority class, mirroring
+// the SWF queue-number convention: production partitions by name, test and
+// debug partitions to test, everything else (batch, gpu, …) to dev.
+func sacctClass(partition string) string {
+	p := strings.ToLower(partition)
+	switch {
+	case strings.Contains(p, "prod"):
+		return "production"
+	case strings.Contains(p, "test"), strings.Contains(p, "debug"):
+		return "test"
+	default:
+		return "dev"
+	}
+}
+
+// ImportSacct parses `sacct --parsable2` output into a trace. Sub-step rows,
+// unparseable submit times and jobs with no positive elapsed/limit time are
+// skipped; arrivals are rebased to the earliest submit and sorted.
+func ImportSacct(r io.Reader, opts SacctOptions) (*Trace, error) {
+	if opts.ServiceScale <= 0 {
+		opts.ServiceScale = 1.0
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	col := map[string]int{}
+	var records []Record
+	submits := []time.Time{}
+	skipped := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, "|")
+		if len(col) == 0 {
+			// Header row names the columns; everything after is data.
+			for i, name := range fields {
+				col[strings.TrimSpace(name)] = i
+			}
+			for _, need := range []string{"JobID", "Submit", "Elapsed"} {
+				if _, ok := col[need]; !ok {
+					return nil, fmt.Errorf("loadgen: sacct header missing column %s (have %q)", need, text)
+				}
+			}
+			continue
+		}
+		get := func(name string) string {
+			i, ok := col[name]
+			if !ok || i >= len(fields) {
+				return ""
+			}
+			return strings.TrimSpace(fields[i])
+		}
+		jobID := get("JobID")
+		if jobID == "" {
+			return nil, fmt.Errorf("loadgen: sacct line %d has no JobID", line)
+		}
+		if strings.ContainsRune(jobID, '.') {
+			// Sub-step row (123.batch, 123.extern, 123.0): the parent
+			// allocation already carries the job.
+			continue
+		}
+		submit, err := time.Parse(sacctTime, get("Submit"))
+		if err != nil {
+			skipped++
+			continue
+		}
+		elapsed, err := parseSacctElapsed(get("Elapsed"))
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: sacct line %d Elapsed: %v", line, err)
+		}
+		if elapsed <= 0 {
+			limit, err := parseSacctElapsed(get("Timelimit"))
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: sacct line %d Timelimit: %v", line, err)
+			}
+			elapsed = limit
+		}
+		if elapsed <= 0 {
+			skipped++
+			continue
+		}
+		user := get("User")
+		if user == "" {
+			user = "user-unknown"
+		}
+		shots := int(math.Round(elapsed * opts.ServiceScale * canonicalShotRateHz))
+		if shots < 1 {
+			shots = 1
+		}
+		records = append(records, Record{
+			User:               user,
+			Class:              sacctClass(get("Partition")),
+			Qubits:             2,
+			Shots:              shots,
+			ExpectedQPUSeconds: float64(shots) / canonicalShotRateHz,
+		})
+		submits = append(submits, submit)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: reading sacct: %w", err)
+	}
+	if len(col) == 0 {
+		return nil, fmt.Errorf("loadgen: sacct input has no header row")
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("loadgen: sacct input has no usable jobs (%d skipped)", skipped)
+	}
+	// Rebase arrivals so the earliest submit is t=0: replay clocks start at
+	// zero, and absolute wall-clock epochs would put the whole trace beyond
+	// any reasonable horizon.
+	earliest := submits[0]
+	for _, t := range submits {
+		if t.Before(earliest) {
+			earliest = t
+		}
+	}
+	for i := range records {
+		records[i].AtUS = submits[i].Sub(earliest).Microseconds()
+	}
+	sort.SliceStable(records, func(a, b int) bool { return records[a].AtUS < records[b].AtUS })
+	// Cap after sorting so --max-jobs keeps the earliest N arrivals even
+	// when the accounting export is not perfectly submit-ordered.
+	if opts.MaxJobs > 0 && len(records) > opts.MaxJobs {
+		records = records[:opts.MaxJobs]
+	}
+	for i := range records {
+		records[i].Seq = i
+	}
+	horizon := records[len(records)-1].AtUS + time.Second.Microseconds()
+	tr := &Trace{
+		Header: TraceHeader{
+			Format:    TraceFormat,
+			Version:   TraceVersion,
+			Mode:      "imported",
+			Process:   "sacct",
+			HorizonUS: horizon,
+			Jobs:      len(records),
+		},
+		Records: records,
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// ImportSacctFile imports a `sacct --parsable2` export from a path.
+func ImportSacctFile(path string, opts SacctOptions) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: opening sacct: %w", err)
+	}
+	defer f.Close()
+	return ImportSacct(f, opts)
+}

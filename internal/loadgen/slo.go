@@ -80,6 +80,13 @@ type ClassSLO struct {
 	// Slowdown is turnaround divided by the job's expected QPU service time
 	// (1.0 = ran the instant it arrived, with no queueing or preemption).
 	Slowdown Quantiles `json:"slowdown"`
+	// CacheHits/CacheMisses count program-cache outcomes across the class's
+	// dispatches (a preempted job contributes one outcome per dispatch);
+	// CacheHitRate is hits over both. All zero — and omitted — when the
+	// replay ran without a program cache.
+	CacheHits    int     `json:"cache_hits,omitempty"`
+	CacheMisses  int     `json:"cache_misses,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 	// Stages is the stage-latency attribution, present when the replay ran
 	// with tracing: per pipeline stage (validate, admission, route, queued,
 	// requeued, execute), the distribution of that stage's duration for jobs
@@ -136,6 +143,11 @@ type Report struct {
 	CrossRequeues int `json:"cross_requeues"`
 	// MakespanSeconds is the simulation time of the last terminal event.
 	MakespanSeconds float64 `json:"makespan_seconds"`
+	// ProgramCacheHits/Misses/HitRate aggregate the per-class cache
+	// outcomes; omitted when the replay ran without a program cache.
+	ProgramCacheHits    int     `json:"program_cache_hits,omitempty"`
+	ProgramCacheMisses  int     `json:"program_cache_misses,omitempty"`
+	ProgramCacheHitRate float64 `json:"program_cache_hit_rate,omitempty"`
 
 	PerClass  map[string]*ClassSLO  `json:"per_class"`
 	PerDevice map[string]*DeviceSLO `json:"per_device"`
@@ -157,6 +169,10 @@ type jobTrack struct {
 	rejected   bool
 	preempts   int
 	expected   float64
+	// cacheHits/cacheMisses count this job's per-dispatch program-cache
+	// outcomes (several when preemption re-dispatches it).
+	cacheHits   int
+	cacheMisses int
 }
 
 // Analyzer folds daemon job lifecycle events into SLO distributions. Attach
@@ -257,9 +273,22 @@ func (a *Analyzer) Observe(ev daemon.JobEvent) {
 			a.lastTerminal = ev.At
 		}
 	case daemon.JobEventStarted:
-		if t := a.jobs[ev.Job.ID]; t != nil && !t.started {
+		t := a.jobs[ev.Job.ID]
+		if t == nil {
+			return
+		}
+		if !t.started {
 			t.started = true
 			t.firstStart = ev.At
+		}
+		// Every start is one dispatch, so the cache outcome is counted here
+		// (not just on first start): a preempted job's re-dispatch probes the
+		// cache again. Empty means caching is off.
+		switch ev.Job.Cache {
+		case "hit":
+			t.cacheHits++
+		case "miss":
+			t.cacheMisses++
 		}
 	case daemon.JobEventPreempted:
 		a.preempts++
@@ -385,6 +414,10 @@ func (a *Analyzer) Report() *Report {
 			rep.PerDevice[t.device] = dv
 		}
 		dv.Jobs++
+		c.CacheHits += t.cacheHits
+		c.CacheMisses += t.cacheMisses
+		rep.ProgramCacheHits += t.cacheHits
+		rep.ProgramCacheMisses += t.cacheMisses
 		if t.started {
 			waits[t.class] = append(waits[t.class], (t.firstStart - t.submitted).Seconds())
 		}
@@ -431,6 +464,12 @@ func (a *Analyzer) Report() *Report {
 		if rep.MakespanSeconds > 0 {
 			c.GoodputJobsPerHour = float64(c.Completed) / (rep.MakespanSeconds / 3600)
 		}
+		if total := c.CacheHits + c.CacheMisses; total > 0 {
+			c.CacheHitRate = float64(c.CacheHits) / float64(total)
+		}
+	}
+	if total := rep.ProgramCacheHits + rep.ProgramCacheMisses; total > 0 {
+		rep.ProgramCacheHitRate = float64(rep.ProgramCacheHits) / float64(total)
 	}
 	for class, byStage := range a.stages {
 		c := classSLO(class)

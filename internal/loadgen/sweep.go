@@ -21,6 +21,11 @@ type SweepConfig struct {
 	// Tracing runs every combination with span emission, so each cell's
 	// report carries the per-class per-stage latency attribution.
 	Tracing bool
+	// ProgramCache and SetupSeconds configure the per-partition program
+	// cache for every combination (see ReplayConfig). Zero keeps every
+	// cell's report byte-identical to a cache-less sweep.
+	ProgramCache int
+	SetupSeconds float64
 }
 
 // SweepReport is the machine-readable policy comparison: one SLO report per
@@ -32,7 +37,11 @@ type SweepReport struct {
 	Trace   TraceHeader `json:"trace"`
 	Devices int         `json:"devices"`
 	Seed    int64       `json:"seed"`
-	Results []*Report   `json:"results"`
+	// ProgramCache and SetupSeconds record the cache model the sweep ran
+	// under; omitted (and the cells unchanged) when caching was off.
+	ProgramCache int       `json:"program_cache,omitempty"`
+	SetupSeconds float64   `json:"setup_seconds,omitempty"`
+	Results      []*Report `json:"results"`
 }
 
 // Find returns the report for one policy triple, or nil.
@@ -81,6 +90,9 @@ func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
 	}
 	// Fail fast on bad policy names before spawning the fleet per goroutine.
 	for _, c := range combos {
+		if _, err := daemon.NewRouter(c.router); err != nil {
+			return nil, err
+		}
 		if _, err := daemon.NewOrder(c.scheduler); err != nil {
 			return nil, err
 		}
@@ -97,12 +109,14 @@ func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
 		go func(i int, c combo) {
 			defer wg.Done()
 			results[i], errs[i] = Replay(tr, ReplayConfig{
-				Devices:   cfg.Devices,
-				Router:    c.router,
-				Scheduler: c.scheduler,
-				Admission: c.admission,
-				Seed:      cfg.Seed,
-				Tracing:   cfg.Tracing,
+				Devices:      cfg.Devices,
+				Router:       c.router,
+				Scheduler:    c.scheduler,
+				Admission:    c.admission,
+				Seed:         cfg.Seed,
+				ProgramCache: cfg.ProgramCache,
+				SetupSeconds: cfg.SetupSeconds,
+				Tracing:      cfg.Tracing,
 			})
 		}(i, c)
 	}
@@ -113,9 +127,11 @@ func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
 		}
 	}
 	return &SweepReport{
-		Trace:   tr.Header,
-		Devices: cfg.Devices,
-		Seed:    cfg.Seed,
-		Results: results,
+		Trace:        tr.Header,
+		Devices:      cfg.Devices,
+		Seed:         cfg.Seed,
+		ProgramCache: cfg.ProgramCache,
+		SetupSeconds: cfg.SetupSeconds,
+		Results:      results,
 	}, nil
 }
