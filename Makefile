@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full test-race bench bench-json bench-diff vet vet-trace check
+.PHONY: build test test-full test-race bench bench-json bench-diff fuzz-smoke vet vet-trace check
 
 # Where bench-diff writes its fresh recording; override for parallel runs.
 BENCH_FRESH ?= $(if $(TMPDIR),$(TMPDIR),/tmp)/hpcqc_bench_fresh.json
@@ -43,14 +43,26 @@ bench-json:
 # bench-diff re-runs the bench-json suite into a scratch file and fails if
 # any jobs/wall-second throughput metric regressed >20% against the
 # committed BENCH_fleet.json — the CI gate that keeps the replay hot path
-# from sliding back. The untraced and affinity replay benchmarks are
-# -required: renaming or dropping either must fail the gate, not skip it.
+# from sliding back. The untraced, affinity and priority replay benchmarks
+# are -required: renaming or dropping any of them must fail the gate, not
+# skip it. The priority benchmark's interleaved slo-urgency/constant cost
+# ratio is additionally capped at 10% by benchdiff's -priority-overhead rule.
 bench-diff:
 	$(GO) test -bench='$(BENCH_PATTERN)' \
 		-benchmem -run='^$$' -json $(BENCH_PKGS) > $(BENCH_FRESH)
 	$(GO) run ./cmd/benchdiff \
-		-require BenchmarkLoadgenReplay,BenchmarkLoadgenReplayAffinity \
+		-require BenchmarkLoadgenReplay,BenchmarkLoadgenReplayAffinity,BenchmarkLoadgenReplayPriority \
 		BENCH_fleet.json $(BENCH_FRESH)
+
+# fuzz-smoke runs each trace-ingestion fuzz target for a fixed iteration
+# count — a deterministic-duration CI pass over the JSONL reader and the
+# SWF/sacct importers (Go fuzzing accepts exactly one -fuzz target per
+# invocation, hence three commands). Crashers land in
+# internal/loadgen/testdata/fuzz/ for `go test` to replay forever after.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzReadTrace$$' -fuzztime=2000x ./internal/loadgen
+	$(GO) test -run='^$$' -fuzz='^FuzzImportSWF$$' -fuzztime=2000x ./internal/loadgen
+	$(GO) test -run='^$$' -fuzz='^FuzzImportSacct$$' -fuzztime=2000x ./internal/loadgen
 
 vet:
 	$(GO) vet ./...

@@ -554,6 +554,70 @@ func BenchmarkLoadgenReplayTraced(b *testing.B) {
 	b.ReportMetric((tOn.Seconds()/tOff.Seconds()-1)*100, "trace_overhead_pct")
 }
 
+// BenchmarkLoadgenReplayPriority measures the deadline-urgency scheduling
+// axis on the replay hot path: a 2-hour deadline-stamped trace replayed
+// under slo-urgency. Unlike the constant default — which short-circuits onto
+// the legacy pop — a live priority policy re-scores the winning class's
+// backlog on every dispatch, so this is the axis's worst-case dispatch cost.
+//
+// Each iteration runs an slo-urgency and a constant (fifo-equivalent) replay
+// back to back and reports their cost ratio as priority_overhead_pct;
+// benchdiff's -priority-overhead rule gates that metric in CI at 10%, the
+// same interleaved-ratio construction the tracing gate uses (immune to
+// machine speed across files and heap drift within a run). allocs/op and
+// B/op are measured around the slo-urgency replay only — scoring must not
+// put allocation on the pop path.
+func BenchmarkLoadgenReplayPriority(b *testing.B) {
+	proc, err := loadgen.NewProcess("bursty", 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := loadgen.Generate(loadgen.Config{
+		Seed: 1, Horizon: 2 * time.Hour,
+		Process:   proc,
+		Deadlines: workload.DefaultDeadlines(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep *loadgen.Report
+	var tOn, tOff time.Duration
+	var mallocs, bytes uint64
+	var ms0, ms1 runtime.MemStats
+	for i := 0; i < b.N; i++ {
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		rep, err = loadgen.Replay(tr, loadgen.ReplayConfig{
+			Devices: 2, Seed: 1, Priority: "slo-urgency",
+		})
+		tOn += time.Since(t0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runtime.ReadMemStats(&ms1)
+		mallocs += ms1.Mallocs - ms0.Mallocs
+		bytes += ms1.TotalAlloc - ms0.TotalAlloc
+		t0 = time.Now()
+		if _, err := loadgen.Replay(tr, loadgen.ReplayConfig{
+			Devices: 2, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		tOff += time.Since(t0)
+	}
+	prod := rep.PerClass["production"]
+	if prod == nil || prod.DeadlineJobs == 0 {
+		b.Fatal("priority replay reported no deadline accounting")
+	}
+	b.ReportMetric(float64(mallocs)/float64(b.N), "allocs/op")
+	b.ReportMetric(float64(bytes)/float64(b.N), "B/op")
+	b.ReportMetric(float64(len(tr.Records))*float64(b.N)/tOn.Seconds(), "jobs_per_wall_s")
+	b.ReportMetric(prod.DeadlineHitRate, "prod_deadline_hit_rate")
+	b.ReportMetric((tOn.Seconds()/tOff.Seconds()-1)*100, "priority_overhead_pct")
+}
+
 // BenchmarkLoadgenReplayRecorded additionally attaches a flight recorder
 // sized to retain every job trace — the `qcload trace export` configuration,
 // the most expensive consumer (every span is stored, not just aggregated).

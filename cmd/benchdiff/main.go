@@ -8,7 +8,7 @@
 // Usage:
 //
 //	benchdiff [-threshold 0.20] [-metrics m1,m2] [-trace-overhead 0.10]
-//	          [-require b1,b2] baseline.json fresh.json
+//	          [-priority-overhead 0.10] [-require b1,b2] baseline.json fresh.json
 //
 // Only higher-is-better wall-clock throughput metrics are compared; ns/op
 // and sim-time metrics vary with benchtime and fleet width in ways that are
@@ -19,14 +19,18 @@
 // the gate's load-bearing members, and silently dropping one (a renamed
 // benchmark, a stale baseline) would otherwise turn the gate into a no-op.
 //
-// One intra-run rule rides along: the traced replay benchmark interleaves
-// traced and untraced replays in the same iterations and reports their cost
-// ratio as trace_overhead_pct; that metric must stay at or under the
-// -trace-overhead limit — span emission is sold as allocation-lean
-// observation, and this is where that claim is enforced. Because the two
-// sides of the ratio run back to back inside one benchmark, the rule is
-// immune both to machine-speed noise across files and to the heap-growth
-// drift between benchmarks minutes apart in one run.
+// Two intra-run rules ride along, both built on the same interleaved-ratio
+// construction: a benchmark runs its instrumented and baseline variants back
+// to back inside the same iterations and reports their cost ratio, which
+// makes the rule immune both to machine-speed noise across files and to the
+// heap-growth drift between benchmarks minutes apart in one run. The traced
+// replay benchmark reports trace_overhead_pct, capped by -trace-overhead —
+// span emission is sold as allocation-lean observation, and this is where
+// that claim is enforced. The priority replay benchmark reports
+// priority_overhead_pct — the cost of slo-urgency's per-dispatch backlog
+// re-scoring over the constant policy's legacy pop — capped by
+// -priority-overhead: the deadline axis must stay a scheduling knob, not a
+// replay throughput tax.
 package main
 
 import (
@@ -116,6 +120,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.20, "maximum allowed fractional drop in a guarded metric")
 	metricsFlag := flag.String("metrics", defaultMetrics, "comma-separated higher-is-better metrics to guard")
 	traceOverhead := flag.Float64("trace-overhead", 0.10, "maximum fractional jobs/wall-s cost of the traced replay vs the untraced one, same run")
+	priorityOverhead := flag.Float64("priority-overhead", 0.10, "maximum fractional replay cost of the slo-urgency priority axis vs the constant default, same run")
 	require := flag.String("require", "", "comma-separated benchmarks that must be present in both files")
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -216,13 +221,25 @@ func main() {
 		fmt.Printf("%s tracing overhead: %.1f%% traced-vs-untraced replay cost (limit %.0f%%)\n",
 			status, pct, *traceOverhead*100)
 	}
+	// Priority-axis rule: the interleaved slo-urgency/constant cost ratio the
+	// priority replay benchmark measured within its own iterations.
+	if pct, ok := fresh["BenchmarkLoadgenReplayPriority"]["priority_overhead_pct"]; ok {
+		compared++
+		status := "ok  "
+		if pct > *priorityOverhead*100 {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s priority overhead: %.1f%% slo-urgency-vs-constant replay cost (limit %.0f%%)\n",
+			status, pct, *priorityOverhead*100)
+	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: no guarded metrics in common — wrong files?")
 		os.Exit(2)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: benchmark gate failed (threshold %.0f%% vs %s, tracing overhead limit %.0f%%)\n",
-			*threshold*100, flag.Arg(0), *traceOverhead*100)
+		fmt.Fprintf(os.Stderr, "benchdiff: benchmark gate failed (threshold %.0f%% vs %s, tracing overhead limit %.0f%%, priority overhead limit %.0f%%)\n",
+			*threshold*100, flag.Arg(0), *traceOverhead*100, *priorityOverhead*100)
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: %d guarded metrics within %.0f%% of baseline\n", compared, *threshold*100)

@@ -4,6 +4,7 @@
 //	qcload gen     --out trace.jsonl [--process poisson|bursty|diurnal]
 //	               [--rate 150] [--duration 24h] [--seed 1] [--users 8]
 //	               [--class-mix 1:2:7] [--pattern-mix 1:1:2] [--programs N]
+//	               [--deadlines]
 //	qcload capture --out trace.jsonl [--router least-loaded] [--scheduler fifo]
 //	               [--admission accept-all] [--duration 24h] [--users 16]
 //	               [--think 5m] [--devices 4] [--seed 1]
@@ -11,14 +12,16 @@
 //	               [--scale 1.0] [--max-jobs N]
 //	qcload info    --trace trace.jsonl
 //	qcload replay  --trace trace.jsonl [--router least-loaded] [--scheduler fifo]
-//	               [--admission accept-all] [--devices 4] [--seed 1]
-//	               [--cache 0] [--setup 0]
+//	               [--admission accept-all] [--priority constant] [--devices 4]
+//	               [--seed 1] [--cache 0] [--setup 0]
 //	qcload sweep   --trace trace.jsonl [--routers all] [--schedulers all]
-//	               [--admissions all] [--devices 4] [--seed 1] [--out report.json]
+//	               [--admissions all] [--priorities constant] [--devices 4]
+//	               [--seed 1] [--out report.json]
 //	               [--tracing=true] [--cache 0] [--setup 0]
 //	qcload trace export --trace trace.jsonl --out spans.json
 //	               [--router least-loaded] [--scheduler fifo]
-//	               [--admission accept-all] [--devices 4] [--seed 1]
+//	               [--admission accept-all] [--priority constant]
+//	               [--devices 4] [--seed 1]
 //
 // gen synthesizes an open-loop trace from an arrival process. capture records
 // arrivals from a live closed-loop fleet run (completion-driven submitters)
@@ -38,7 +41,15 @@
 // affinity:load=0.6:affinity=0.3:cap=0.1 (commas split the axis, so colons
 // inside one router name survive); --cache/--setup size the per-partition
 // program cache and the cold-setup cost a miss pays, the model the affinity
-// router exploits. trace export replays a trace with the flight recorder attached and
+// router exploits. --priority (replay) and --priorities (sweep axis) pick the
+// dynamic-urgency policy composing with the within-class order: constant,
+// age, slo-urgency, edf — the deadline-driven pair also takes inline
+// fallback-deadline parameters like slo-urgency:deadline=120s or
+// edf:production=90s, and reads the per-job deadlines that `gen --deadlines`
+// stamps from the per-class contracts. The sweep priority axis defaults to
+// the constant singleton (not all) so existing sweeps keep their exact
+// combination list; pass --priorities all to expand it.
+// trace export replays a trace with the flight recorder attached and
 // writes the full span set as Chrome trace-event JSON — open it in Perfetto
 // (or chrome://tracing) to see partitions as busy/idle tracks and every
 // job's lifecycle as a waterfall.
@@ -122,6 +133,7 @@ func runGen(args []string) error {
 	classMix := fs.String("class-mix", "1:2:7", "production:test:dev weights")
 	patternMix := fs.String("pattern-mix", "1:1:2", "qc-heavy:cc-heavy:balanced weights")
 	programs := fs.Int("programs", 0, "fixed per-pattern program variants (repeated-program workload; 0 = continuous jitter)")
+	deadlines := fs.Bool("deadlines", false, "stamp per-job completion deadlines from the per-class default contracts")
 	// Accepted but unused: the old closed-mode flags still parse so a
 	// pre-capture invocation reaches the migration error below instead of
 	// dying on an unknown flag.
@@ -151,13 +163,19 @@ func runGen(args []string) error {
 	if err != nil {
 		return err
 	}
-	tr, err := loadgen.Generate(loadgen.Config{
+	genCfg := loadgen.Config{
 		Seed: *seed, Horizon: *duration, Process: proc,
 		Classes:  loadgen.ClassMix{Production: cm[0], Test: cm[1], Dev: cm[2]},
 		Patterns: workload.Mix{QCHeavy: pm[0], CCHeavy: pm[1], Balanced: pm[2]},
 		Users:    *users,
 		Programs: *programs,
-	})
+	}
+	if *deadlines {
+		// Deadline stamping is a pure function of already-drawn fields, so
+		// the arrivals match the unstamped trace record for record.
+		genCfg.Deadlines = workload.DefaultDeadlines()
+	}
+	tr, err := loadgen.Generate(genCfg)
 	if err != nil {
 		return err
 	}
@@ -289,6 +307,7 @@ func runReplay(args []string, out io.Writer) error {
 	router := fs.String("router", "least-loaded", "routing policy")
 	scheduler := fs.String("scheduler", "fifo", "within-class order: fifo, fair-share, shortest-first")
 	admission := fs.String("admission", "accept-all", "admission policy: accept-all, queue-depth, token-bucket, slo-guard")
+	priority := fs.String("priority", "constant", "dynamic-urgency axis: constant, age, slo-urgency[:key=DUR...], edf[:key=DUR...]")
 	devices := fs.Int("devices", 4, "fleet size")
 	seed := fs.Int64("seed", 1, "replay seed")
 	tracing := fs.Bool("tracing", true, "attach span tracing and report per-stage latency breakdown")
@@ -305,7 +324,7 @@ func runReplay(args []string, out io.Writer) error {
 		return err
 	}
 	rep, err := loadgen.Replay(tr, loadgen.ReplayConfig{
-		Devices: *devices, Router: *router, Scheduler: *scheduler, Admission: *admission, Seed: *seed,
+		Devices: *devices, Router: *router, Scheduler: *scheduler, Admission: *admission, Priority: *priority, Seed: *seed,
 		Tracing: *tracing, ProgramCache: *cacheSize, SetupSeconds: *setup,
 	})
 	if err != nil {
@@ -322,6 +341,7 @@ func runSweep(args []string, out io.Writer) error {
 	routers := fs.String("routers", "all", "comma-separated router axis, or all")
 	schedulers := fs.String("schedulers", "all", "comma-separated scheduler axis, or all")
 	admissions := fs.String("admissions", "all", "comma-separated admission axis, or all")
+	priorities := fs.String("priorities", "constant", "comma-separated priority axis, or all (defaults to the constant singleton, not all)")
 	devices := fs.Int("devices", 4, "fleet size per combination")
 	seed := fs.Int64("seed", 1, "replay seed shared by every combination")
 	outPath := fs.String("out", "", "report file (default stdout)")
@@ -345,6 +365,7 @@ func runSweep(args []string, out io.Writer) error {
 		Routers:      splitAxis(*routers),
 		Schedulers:   splitAxis(*schedulers),
 		Admissions:   splitAxis(*admissions),
+		Priorities:   splitAxis(*priorities),
 		Tracing:      *tracing,
 		ProgramCache: *cacheSize,
 		SetupSeconds: *setup,
@@ -352,7 +373,7 @@ func runSweep(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "qcload: swept %d jobs × %d policy triples in %s\n",
+	fmt.Fprintf(os.Stderr, "qcload: swept %d jobs × %d policy combinations in %s\n",
 		tr.Header.Jobs, len(rep.Results), time.Since(start).Round(time.Millisecond))
 	w := out
 	if *outPath != "" {
@@ -377,6 +398,7 @@ func runTraceExport(args []string, out io.Writer) error {
 	router := fs.String("router", "least-loaded", "routing policy")
 	scheduler := fs.String("scheduler", "fifo", "within-class order: fifo, fair-share, shortest-first")
 	admission := fs.String("admission", "accept-all", "admission policy: accept-all, queue-depth, token-bucket, slo-guard")
+	priority := fs.String("priority", "constant", "dynamic-urgency axis: constant, age, slo-urgency[:key=DUR...], edf[:key=DUR...]")
 	devices := fs.Int("devices", 4, "fleet size")
 	seed := fs.Int64("seed", 1, "replay seed")
 	outPath := fs.String("out", "", "trace-event JSON file (default stdout)")
@@ -394,7 +416,7 @@ func runTraceExport(args []string, out io.Writer) error {
 	// full recording, not a flight-recorder tail.
 	rec := trace.NewFlightRecorder(max(1, len(tr.Records)))
 	if _, err := loadgen.Replay(tr, loadgen.ReplayConfig{
-		Devices: *devices, Router: *router, Scheduler: *scheduler, Admission: *admission, Seed: *seed,
+		Devices: *devices, Router: *router, Scheduler: *scheduler, Admission: *admission, Priority: *priority, Seed: *seed,
 		SpanListener: rec.Observe,
 	}); err != nil {
 		return err

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	qcsd [-listen :8080] [-admin-token TOKEN] [-seed N] [-timescale X]
-//	     [-devices N] [-router POLICY] [-admission POLICY]
+//	     [-devices N] [-router POLICY] [-admission POLICY] [-priority POLICY]
 //	     [-program-cache N] [-setup S]
 //	     [-slo-wait-target D] [-slo-warn-fraction F]
 //	     [-trace-buffer N] [-debug-listen ADDR]
@@ -19,7 +19,13 @@
 // or the weighted scorer router affinity[:load=W:affinity=W:cap=W]);
 // -admission picks the load-shedding policy at the submit pipeline's door
 // (accept-all, queue-depth, token-bucket, slo-guard — slo-guard also takes
-// inline parameters, e.g. slo-guard:wait=45s:warn=0.7).
+// inline parameters, e.g. slo-guard:wait=45s:warn=0.7, including
+// lateness=F, the deadline-door factor for deadline-carrying submissions).
+//
+// -priority picks the dynamic-urgency scheduling axis that composes with the
+// within-class order (constant, age, slo-urgency, edf — the deadline-driven
+// pair also takes inline fallback-deadline parameters, e.g.
+// slo-urgency:deadline=120s or edf:production=90s).
 //
 // -program-cache sizes each partition's calibration-warm program cache in
 // entries (0 disables it); -setup charges that many QPU seconds of cold
@@ -80,6 +86,9 @@ type nodeOptions struct {
 	// cache miss charges the device (requires programCache > 0).
 	programCache int
 	setupSeconds float64
+	// priority names the dynamic-urgency scheduling axis (empty = constant,
+	// the identity policy).
+	priority string
 }
 
 // defaultProgramCache is the serving default: large enough that an
@@ -108,6 +117,10 @@ func newNodeOpts(adminToken string, seed int64, timescale float64, devices int, 
 		return nil, fmt.Errorf("qcsd: %w", err)
 	}
 	admitter, err := admission.NewPolicy(admissionPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("qcsd: %w", err)
+	}
+	priority, err := daemon.NewPriority(opts.priority)
 	if err != nil {
 		return nil, fmt.Errorf("qcsd: %w", err)
 	}
@@ -140,7 +153,7 @@ func newNodeOpts(adminToken string, seed int64, timescale float64, devices int, 
 		return nil, fmt.Errorf("qcsd: device: %w", err)
 	}
 	d, err := daemon.NewDaemon(daemon.Config{
-		Devices: fleet.Devices(), Router: router, Admission: admitter, Clock: clk,
+		Devices: fleet.Devices(), Router: router, Admission: admitter, Priority: priority, Clock: clk,
 		AdminToken:       adminToken,
 		EnablePreemption: true,
 		ProgramCache:     opts.programCache,
@@ -181,6 +194,7 @@ func main() {
 	programCache := flag.Int("program-cache", defaultProgramCache, "per-partition calibration-warm program cache entries (0 disables)")
 	setupSeconds := flag.Float64("setup", 0, "cold-setup QPU seconds charged on a program-cache miss (requires -program-cache > 0)")
 	admissionPolicy := flag.String("admission", "accept-all", "admission policy (accept-all, queue-depth, token-bucket, slo-guard[:key=value...])")
+	priorityPolicy := flag.String("priority", "constant", "dynamic-urgency scheduling axis (constant, age, slo-urgency[:key=DUR...], edf[:key=DUR...])")
 	sloWait := flag.Duration("slo-wait-target", 0, "slo-guard production p99 wait target (0 = policy default; requires -admission slo-guard)")
 	sloWarn := flag.Float64("slo-warn-fraction", -1, "slo-guard down-class pressure fraction in [0,1] (-1 = policy default; requires -admission slo-guard)")
 	traceBuffer := flag.Int("trace-buffer", trace.DefaultFlightCapacity, "flight recorder size: retained terminal job traces (0 disables tracing)")
@@ -189,7 +203,7 @@ func main() {
 
 	n, err := newNodeOpts(*adminToken, *seed, *timescale, *devices, *router, *admissionPolicy,
 		nodeOptions{sloWaitTarget: *sloWait, sloWarnFraction: *sloWarn, traceBuffer: *traceBuffer,
-			programCache: *programCache, setupSeconds: *setupSeconds})
+			programCache: *programCache, setupSeconds: *setupSeconds, priority: *priorityPolicy})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -216,8 +230,8 @@ func main() {
 		}()
 	}
 
-	log.Printf("qcsd: serving %s ×%d (%s routing, %s admission) on %s (timescale %gx)",
-		n.dev.Spec().Name, n.fleet.Size(), n.d.RouterName(), n.d.AdmissionName(), *listen, *timescale)
+	log.Printf("qcsd: serving %s ×%d (%s routing, %s admission, %s priority) on %s (timescale %gx)",
+		n.dev.Spec().Name, n.fleet.Size(), n.d.RouterName(), n.d.AdmissionName(), n.d.PriorityName(), *listen, *timescale)
 	if err := http.ListenAndServe(*listen, n.d.Handler()); err != nil {
 		log.Fatalf("qcsd: %v", err)
 	}

@@ -52,6 +52,10 @@ type Request struct {
 	// the door.
 	Pinned             bool
 	ExpectedQPUSeconds float64
+	// DeadlineSeconds is the submitter's completion deadline relative to
+	// now (0 = none). Deadline-aware policies may shed best-effort work
+	// whose predicted completion already overshoots it.
+	DeadlineSeconds float64
 	// Now is the simulation time of the submission — the only clock a
 	// policy may consult (wall-clock reads would break replay determinism).
 	Now time.Duration

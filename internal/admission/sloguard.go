@@ -44,6 +44,14 @@ type SLOGuard struct {
 	// MinSamples is how many window samples a p99 needs before it is
 	// trusted (default 3); below it only the backlog-age term acts.
 	MinSamples int
+	// LatenessFactor arms the deadline door: a best-effort submission that
+	// declares a deadline is shed when its predicted completion (its class's
+	// oldest queued age as the wait proxy, plus its own expected service)
+	// exceeds LatenessFactor × deadline — admitting work that already
+	// cannot finish in time only burns QPU seconds production could use.
+	// 1.0 by default; 0 disables the door. Requests without a deadline are
+	// never affected.
+	LatenessFactor float64
 
 	// label is the full parameterized spelling when the controller was built
 	// from one (e.g. "slo-guard:wait=45s:warn=0.7"); empty for defaults.
@@ -68,6 +76,7 @@ func NewSLOGuard() *SLOGuard {
 		WarnFraction:   0.5,
 		ShedTestFactor: 2,
 		MinSamples:     3,
+		LatenessFactor: 1,
 	}
 }
 
@@ -125,8 +134,14 @@ func (p *SLOGuard) configure(params string) error {
 				return fmt.Errorf("admission: slo-guard min samples %q must be a positive integer", v)
 			}
 			p.MinSamples = n
+		case "lateness":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 {
+				return fmt.Errorf("admission: slo-guard lateness factor %q must be >= 0 (0 disables the deadline door)", v)
+			}
+			p.LatenessFactor = f
 		default:
-			return fmt.Errorf("admission: unknown slo-guard parameter %q (wait, slowdown, window, warn, shed, min)", k)
+			return fmt.Errorf("admission: unknown slo-guard parameter %q (wait, slowdown, window, warn, shed, min, lateness)", k)
 		}
 	}
 	return nil
@@ -215,6 +230,21 @@ func (p *SLOGuard) Pressure(now time.Duration, view View) float64 {
 func (p *SLOGuard) Admit(req Request, view View) Decision {
 	if req.Class == sched.ClassProduction {
 		return Accept(req.Class)
+	}
+	// Deadline door: predicted lateness at the front of the pipeline. The
+	// class's oldest queued age is the wait proxy — a new arrival queues
+	// behind work that has already waited that long — and the job then still
+	// needs its own service time.
+	if p.LatenessFactor > 0 && req.DeadlineSeconds > 0 {
+		predicted := view.ByClass[req.Class].OldestAge.Seconds() + req.ExpectedQPUSeconds
+		if predicted > req.DeadlineSeconds*p.LatenessFactor {
+			return Decision{
+				Outcome: Rejected,
+				Class:   req.Class,
+				Reason: fmt.Sprintf("slo-guard: predicted completion %.0fs overshoots the %.0fs deadline",
+					predicted, req.DeadlineSeconds),
+			}
+		}
 	}
 	pressure := p.Pressure(req.Now, view)
 	switch {

@@ -98,6 +98,12 @@ type Job struct {
 	// estimate from the validated program when none was given.
 	ExpectedQPUSeconds float64  `json:"expected_qpu_seconds"`
 	State              JobState `json:"state"`
+	// DeadlineSeconds is the submitter's completion deadline relative to
+	// submission (0 = none). Deadline-aware priority policies score against
+	// it, the slo-guard door consults it, and terminal execute spans are
+	// annotated deadline=hit|miss when it is set — jobs without one are
+	// reported exactly as before.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
 	// Cache records the partition program-cache outcome of the job's most
 	// recent dispatch ("hit" or "miss"). Empty when program caching is
 	// disabled (Config.ProgramCache == 0), so existing reports are unchanged.
@@ -190,6 +196,11 @@ type Config struct {
 	// Order is the queueing stage's within-class order. Defaults to FIFO.
 	// Mutually exclusive with the FairShare/ShortestFirst shorthands below.
 	Order OrderPolicy
+	// Priority is the dynamic-urgency axis composing with Order: a per-item
+	// score recomputed at each dispatch tick, with the order policy breaking
+	// score ties. Defaults to the constant policy, which leaves dispatch on
+	// the exact legacy order-only path (byte-identical reports).
+	Priority PriorityPolicy
 	// RejectedHistory bounds how many terminal rejected job records are
 	// retained for status queries (default 1024). Admission exists to
 	// absorb floods, so the flood's rejection records must not grow daemon
@@ -324,6 +335,13 @@ type Daemon struct {
 	cfg    Config
 	router Router
 	order  OrderPolicy
+	// priority is the dynamic-urgency axis; priorityTie is the order
+	// policy's comparator factory for breaking score ties (nil when the
+	// order cannot express one — FIFO tie-break then). priorityConstant
+	// short-circuits dispatch onto the legacy order-only pop path.
+	priority         PriorityPolicy
+	priorityTie      func(usage func() map[string]float64) func(a, b *sched.Item) bool
+	priorityConstant bool
 
 	// admitMu serializes admission decisions so stateful policies (token
 	// buckets, SLO windows) see submissions in a single, reproducible order.
@@ -489,10 +507,15 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 	if admitter == nil {
 		admitter = admission.AcceptAll{}
 	}
+	priority := cfg.Priority
+	if priority == nil {
+		priority = constantPriority{}
+	}
 	d := &Daemon{
 		cfg:         cfg,
 		router:      router,
 		order:       order,
+		priority:    priority,
 		admitter:    admitter,
 		byDevice:    make(map[string]*deviceState, len(devices)),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
@@ -501,6 +524,10 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 		waitSum:     make(map[sched.Class]time.Duration),
 		waitCount:   make(map[sched.Class]int),
 		usageByUser: make(map[string]float64),
+	}
+	_, d.priorityConstant = priority.(constantPriority)
+	if cmp, ok := order.(orderComparator); ok {
+		d.priorityTie = cmp.less
 	}
 	d.admitObserver, _ = admitter.(admission.Observer)
 	d.internAdmissionDetails()
@@ -609,6 +636,18 @@ func (d *Daemon) AdmissionName() string { return d.admitter.Name() }
 // OrderName reports the active within-class queueing order.
 func (d *Daemon) OrderName() string { return d.order.Name() }
 
+// PriorityName reports the active priority (dynamic-urgency) policy.
+func (d *Daemon) PriorityName() string { return d.priority.Name() }
+
+// priorityStatusName renders the priority axis for status reports: empty
+// under the constant default, so reports predating the axis are unchanged.
+func (d *Daemon) priorityStatusName() string {
+	if d.priorityConstant {
+		return ""
+	}
+	return d.priority.Name()
+}
+
 // primary returns the first partition — the whole fleet in single-device
 // deployments, and the back-compat answer for endpoints that predate fleets.
 func (d *Daemon) primary() *deviceState { return d.fleet[0] }
@@ -694,6 +733,11 @@ type SubmitRequest struct {
 	// target device spec, so the hint is always available to the
 	// shortest-first policy.
 	ExpectedQPUSeconds float64
+	// DeadlineSeconds optionally declares the submitter's completion
+	// deadline, in seconds from submission. Zero means none: the job is
+	// scored against per-class fallback contracts by deadline-aware
+	// priority policies and excluded from deadline-hit accounting.
+	DeadlineSeconds float64
 }
 
 // Submit walks a submission through the four pipeline stages (see
@@ -712,6 +756,9 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	}
 	if req.ExpectedQPUSeconds < 0 {
 		return nil, fmt.Errorf("daemon: negative expected QPU seconds %g", req.ExpectedQPUSeconds)
+	}
+	if req.DeadlineSeconds < 0 {
+		return nil, fmt.Errorf("daemon: negative deadline seconds %g", req.DeadlineSeconds)
 	}
 	// Pipeline-stage timestamps for tracing, buffered in locals — the job ID
 	// the spans carry is only minted after admission. In pure replay the
@@ -870,6 +917,7 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 		Pinned:             req.Device != "",
 		ExpectedQPUSeconds: req.ExpectedQPUSeconds,
 		State:              JobQueued,
+		DeadlineSeconds:    req.DeadlineSeconds,
 		SubmittedAt:        now,
 		payload:            req.Program,
 		prog:               prog,
@@ -1024,7 +1072,7 @@ func defaultSource(s string) string {
 // queueItem builds the scheduler item for a job, carrying the class,
 // pattern and duration hints the queue policies consume.
 func (d *Daemon) queueItem(j *Job) *sched.Item {
-	return &sched.Item{
+	it := &sched.Item{
 		ID:          j.ID,
 		Class:       j.Class,
 		Pattern:     j.Pattern,
@@ -1032,6 +1080,12 @@ func (d *Daemon) queueItem(j *Job) *sched.Item {
 		ExpectedQPU: simclock.Seconds(j.ExpectedQPUSeconds),
 		Payload:     j,
 	}
+	if j.DeadlineSeconds > 0 {
+		// The absolute deadline is anchored to the original submission, so a
+		// preemption requeue keeps — not resets — the job's urgency.
+		it.Deadline = j.SubmittedAt + simclock.Seconds(j.DeadlineSeconds)
+	}
+	return it
 }
 
 func decodeAndValidate(payload []byte, spec qir.DeviceSpec) (*qir.Program, error) {
@@ -1195,9 +1249,21 @@ func (d *Daemon) dispatchOnce(ds *deviceState) bool {
 }
 
 // popNext removes the next item under the configured within-class order —
-// the queueing stage's policy hook.
+// the queueing stage's policy hook. Under the constant priority it is the
+// order policy's own Pop, untouched; a non-constant priority re-scores the
+// backlog at this tick and hands score ties to the order's comparator.
 func (d *Daemon) popNext(ds *deviceState) *sched.Item {
-	return d.order.Pop(ds.queue, d.usageSnapshot)
+	if d.priorityConstant {
+		return d.order.Pop(ds.queue, d.usageSnapshot)
+	}
+	now := d.cfg.Clock.Now()
+	var tie func(a, b *sched.Item) bool
+	if d.priorityTie != nil {
+		tie = d.priorityTie(d.usageSnapshot)
+	}
+	return ds.queue.PopByScore(func(it *sched.Item) float64 {
+		return d.priority.Score(it, now)
+	}, tie)
 }
 
 // usageSnapshot copies the per-user accumulated QPU-seconds map — the
@@ -1460,15 +1526,26 @@ func (d *Daemon) finishLocked(j *Job, state JobState, result []byte, err error) 
 	d.notify(JobEventFinished, *j)
 	if d.traced() {
 		cls := j.Class.String()
+		// Deadline-carrying jobs annotate their terminal span with the
+		// verdict; jobs without a deadline keep the bare detail, so traces
+		// from deadline-less runs are unchanged.
+		detail := string(state)
+		if j.DeadlineSeconds > 0 {
+			if state == JobCompleted && j.FinishedAt <= j.SubmittedAt+simclock.Seconds(j.DeadlineSeconds) {
+				detail += " deadline=hit"
+			} else {
+				detail += " deadline=miss"
+			}
+		}
 		switch prior {
 		case JobRunning:
 			d.emitSpan(trace.Span{Job: j.ID, Stage: trace.StageExecute, Class: cls, Device: j.Device,
-				Start: j.StartedAt, End: j.FinishedAt, Detail: string(state)})
+				Start: j.StartedAt, End: j.FinishedAt, Detail: detail})
 		case JobQueued:
 			// Cancelled while waiting — or an orphaned completion whose
 			// terminal device notification raced ahead of start bookkeeping.
 			d.emitSpan(trace.Span{Job: j.ID, Stage: waitStage(j), Class: cls, Device: j.Device,
-				Start: j.enqueuedAt, End: j.FinishedAt, Detail: string(state)})
+				Start: j.enqueuedAt, End: j.FinishedAt, Detail: detail})
 		}
 		if d.spanMarks {
 			d.emitSpan(trace.Span{Job: j.ID, Stage: terminalMark(state), Class: cls, Device: j.Device,
@@ -1602,8 +1679,11 @@ type StatusReport struct {
 	// Admission and Scheduler name the other two policy axes of the submit
 	// pipeline (stage 1 and stage 3); Rejected counts submissions the
 	// admission stage shed over the daemon's lifetime.
-	Admission    string                   `json:"admission"`
-	Scheduler    string                   `json:"scheduler"`
+	Admission string `json:"admission"`
+	Scheduler string `json:"scheduler"`
+	// Priority names the dynamic-urgency axis composing with the scheduler
+	// order (omitted for the constant default).
+	Priority     string                   `json:"priority,omitempty"`
 	Rejected     int                      `json:"rejected_total"`
 	Sessions     int                      `json:"sessions"`
 	QueuedByName map[string]int           `json:"queued_by_class"`
@@ -1622,6 +1702,7 @@ func (d *Daemon) AdminStatus() StatusReport {
 		Router:       d.router.Name(),
 		Admission:    d.admitter.Name(),
 		Scheduler:    d.order.Name(),
+		Priority:     d.priorityStatusName(),
 		QueuedByName: map[string]int{"production": 0, "test": 0, "dev": 0},
 		MeanWait:     make(map[string]time.Duration),
 		JobsBySource: make(map[string]int),

@@ -86,6 +86,39 @@ func (shortestFirstOrder) Pop(q *sched.ClassQueue, _ func() map[string]float64) 
 	return q.PopBy(sched.ShortestExpectedFirst)
 }
 
+// orderComparator is the composition hook between the queueing and priority
+// axes: an order that can state its policy as a pairwise comparator lets a
+// non-constant PriorityPolicy compose with it — the priority score decides,
+// and the order's comparator breaks score ties. All built-in orders
+// implement it; a custom OrderPolicy that does not falls back to FIFO
+// tie-breaking under a non-constant priority.
+type orderComparator interface {
+	// less returns the order's within-class comparator. usage is the same
+	// lazy per-user QPU-seconds snapshot Pop receives; orders that do not
+	// need it must not call it.
+	less(usage func() map[string]float64) func(a, b *sched.Item) bool
+}
+
+func (fifoOrder) less(_ func() map[string]float64) func(a, b *sched.Item) bool {
+	return func(a, b *sched.Item) bool { return a.Enqueued < b.Enqueued }
+}
+
+func (fairShareOrder) less(usage func() map[string]float64) func(a, b *sched.Item) bool {
+	served := usage()
+	return func(a, b *sched.Item) bool {
+		ua := served[a.Payload.(*Job).User]
+		ub := served[b.Payload.(*Job).User]
+		if ua != ub {
+			return ua < ub
+		}
+		return a.Enqueued < b.Enqueued
+	}
+}
+
+func (shortestFirstOrder) less(_ func() map[string]float64) func(a, b *sched.Item) bool {
+	return sched.ShortestExpectedFirst
+}
+
 // NewOrder builds a within-class order by name ("fifo", "fair-share",
 // "shortest-first") — the switch behind the loadgen scheduler axis.
 func NewOrder(name string) (OrderPolicy, error) {
@@ -167,6 +200,7 @@ func (d *Daemon) admitStage(req SubmitRequest, user string) admission.Decision {
 		User:               user,
 		Pinned:             req.Device != "",
 		ExpectedQPUSeconds: req.ExpectedQPUSeconds,
+		DeadlineSeconds:    req.DeadlineSeconds,
 		Now:                d.cfg.Clock.Now(),
 	}, view)
 	if d.mAdmission != nil {

@@ -1,0 +1,177 @@
+package daemon
+
+// The priority axis is the fourth pluggable stage knob: where an OrderPolicy
+// fixes a static within-class order (arrival, user fairness, duration hint),
+// a PriorityPolicy re-scores every queued item at each dispatch tick, so the
+// order can *change while jobs wait* — the property deadline urgency and
+// anti-starvation aging need and no static comparator can express. The two
+// axes compose instead of competing: the score decides, and the order
+// policy's comparator breaks score ties, so `slo-urgency × fair-share` means
+// "most urgent first, least-served user among equally urgent".
+//
+// The `constant` policy is the identity element: every item scores the same,
+// the tie-break does all the work, and the daemon short-circuits it onto the
+// exact legacy OrderPolicy.Pop path so replay reports stay byte-identical to
+// a build without the axis (the determinism sweeps gate this).
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"hpcqc/internal/sched"
+	"hpcqc/internal/workload"
+)
+
+// PriorityPolicy is the dynamic-urgency scheduling axis: a per-item score
+// recomputed at each dispatch tick. The highest score within the highest
+// non-empty class dispatches next; the active OrderPolicy breaks ties.
+type PriorityPolicy interface {
+	// Name identifies the policy for status reports and sweep axes,
+	// including any inline parameters (e.g. "slo-urgency:deadline=120s").
+	Name() string
+	// Score rates a queued item at sim time now; higher is more urgent.
+	// Called under the partition queue lock, once per queued item of the
+	// winning class — it must be fast, pure, and must not call back into
+	// the daemon or the queue.
+	Score(it *sched.Item, now time.Duration) float64
+}
+
+// noDeadlineScore sorts items without any resolvable deadline behind every
+// item that has one, for the deadline-driven policies. Equal among
+// themselves, so the order policy's tie-break takes over.
+const noDeadlineScore = -math.MaxFloat64
+
+// constantPriority is the default identity policy: all items score equally,
+// leaving the order policy in sole control. The daemon detects it and keeps
+// dispatch on the legacy pop path.
+type constantPriority struct{}
+
+func (constantPriority) Name() string                              { return "constant" }
+func (constantPriority) Score(*sched.Item, time.Duration) float64 { return 0 }
+
+// agePriority scores items by time spent queued — pure anti-starvation: the
+// longest-waiting item runs first regardless of how it arrived. Within a
+// single class this degrades to seniority order; its value is keeping
+// preemption-requeued jobs (whose Enqueued stays the original submit time)
+// ahead of younger arrivals.
+type agePriority struct{}
+
+func (agePriority) Name() string { return "age" }
+func (agePriority) Score(it *sched.Item, now time.Duration) float64 {
+	return (now - it.Enqueued).Seconds()
+}
+
+// deadlinePriority implements both deadline-driven policies over the same
+// deadline resolution: an item's explicit Deadline when it carries one,
+// otherwise the per-class fallback contract applied to its enqueue time.
+//
+//	edf         score = −deadline: classic earliest-deadline-first.
+//	slo-urgency score = −slack, slack = deadline − now − expected service:
+//	            least-slack-first. Unlike EDF the score keeps rising once a
+//	            job is late (slack < 0), and jobs with equal deadlines but
+//	            longer service sort ahead — the shape that converts urgency
+//	            into deadline hits when service times are heterogeneous.
+type deadlinePriority struct {
+	label    string
+	edf      bool
+	fallback map[sched.Class]workload.DeadlineSpec
+}
+
+func (p *deadlinePriority) Name() string { return p.label }
+
+// deadline resolves the absolute sim-time deadline for an item, or 0 when
+// neither the item nor the class contract provides one.
+func (p *deadlinePriority) deadline(it *sched.Item) time.Duration {
+	if it.Deadline > 0 {
+		return it.Deadline
+	}
+	if spec, ok := p.fallback[it.Class]; ok {
+		if off := spec.Offset(it.ExpectedQPU); off > 0 {
+			return it.Enqueued + off
+		}
+	}
+	return 0
+}
+
+func (p *deadlinePriority) Score(it *sched.Item, now time.Duration) float64 {
+	dl := p.deadline(it)
+	if dl <= 0 {
+		return noDeadlineScore
+	}
+	if p.edf {
+		return -dl.Seconds()
+	}
+	return -(dl - now - it.ExpectedQPU).Seconds()
+}
+
+// configure applies colon-separated key=value parameters to the fallback
+// deadline contracts. `deadline=DUR` replaces every class contract with a
+// flat DUR allowance; `production=DUR`, `test=DUR`, `dev=DUR` replace one
+// class each (DUR of 0 removes that class's fallback entirely). Explicit
+// per-job deadlines always win over any fallback.
+func (p *deadlinePriority) configure(params string) error {
+	for _, kv := range strings.Split(params, ":") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok || val == "" {
+			return fmt.Errorf("daemon: priority %s: malformed parameter %q (want key=value)", p.label, kv)
+		}
+		dur, err := time.ParseDuration(val)
+		if err != nil || dur < 0 {
+			return fmt.Errorf("daemon: priority %s: parameter %s wants a non-negative duration, got %q", p.label, key, val)
+		}
+		switch key {
+		case "deadline":
+			for c := range p.fallback {
+				p.fallback[c] = workload.DeadlineSpec{Base: dur}
+			}
+		case "production":
+			p.fallback[sched.ClassProduction] = workload.DeadlineSpec{Base: dur}
+		case "test":
+			p.fallback[sched.ClassTest] = workload.DeadlineSpec{Base: dur}
+		case "dev":
+			p.fallback[sched.ClassDev] = workload.DeadlineSpec{Base: dur}
+		default:
+			return fmt.Errorf("daemon: priority %s: unknown parameter %q (deadline, production, test, dev)", p.label, key)
+		}
+	}
+	return nil
+}
+
+// NewPriority builds a priority policy by name — the switch behind the
+// loadgen priority axis and qcsd's -priority flag. The empty name is the
+// constant default; slo-urgency and edf accept inline fallback-deadline
+// parameters, e.g. "slo-urgency:deadline=120s" or "edf:production=90s".
+// The full parameterized spelling is preserved as the policy's Name.
+func NewPriority(name string) (PriorityPolicy, error) {
+	base, params, hasParams := strings.Cut(name, ":")
+	switch base {
+	case "constant", "":
+		if hasParams {
+			return nil, fmt.Errorf("daemon: priority constant takes no parameters (got %q)", name)
+		}
+		return constantPriority{}, nil
+	case "age":
+		if hasParams {
+			return nil, fmt.Errorf("daemon: priority age takes no parameters (got %q)", name)
+		}
+		return agePriority{}, nil
+	case "slo-urgency", "edf":
+		p := &deadlinePriority{label: name, edf: base == "edf", fallback: workload.DefaultDeadlines()}
+		if hasParams {
+			if err := p.configure(params); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("daemon: unknown priority %q (constant, age, slo-urgency, edf)", name)
+	}
+}
+
+// AllPriorities lists the built-in priority policy names, in their canonical
+// sweep-axis order.
+func AllPriorities() []string {
+	return []string{"constant", "age", "slo-urgency", "edf"}
+}

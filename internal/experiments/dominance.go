@@ -1,0 +1,178 @@
+package experiments
+
+// The dominance harness answers "does policy A beat policy B?" the way the
+// refuted H2 hypothesis taught this repo to ask it: not on one lucky seed but
+// replicated across K independent seeds of the same workload shape, with a
+// per-seed win/loss record AND a rank statistic over the pooled samples. The
+// rank summary follows Brunner & Konietschke (arXiv:2409.05038): the
+// Mann–Whitney effect p̂ = P(A > B) + ½P(A = B) with midrank tie handling,
+// paired with an *unbiased* estimate of Var(p̂) built from the exact
+// two-sample U-statistic variance decomposition — each covariance component
+// estimated over distinct index pairs, so the estimate is unbiased even
+// under ties, instead of the classically biased plug-in.
+//
+// The harness is metric-agnostic: callers supply a trial callback that runs
+// both policies on one seed and returns the paired metric values (e.g.
+// production deadline-hit-rates from two replay cells). It deliberately
+// lives here, not in loadgen, so loadgen's tests can drive it without an
+// import cycle.
+
+import (
+	"fmt"
+	"math"
+)
+
+// DominanceResult summarizes a policy-pair comparison across seeds.
+type DominanceResult struct {
+	// Metric names what was compared; A and B name the policies. Higher
+	// metric values are better: "A wins" means a > b on that seed.
+	Metric string
+	A, B   string
+	Seeds  []int64
+	// AValues[i] and BValues[i] are the paired metrics for Seeds[i].
+	AValues, BValues []float64
+	// AWins/BWins/Ties is the per-seed win/loss record.
+	AWins, BWins, Ties int
+	// PHat is the Mann–Whitney effect size P(A > B) + ½P(A = B) over the
+	// pooled K×K comparisons (0.5 = indistinguishable, 1 = A always ahead).
+	PHat float64
+	// Variance is the unbiased estimate of Var(PHat) (clamped at 0 for
+	// reporting; tiny negative values can arise from the bias correction).
+	Variance float64
+}
+
+// Dominant reports whether A beat B on every seed — the strict replication
+// bar the acceptance experiments assert.
+func (r *DominanceResult) Dominant() bool {
+	return len(r.Seeds) > 0 && r.AWins == len(r.Seeds)
+}
+
+// Table renders the per-seed dominance table (the EXPERIMENTS.md artifact).
+func (r *DominanceResult) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("dominance: %s vs %s on %s", r.A, r.B, r.Metric),
+		Columns: []string{"seed", r.A, r.B, "winner"},
+	}
+	for i, seed := range r.Seeds {
+		winner := "tie"
+		switch {
+		case r.AValues[i] > r.BValues[i]:
+			winner = r.A
+		case r.AValues[i] < r.BValues[i]:
+			winner = r.B
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", seed),
+			fmt.Sprintf("%.4f", r.AValues[i]),
+			fmt.Sprintf("%.4f", r.BValues[i]),
+			winner,
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"p̂ (MW)",
+		fmt.Sprintf("%.3f", r.PHat),
+		fmt.Sprintf("σ̂ %.3f", math.Sqrt(r.Variance)),
+		fmt.Sprintf("%d/%d wins", r.AWins, len(r.Seeds)),
+	})
+	return t
+}
+
+// RunDominance executes trial once per seed and folds the paired metric
+// values into a DominanceResult. trial runs both policies for one seed and
+// returns (a, b); any trial error aborts the experiment.
+func RunDominance(metric, nameA, nameB string, seeds []int64, trial func(seed int64) (a, b float64, err error)) (*DominanceResult, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: dominance needs at least one seed")
+	}
+	r := &DominanceResult{Metric: metric, A: nameA, B: nameB, Seeds: seeds}
+	for _, seed := range seeds {
+		a, b, err := trial(seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: dominance seed %d: %w", seed, err)
+		}
+		r.AValues = append(r.AValues, a)
+		r.BValues = append(r.BValues, b)
+		switch {
+		case a > b:
+			r.AWins++
+		case a < b:
+			r.BWins++
+		default:
+			r.Ties++
+		}
+	}
+	r.PHat, r.Variance = mannWhitneyUnbiased(r.AValues, r.BValues)
+	return r, nil
+}
+
+// mannWhitneyUnbiased computes the midrank Mann–Whitney effect size
+// p̂ = (1/mn)·ΣᵢΣⱼ W(aᵢ, bⱼ) with kernel W = 1[a>b] + ½·1[a=b], and an
+// unbiased estimate of Var(p̂).
+//
+// The estimator follows the exact two-sample U-statistic decomposition
+//
+//	Var(p̂) = [ (n−1)·ζ₁₀ + (m−1)·ζ₀₁ + ζ₁₁ ] / (mn)
+//
+// with ζ₁₀ = Cov(W(X,Y), W(X,Y′)), ζ₀₁ = Cov(W(X,Y), W(X′,Y)) and
+// ζ₁₁ = Var(W(X,Y)). Each component is estimated from sums over *distinct*
+// index pairs — the construction that makes the estimate unbiased including
+// under ties (the point of the Brunner–Konietschke estimator), where the
+// plug-in placement variances are biased by O(1/n) terms:
+//
+//	E[W]        ← T/(mn)                    T  = ΣᵢⱼWᵢⱼ
+//	E[W·W′]row  ← (ΣᵢRᵢ² − S₂)/(mn(n−1))    Rᵢ = ΣⱼWᵢⱼ, S₂ = ΣᵢⱼWᵢⱼ²
+//	E[W·W′]col  ← (ΣⱼCⱼ² − S₂)/(nm(m−1))    Cⱼ = ΣᵢWᵢⱼ
+//	E[W²]       ← S₂/(mn)
+//	(E[W])²     ← (T² − ΣᵢRᵢ² − ΣⱼCⱼ² + S₂)/(m(m−1)n(n−1))
+//
+// Degenerate sizes (m or n < 2) return variance 0: there is no unbiased
+// variance estimate from a single sample, and the per-seed win record is the
+// meaningful signal there anyway.
+func mannWhitneyUnbiased(a, b []float64) (pHat, variance float64) {
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		return 0.5, 0
+	}
+	fm, fn := float64(m), float64(n)
+	rowSum := make([]float64, m)
+	colSum := make([]float64, n)
+	var total, sq float64
+	for i, av := range a {
+		for j, bv := range b {
+			var w float64
+			switch {
+			case av > bv:
+				w = 1
+			case av == bv:
+				w = 0.5
+			}
+			rowSum[i] += w
+			colSum[j] += w
+			total += w
+			sq += w * w
+		}
+	}
+	pHat = total / (fm * fn)
+	if m < 2 || n < 2 {
+		return pHat, 0
+	}
+	var rowSq, colSq float64
+	for _, r := range rowSum {
+		rowSq += r * r
+	}
+	for _, c := range colSum {
+		colSq += c * c
+	}
+	eWWrow := (rowSq - sq) / (fm * fn * (fn - 1)) // same a, distinct b
+	eWWcol := (colSq - sq) / (fn * fm * (fm - 1)) // same b, distinct a
+	eW2 := sq / (fm * fn)
+	p2 := (total*total - rowSq - colSq + sq) / (fm * (fm - 1) * fn * (fn - 1)) // unbiased (E[W])²
+	zeta10 := eWWrow - p2
+	zeta01 := eWWcol - p2
+	zeta11 := eW2 - p2
+	variance = ((fn-1)*zeta10 + (fm-1)*zeta01 + zeta11) / (fm * fn)
+	if variance < 0 {
+		variance = 0
+	}
+	return pHat, variance
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRunDominanceCounting checks the per-seed win/loss bookkeeping and the
+// paired delivery of seeds to the trial callback.
+func TestRunDominanceCounting(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	a := []float64{0.9, 0.8, 0.7, 0.5}
+	b := []float64{0.6, 0.8, 0.9, 0.4}
+	var got []int64
+	r, err := RunDominance("hit-rate", "slo-urgency", "fifo", seeds, func(seed int64) (float64, float64, error) {
+		got = append(got, seed)
+		i := len(got) - 1
+		return a[i], b[i], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(seeds) {
+		t.Fatalf("trial saw seeds %v, want %v", got, seeds)
+	}
+	if r.AWins != 2 || r.BWins != 1 || r.Ties != 1 {
+		t.Fatalf("wins/losses/ties = %d/%d/%d, want 2/1/1", r.AWins, r.BWins, r.Ties)
+	}
+	if r.Dominant() {
+		t.Fatal("Dominant() true with a loss and a tie on record")
+	}
+	s := r.Table().String()
+	for _, want := range []string{"slo-urgency", "fifo", "hit-rate", "2/4 wins"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunDominanceDominant checks the strict all-seeds bar.
+func TestRunDominanceDominant(t *testing.T) {
+	r, err := RunDominance("m", "a", "b", []int64{7, 8, 9}, func(seed int64) (float64, float64, error) {
+		return float64(seed) + 1, float64(seed), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Dominant() || r.AWins != 3 {
+		t.Fatalf("want clean sweep, got %d/%d/%d", r.AWins, r.BWins, r.Ties)
+	}
+	if r.PHat <= 0.5 {
+		t.Fatalf("p̂ = %g, want > 0.5 when A dominates", r.PHat)
+	}
+}
+
+// TestRunDominanceErrors: no seeds and trial failure both surface as errors.
+func TestRunDominanceErrors(t *testing.T) {
+	if _, err := RunDominance("m", "a", "b", nil, nil); err == nil {
+		t.Fatal("no error for empty seed list")
+	}
+	_, err := RunDominance("m", "a", "b", []int64{1, 2}, func(seed int64) (float64, float64, error) {
+		if seed == 2 {
+			return 0, 0, fmt.Errorf("boom")
+		}
+		return 1, 0, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "seed 2") {
+		t.Fatalf("trial error not surfaced with seed: %v", err)
+	}
+}
+
+// TestMannWhitneyHandComputed pins p̂ and the unbiased variance to values
+// worked out by hand from the estimator's defining sums.
+//
+// a = {2, 4}, b = {1, 3}: the kernel matrix is [[1,0],[1,1]], so T = 3 and
+// p̂ = 3/4. Row sums {1,2}, column sums {2,1}, S₂ = 3. The unbiased (E[W])²
+// is (9−5−5+3)/4 = 1/2, giving ζ₁₀ = ζ₀₁ = 0 and ζ₁₁ = 3/4 − 1/2 = 1/4;
+// Var = (0 + 0 + 1/4)/4 = 1/16.
+func TestMannWhitneyHandComputed(t *testing.T) {
+	p, v := mannWhitneyUnbiased([]float64{2, 4}, []float64{1, 3})
+	if math.Abs(p-0.75) > 1e-12 {
+		t.Fatalf("p̂ = %g, want 0.75", p)
+	}
+	if math.Abs(v-0.0625) > 1e-12 {
+		t.Fatalf("variance = %g, want 0.0625", v)
+	}
+}
+
+// TestMannWhitneyTies: identical samples are pure midrank ties — p̂ is
+// exactly ½ and every variance component vanishes.
+func TestMannWhitneyTies(t *testing.T) {
+	p, v := mannWhitneyUnbiased([]float64{1, 1, 1}, []float64{1, 1, 1})
+	if p != 0.5 {
+		t.Fatalf("p̂ = %g, want 0.5 under complete ties", p)
+	}
+	if v != 0 {
+		t.Fatalf("variance = %g, want 0 under complete ties", v)
+	}
+}
+
+// TestMannWhitneySeparated: full separation gives p̂ = 1. The unbiased
+// variance is 0 there — a constant kernel has no dispersion to estimate.
+func TestMannWhitneySeparated(t *testing.T) {
+	p, v := mannWhitneyUnbiased([]float64{10, 11, 12}, []float64{1, 2, 3})
+	if p != 1 {
+		t.Fatalf("p̂ = %g, want 1 under full separation", p)
+	}
+	if v != 0 {
+		t.Fatalf("variance = %g, want 0 under full separation", v)
+	}
+}
+
+// TestMannWhitneyDegenerate: single-observation samples report the point
+// estimate with zero variance rather than dividing by n−1 = 0.
+func TestMannWhitneyDegenerate(t *testing.T) {
+	p, v := mannWhitneyUnbiased([]float64{2}, []float64{1})
+	if p != 1 || v != 0 {
+		t.Fatalf("(p̂, var) = (%g, %g), want (1, 0) for 1×1 samples", p, v)
+	}
+	if p, _ := mannWhitneyUnbiased(nil, []float64{1}); p != 0.5 {
+		t.Fatalf("p̂ = %g for empty sample, want the 0.5 sentinel", p)
+	}
+}
+
+// TestMannWhitneyUnbiasedAgainstBruteForce cross-checks every moment
+// estimate against direct enumeration of the distinct-index sums the
+// derivation uses, on an awkward sample with duplicated values.
+func TestMannWhitneyUnbiasedAgainstBruteForce(t *testing.T) {
+	a := []float64{0.3, 0.7, 0.7, 0.9}
+	b := []float64{0.2, 0.7, 0.8}
+	m, n := len(a), len(b)
+	w := func(x, y float64) float64 {
+		switch {
+		case x > y:
+			return 1
+		case x == y:
+			return 0.5
+		}
+		return 0
+	}
+	// Direct distinct-index enumeration of each estimated moment.
+	var p2, rowCov, colCov, second float64
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			second += w(a[i], b[j]) * w(a[i], b[j])
+			for k := 0; k < n; k++ {
+				if k != j {
+					rowCov += w(a[i], b[j]) * w(a[i], b[k])
+				}
+			}
+			for l := 0; l < m; l++ {
+				if l != i {
+					colCov += w(a[i], b[j]) * w(a[l], b[j])
+				}
+			}
+			for l := 0; l < m; l++ {
+				for k := 0; k < n; k++ {
+					if l != i && k != j {
+						p2 += w(a[i], b[j]) * w(a[l], b[k])
+					}
+				}
+			}
+		}
+	}
+	fm, fn := float64(m), float64(n)
+	p2 /= fm * (fm - 1) * fn * (fn - 1)
+	rowCov /= fm * fn * (fn - 1)
+	colCov /= fn * fm * (fm - 1)
+	second /= fm * fn
+	wantVar := ((fn-1)*(rowCov-p2) + (fm-1)*(colCov-p2) + (second - p2)) / (fm * fn)
+	if wantVar < 0 {
+		wantVar = 0
+	}
+	_, got := mannWhitneyUnbiased(a, b)
+	if math.Abs(got-wantVar) > 1e-12 {
+		t.Fatalf("variance = %g, brute force says %g", got, wantVar)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"hpcqc/internal/qir"
 	"hpcqc/internal/sched"
+	"hpcqc/internal/simclock"
 	"hpcqc/internal/workload"
 )
 
@@ -82,6 +83,14 @@ type Config struct {
 	// MaxJobs caps the record count as a safety net against runaway rates
 	// (default 1_000_000).
 	MaxJobs int
+	// Deadlines, when non-nil, stamps every record with a per-job completion
+	// deadline from its class's contract: DeadlineSeconds =
+	// spec.Offset(expected service). The stamp is a pure function of fields
+	// already drawn, so a config differing only in Deadlines yields the same
+	// arrivals, users, classes and shot counts — deadline columns aside, the
+	// trace is unchanged. Nil (the default) emits no deadline fields and the
+	// output is byte-identical to the pre-deadline format.
+	Deadlines map[sched.Class]workload.DeadlineSpec
 }
 
 // withDefaults fills the zero values.
@@ -149,14 +158,22 @@ func sampleJob(rng *rand.Rand, cfg Config, specs map[sched.Pattern]workload.Patt
 	if shots < 1 {
 		shots = 1
 	}
-	return Record{
+	rec := Record{
 		User:               fmt.Sprintf("user-%02d", rng.Intn(cfg.Users)),
 		Class:              class.String(),
 		Pattern:            string(pattern),
 		Qubits:             2,
 		Shots:              shots,
 		ExpectedQPUSeconds: float64(shots) / canonicalShotRateHz,
-	}, nil
+	}
+	if spec, ok := cfg.Deadlines[class]; ok {
+		// Derived from already-drawn fields — no extra RNG consumption, so
+		// deadline-stamped and unstamped configs generate identical arrivals.
+		if off := spec.Offset(simclock.Seconds(rec.ExpectedQPUSeconds)); off > 0 {
+			rec.DeadlineSeconds = off.Seconds()
+		}
+	}
+	return rec, nil
 }
 
 // Generate synthesizes an open-loop trace: arrivals from the configured

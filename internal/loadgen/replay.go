@@ -23,6 +23,9 @@ func AllSchedulers() []string { return []string{"fifo", "fair-share", "shortest-
 // AllAdmissions lists the admission policies a sweep expands "all" to.
 func AllAdmissions() []string { return admission.AllPolicies() }
 
+// AllPriorities lists the priority policies a sweep expands "all" to.
+func AllPriorities() []string { return daemon.AllPriorities() }
+
 // ReplayConfig parameterizes one deterministic trace replay.
 type ReplayConfig struct {
 	// Devices sizes the fleet (default 4).
@@ -36,6 +39,11 @@ type ReplayConfig struct {
 	// token-bucket or slo-guard (default accept-all). Rejected arrivals
 	// appear in the report as shed work, never as submit errors.
 	Admission string
+	// Priority is the dynamic-urgency axis composing with Scheduler:
+	// constant, age, slo-urgency or edf (default constant — the identity
+	// policy, whose reports stay byte-identical to a replay without the
+	// axis; the report omits the priority field for it).
+	Priority string
 	// Seed drives the fleet and daemon randomness. The same trace and seed
 	// produce bit-identical schedule decisions and reports.
 	Seed int64
@@ -100,6 +108,10 @@ func Replay(tr *Trace, cfg ReplayConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	priority, err := daemon.NewPriority(cfg.Priority)
+	if err != nil {
+		return nil, err
+	}
 
 	clk := simclock.New()
 	// Replay reports are built from job lifecycle timing alone — no analytics
@@ -125,6 +137,7 @@ func Replay(tr *Trace, cfg ReplayConfig) (*Report, error) {
 		Router:            router,
 		Order:             order,
 		Admission:         admitter,
+		Priority:          priority,
 		Clock:             clk,
 		AdminToken:        "loadgen",
 		EnablePreemption:  true,
@@ -173,6 +186,7 @@ func Replay(tr *Trace, cfg ReplayConfig) (*Report, error) {
 				Pattern:            sched.Pattern(rec.Pattern),
 				Source:             "loadgen",
 				ExpectedQPUSeconds: rec.ExpectedQPUSeconds,
+				DeadlineSeconds:    rec.DeadlineSeconds,
 			})
 			var rej *daemon.RejectedError
 			if err != nil && !errors.As(err, &rej) {
@@ -219,6 +233,12 @@ func Replay(tr *Trace, cfg ReplayConfig) (*Report, error) {
 	rep.Router = cfg.Router
 	rep.Scheduler = cfg.Scheduler
 	rep.Admission = cfg.Admission
+	// The constant default leaves the report's priority field empty, so
+	// replays predating the axis (and reruns of their traces) stay
+	// byte-identical; any non-default policy is labeled for sweep cells.
+	if cfg.Priority != "" && cfg.Priority != "constant" {
+		rep.Priority = cfg.Priority
+	}
 	rep.SubmitErrors = submitErrs
 	for _, dev := range fleet.Devices() {
 		dv := rep.PerDevice[dev.ID()]

@@ -87,6 +87,19 @@ type ClassSLO struct {
 	CacheHits    int     `json:"cache_hits,omitempty"`
 	CacheMisses  int     `json:"cache_misses,omitempty"`
 	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	// DeadlineJobs counts admitted terminal jobs of this class that carried
+	// a deadline; DeadlineHits are those that completed within it, and
+	// everything else — late completion, failure, cancellation — is a miss.
+	// (Rejected submissions never count here: they surface in ShedRate.)
+	// DeadlineHitRate is hits over deadline jobs; LatenessSeconds is the
+	// finish−deadline distribution over deadline-carrying *completed* jobs
+	// (negative = finished early). All omitted when no job of the class
+	// carried a deadline, keeping deadline-less reports byte-identical.
+	DeadlineJobs    int        `json:"deadline_jobs,omitempty"`
+	DeadlineHits    int        `json:"deadline_hits,omitempty"`
+	DeadlineMisses  int        `json:"deadline_misses,omitempty"`
+	DeadlineHitRate float64    `json:"deadline_hit_rate,omitempty"`
+	LatenessSeconds *Quantiles `json:"lateness_seconds,omitempty"`
 	// Stages is the stage-latency attribution, present when the replay ran
 	// with tracing: per pipeline stage (validate, admission, route, queued,
 	// requeued, execute), the distribution of that stage's duration for jobs
@@ -119,11 +132,14 @@ type DeviceSLO struct {
 	Utilization float64 `json:"utilization"`
 }
 
-// Report is the SLO summary of one replayed policy triple.
+// Report is the SLO summary of one replayed policy combination.
 type Report struct {
 	Router    string `json:"router"`
 	Scheduler string `json:"scheduler"`
 	Admission string `json:"admission"`
+	// Priority names the dynamic-urgency axis; empty (and omitted) for the
+	// constant default, so pre-axis reports are byte-identical.
+	Priority string `json:"priority,omitempty"`
 
 	// Jobs counts every offered submission, including rejected ones;
 	// Completed+Failed+Cancelled+Rejected covers the terminal states.
@@ -169,6 +185,9 @@ type jobTrack struct {
 	rejected   bool
 	preempts   int
 	expected   float64
+	// deadline is the job's relative completion deadline in seconds (0 =
+	// none) — the deadline-hit accounting key.
+	deadline float64
 	// cacheHits/cacheMisses count this job's per-dispatch program-cache
 	// outcomes (several when preemption re-dispatches it).
 	cacheHits   int
@@ -249,6 +268,7 @@ func (a *Analyzer) Observe(ev daemon.JobEvent) {
 			device:    ev.Job.Device,
 			submitted: ev.Job.SubmittedAt,
 			expected:  ev.Job.ExpectedQPUSeconds,
+			deadline:  ev.Job.DeadlineSeconds,
 		}
 		if ev.Job.RequestedClass != ev.Job.Class {
 			t.requested = ev.Job.RequestedClass.String()
@@ -375,6 +395,7 @@ func (a *Analyzer) Report() *Report {
 	}
 	waits := make(map[string][]float64)
 	slowdowns := make(map[string][]float64)
+	lateness := make(map[string][]float64)
 	// offered counts submissions by the class they were *submitted* at —
 	// the shed-rate denominator (a down-classed test job was offered at
 	// test even though it ran at dev).
@@ -439,6 +460,20 @@ func (a *Analyzer) Report() *Report {
 			rep.Cancelled++
 			c.Cancelled++
 		}
+		if t.deadline > 0 {
+			c.DeadlineJobs++
+			late := (t.finished - t.submitted).Seconds() - t.deadline
+			if t.state == daemon.JobCompleted {
+				// Lateness is only meaningful for work that finished; hits
+				// use the same ≤-deadline convention as the span annotation.
+				lateness[t.class] = append(lateness[t.class], late)
+			}
+			if t.state == daemon.JobCompleted && late <= 0 {
+				c.DeadlineHits++
+			} else {
+				c.DeadlineMisses++
+			}
+		}
 	}
 	for dev, n := range a.preemptByDev {
 		dv := rep.PerDevice[dev]
@@ -466,6 +501,13 @@ func (a *Analyzer) Report() *Report {
 		}
 		if total := c.CacheHits + c.CacheMisses; total > 0 {
 			c.CacheHitRate = float64(c.CacheHits) / float64(total)
+		}
+		if c.DeadlineJobs > 0 {
+			c.DeadlineHitRate = float64(c.DeadlineHits) / float64(c.DeadlineJobs)
+		}
+		if l := lateness[class]; len(l) > 0 {
+			q := quantiles(l)
+			c.LatenessSeconds = &q
 		}
 	}
 	if total := rep.ProgramCacheHits + rep.ProgramCacheMisses; total > 0 {

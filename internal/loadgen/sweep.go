@@ -18,6 +18,11 @@ type SweepConfig struct {
 	Routers    []string
 	Schedulers []string
 	Admissions []string
+	// Priorities is the fourth axis — the dynamic-urgency policies. Unlike
+	// the other axes, empty defaults to just "constant" (the identity
+	// policy), so existing three-axis sweeps are unchanged; a single "all"
+	// expands to every priority policy.
+	Priorities []string
 	// Tracing runs every combination with span emission, so each cell's
 	// report carries the per-class per-stage latency attribution.
 	Tracing bool
@@ -29,10 +34,10 @@ type SweepConfig struct {
 }
 
 // SweepReport is the machine-readable policy comparison: one SLO report per
-// router × scheduler × admission triple, in router-major (then scheduler,
-// then admission) axis order. Serializing it with encoding/json is
-// deterministic (map keys sort), so identical sweeps yield byte-identical
-// files.
+// router × scheduler × admission × priority combination, in router-major
+// (then scheduler, admission, priority) axis order. Serializing it with
+// encoding/json is deterministic (map keys sort), so identical sweeps yield
+// byte-identical files.
 type SweepReport struct {
 	Trace   TraceHeader `json:"trace"`
 	Devices int         `json:"devices"`
@@ -44,10 +49,27 @@ type SweepReport struct {
 	Results      []*Report `json:"results"`
 }
 
-// Find returns the report for one policy triple, or nil.
+// Find returns the report for one policy triple, or nil. With a priority
+// axis in play it returns the first match across priorities (the constant
+// cell, in canonical axis order); use FindCell to pin all four axes.
 func (s *SweepReport) Find(router, scheduler, admissionPolicy string) *Report {
 	for _, r := range s.Results {
 		if r.Router == router && r.Scheduler == scheduler && r.Admission == admissionPolicy {
+			return r
+		}
+	}
+	return nil
+}
+
+// FindCell returns the report for one router × scheduler × admission ×
+// priority combination, or nil. "constant" and "" both name the default
+// priority cell (whose report omits the field).
+func (s *SweepReport) FindCell(router, scheduler, admissionPolicy, priority string) *Report {
+	if priority == "constant" {
+		priority = ""
+	}
+	for _, r := range s.Results {
+		if r.Router == router && r.Scheduler == scheduler && r.Admission == admissionPolicy && r.Priority == priority {
 			return r
 		}
 	}
@@ -78,13 +100,24 @@ func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
 	routers := expandAxis(cfg.Routers, AllRouters())
 	schedulers := expandAxis(cfg.Schedulers, AllSchedulers())
 	admissions := expandAxis(cfg.Admissions, AllAdmissions())
+	// The priority axis defaults to the constant singleton — not the full
+	// axis — so a sweep that never mentions priorities keeps its exact
+	// pre-axis combination list and report bytes.
+	priorities := cfg.Priorities
+	if len(priorities) == 0 {
+		priorities = []string{"constant"}
+	} else if len(priorities) == 1 && priorities[0] == "all" {
+		priorities = AllPriorities()
+	}
 
-	type combo struct{ router, scheduler, admission string }
+	type combo struct{ router, scheduler, admission, priority string }
 	var combos []combo
 	for _, r := range routers {
 		for _, s := range schedulers {
 			for _, a := range admissions {
-				combos = append(combos, combo{r, s, a})
+				for _, p := range priorities {
+					combos = append(combos, combo{r, s, a, p})
+				}
 			}
 		}
 	}
@@ -97,6 +130,9 @@ func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
 			return nil, err
 		}
 		if _, err := admission.NewPolicy(c.admission); err != nil {
+			return nil, err
+		}
+		if _, err := daemon.NewPriority(c.priority); err != nil {
 			return nil, err
 		}
 	}
@@ -113,6 +149,7 @@ func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
 				Router:       c.router,
 				Scheduler:    c.scheduler,
 				Admission:    c.admission,
+				Priority:     c.priority,
 				Seed:         cfg.Seed,
 				ProgramCache: cfg.ProgramCache,
 				SetupSeconds: cfg.SetupSeconds,
@@ -123,7 +160,7 @@ func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("loadgen: sweep %s/%s/%s: %w", combos[i].router, combos[i].scheduler, combos[i].admission, err)
+			return nil, fmt.Errorf("loadgen: sweep %s/%s/%s/%s: %w", combos[i].router, combos[i].scheduler, combos[i].admission, combos[i].priority, err)
 		}
 	}
 	return &SweepReport{

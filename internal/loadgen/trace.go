@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"time"
 
@@ -57,6 +58,10 @@ type Record struct {
 	Shots  int `json:"shots"`
 	// ExpectedQPUSeconds is the duration hint handed to the scheduler.
 	ExpectedQPUSeconds float64 `json:"expected_qpu_seconds"`
+	// DeadlineSeconds is the job's completion deadline relative to its
+	// arrival, 0 (omitted) when the job carries none. Traces without
+	// deadlines round-trip byte-identically to the pre-deadline format.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
 }
 
 // At returns the arrival instant as a clock offset.
@@ -105,6 +110,9 @@ func (t *Trace) Validate() error {
 		prev = r.AtUS
 		if r.Shots <= 0 || r.Qubits < 1 {
 			return fmt.Errorf("loadgen: record %d has invalid shots=%d qubits=%d", i, r.Shots, r.Qubits)
+		}
+		if r.DeadlineSeconds < 0 || math.IsNaN(r.DeadlineSeconds) || math.IsInf(r.DeadlineSeconds, 0) {
+			return fmt.Errorf("loadgen: record %d has out-of-range deadline %g", i, r.DeadlineSeconds)
 		}
 		if _, err := r.ParsedClass(); err != nil {
 			return err

@@ -82,6 +82,134 @@ func TestPopByTieBreakDeterminism(t *testing.T) {
 	}
 }
 
+// TestPopByScoreDeterminism is the score-axis counterpart of the PopBy
+// table: the highest score within the highest non-empty class wins, equal
+// scores resolve through the tie comparator, and full ties (equal score, no
+// comparator preference) must pop in push order — identically on every run.
+func TestPopByScoreDeterminism(t *testing.T) {
+	negExpected := func(it *Item) float64 { return -it.ExpectedQPU.Seconds() }
+	age := func(it *Item) float64 { return -it.Enqueued.Seconds() }
+	fifoTie := func(a, b *Item) bool { return a.Enqueued < b.Enqueued }
+	cases := []struct {
+		name  string
+		items []*Item
+		score func(it *Item) float64
+		tie   func(a, b *Item) bool
+		want  []string
+	}{
+		{
+			name: "score decides within a class",
+			items: []*Item{
+				{ID: "slow", Class: ClassDev, Enqueued: 0, ExpectedQPU: time.Hour},
+				{ID: "fast", Class: ClassDev, Enqueued: time.Second, ExpectedQPU: time.Second},
+				{ID: "mid", Class: ClassDev, Enqueued: 2 * time.Second, ExpectedQPU: time.Minute},
+			},
+			score: negExpected,
+			tie:   fifoTie,
+			want:  []string{"fast", "mid", "slow"},
+		},
+		{
+			name: "equal scores fall to the tie comparator",
+			items: []*Item{
+				{ID: "late", Class: ClassDev, Enqueued: 9 * time.Second, ExpectedQPU: time.Minute},
+				{ID: "early", Class: ClassDev, Enqueued: 1 * time.Second, ExpectedQPU: time.Minute},
+			},
+			score: negExpected,
+			tie:   fifoTie,
+			want:  []string{"early", "late"},
+		},
+		{
+			name: "full ties with nil comparator pop in push order",
+			items: []*Item{
+				{ID: "first", Class: ClassDev, Enqueued: 3 * time.Second},
+				{ID: "second", Class: ClassDev, Enqueued: 3 * time.Second},
+				{ID: "third", Class: ClassDev, Enqueued: 3 * time.Second},
+			},
+			score: func(*Item) float64 { return 42 },
+			tie:   nil,
+			want:  []string{"first", "second", "third"},
+		},
+		{
+			name: "class priority outranks any score",
+			items: []*Item{
+				{ID: "dev-urgent", Class: ClassDev, Enqueued: 0},
+				{ID: "prod-relaxed", Class: ClassProduction, Enqueued: time.Second},
+			},
+			score: age, // dev-urgent scores higher (older)
+			tie:   fifoTie,
+			want:  []string{"prod-relaxed", "dev-urgent"},
+		},
+		{
+			name: "nil score degrades to PopBy",
+			items: []*Item{
+				{ID: "b", Class: ClassDev, Enqueued: 2 * time.Second},
+				{ID: "a", Class: ClassDev, Enqueued: 1 * time.Second},
+			},
+			score: nil,
+			tie:   fifoTie,
+			want:  []string{"a", "b"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for run := 0; run < 2; run++ {
+				q := NewClassQueue()
+				for _, it := range tc.items {
+					cp := *it
+					if err := q.Push(&cp); err != nil {
+						t.Fatal(err)
+					}
+				}
+				var got []string
+				for it := q.PopByScore(tc.score, tc.tie); it != nil; it = q.PopByScore(tc.score, tc.tie) {
+					got = append(got, it.ID)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+					t.Fatalf("run %d: pop order = %v, want %v", run, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestPopByScoreKeepsClassLoadsLazy: a mid-queue PopByScore extraction must
+// leave the O(classes) ClassLoads bulk read consistent — counts drop and the
+// oldest-age pointer skips the extracted item lazily.
+func TestPopByScoreKeepsClassLoadsLazy(t *testing.T) {
+	q := NewClassQueue()
+	for i, exp := range []time.Duration{time.Hour, time.Second, time.Minute} {
+		if err := q.Push(&Item{
+			ID:          fmt.Sprintf("it-%d", i),
+			Class:       ClassTest,
+			Enqueued:    time.Duration(i) * time.Second,
+			ExpectedQPU: exp,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Highest score = shortest expected: extracts it-1 from the middle.
+	it := q.PopByScore(func(it *Item) float64 { return -it.ExpectedQPU.Seconds() }, nil)
+	if it == nil || it.ID != "it-1" {
+		t.Fatalf("popped %+v, want it-1", it)
+	}
+	counts, oldest, has := q.ClassLoads()
+	if counts[ClassTest] != 2 {
+		t.Fatalf("ClassLoads count = %d, want 2", counts[ClassTest])
+	}
+	if !has[ClassTest] || oldest[ClassTest] != 0 {
+		t.Fatalf("oldest enqueue = %s (has=%v), want it-0's 0s", oldest[ClassTest], has[ClassTest])
+	}
+	// Extract the current oldest; the heap must skip the stale entry and
+	// surface it-2 as the new oldest.
+	if it := q.PopByScore(func(it *Item) float64 { return -it.Enqueued.Seconds() }, nil); it == nil || it.ID != "it-0" {
+		t.Fatalf("popped %+v, want it-0", it)
+	}
+	counts, oldest, has = q.ClassLoads()
+	if counts[ClassTest] != 1 || !has[ClassTest] || oldest[ClassTest] != 2*time.Second {
+		t.Fatalf("after oldest extraction: count=%d oldest=%s has=%v", counts[ClassTest], oldest[ClassTest], has[ClassTest])
+	}
+}
+
 // TestRemoveNonexistent pins down Remove's behavior for IDs that are not in
 // the queue: empty queue, wrong ID, and double-remove.
 func TestRemoveNonexistent(t *testing.T) {

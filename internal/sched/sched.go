@@ -95,6 +95,11 @@ type Item struct {
 	// QPU — the "expected time running on the QC hardware" hint the paper
 	// proposes for planning interleaving (§3.5). Zero means unknown.
 	ExpectedQPU time.Duration
+	// Deadline is the absolute sim time by which the item should finish
+	// (submission time plus the job's relative deadline). Zero means the
+	// item carries no deadline; urgency-aware priority policies fall back
+	// to per-class defaults.
+	Deadline time.Duration
 	// Payload is opaque to the queue (the daemon stores its job record).
 	Payload any
 
@@ -230,6 +235,40 @@ func (q *ClassQueue) PopBy(less func(a, b *Item) bool) *Item {
 		for i := 1; i < len(items); i++ {
 			if less(items[i], items[best]) {
 				best = i
+			}
+		}
+		it := items[best]
+		q.queues[c] = append(items[:best], items[best+1:]...)
+		it.removed = true
+		return it
+	}
+	return nil
+}
+
+// PopByScore removes and returns the maximum-score item from the highest
+// non-empty class — the priority-axis pop: score orders items within a
+// class, ties fall to the order policy's comparator (tie, nil or equal
+// again: the earlier-queued index wins, so equal-score pops degrade to
+// exactly the FIFO order Pop would give). Score is called once per queued
+// item of the winning class under the queue lock, so it must be fast and
+// must not call back into the queue. Like Pop/PopBy it only flags the item
+// for the lazy oldest-heaps, preserving the O(classes) ClassLoads bound.
+func (q *ClassQueue) PopByScore(score func(it *Item) float64, tie func(a, b *Item) bool) *Item {
+	if score == nil {
+		return q.PopBy(tie)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for c := ClassProduction; c >= ClassDev; c-- {
+		items := q.queues[c]
+		if len(items) == 0 {
+			continue
+		}
+		best, bestScore := 0, score(items[0])
+		for i := 1; i < len(items); i++ {
+			s := score(items[i])
+			if s > bestScore || (s == bestScore && tie != nil && tie(items[i], items[best])) {
+				best, bestScore = i, s
 			}
 		}
 		it := items[best]

@@ -68,6 +68,46 @@ func (s PatternSpec) TotalClassical() time.Duration {
 	return time.Duration(s.QuantumSegments) * s.ClassicalSeg
 }
 
+// DeadlineSpec is a per-class completion contract: a job of the class is
+// expected to finish within Base plus ServiceFactor times its own expected
+// QPU service, measured from submission. The service-coupled term keeps the
+// contract meaningful across the 10x service-time spread of the Table 1
+// patterns — a flat allowance either starves long QC-heavy jobs or is
+// vacuous for short CC-heavy bursts.
+type DeadlineSpec struct {
+	// Base is the flat completion allowance from submission.
+	Base time.Duration
+	// ServiceFactor scales the job's expected QPU service into additional
+	// allowance on top of Base.
+	ServiceFactor float64
+}
+
+// Offset resolves the spec into a relative deadline (time from submission)
+// for a job with the given expected service. A zero spec yields 0, meaning
+// "no deadline".
+func (s DeadlineSpec) Offset(service time.Duration) time.Duration {
+	if s.Base <= 0 && s.ServiceFactor <= 0 {
+		return 0
+	}
+	d := s.Base + time.Duration(s.ServiceFactor*float64(service))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// DefaultDeadlines returns the per-class completion contracts the deadline
+// scheduling axis assumes when a job carries no explicit deadline of its
+// own: production work is interactive-adjacent (minutes), test runs tolerate
+// tens of minutes, dev batches are best-effort with a wide but finite bound.
+func DefaultDeadlines() map[sched.Class]DeadlineSpec {
+	return map[sched.Class]DeadlineSpec{
+		sched.ClassProduction: {Base: 2 * time.Minute, ServiceFactor: 2},
+		sched.ClassTest:       {Base: 10 * time.Minute, ServiceFactor: 4},
+		sched.ClassDev:        {Base: 30 * time.Minute, ServiceFactor: 8},
+	}
+}
+
 // Generator builds randomized-but-reproducible job batches.
 type Generator struct {
 	rng   *rand.Rand
