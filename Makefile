@@ -28,8 +28,9 @@ bench:
 
 # The benchmark selection behind bench-json and bench-diff: the replay and
 # dispatch hot paths in the root package plus the program-cache/router
-# primitives in internal/daemon.
-BENCH_PATTERN = BenchmarkFleetDispatch|BenchmarkDaemonDispatch|BenchmarkLoadgen|BenchmarkProgramCache|BenchmarkWeightedRouterPick
+# primitives in internal/daemon, plus the wide-matrix sweep and saturation
+# search that gate the capacity-planning engine.
+BENCH_PATTERN = BenchmarkFleetDispatch|BenchmarkDaemonDispatch|BenchmarkLoadgen|BenchmarkProgramCache|BenchmarkWeightedRouterPick|BenchmarkSweepWideMatrix|BenchmarkSaturateSearch
 BENCH_PKGS = . ./internal/daemon
 
 # bench-json records the fleet-scaling and load-generation benchmark
@@ -41,17 +42,20 @@ bench-json:
 		-benchmem -run='^$$' -json $(BENCH_PKGS) > BENCH_fleet.json
 
 # bench-diff re-runs the bench-json suite into a scratch file and fails if
-# any jobs/wall-second throughput metric regressed >20% against the
-# committed BENCH_fleet.json — the CI gate that keeps the replay hot path
-# from sliding back. The untraced, affinity and priority replay benchmarks
-# are -required: renaming or dropping any of them must fail the gate, not
-# skip it. The priority benchmark's interleaved slo-urgency/constant cost
-# ratio is additionally capped at 10% by benchdiff's -priority-overhead rule.
+# any jobs/wall-second or cells/wall-second throughput metric regressed >20%
+# against the committed BENCH_fleet.json — the CI gate that keeps the replay
+# and sweep hot paths from sliding back — or if the sweep's peak_heap_mb rose
+# >20% (benchdiff's lower-is-better rule: the bounded-memory contract). The
+# untraced, affinity and priority replay benchmarks plus the wide-matrix
+# sweep and saturation search are -required: renaming or dropping any of
+# them must fail the gate, not skip it. The priority benchmark's interleaved
+# slo-urgency/constant cost ratio is additionally capped at 10% by
+# benchdiff's -priority-overhead rule.
 bench-diff:
 	$(GO) test -bench='$(BENCH_PATTERN)' \
 		-benchmem -run='^$$' -json $(BENCH_PKGS) > $(BENCH_FRESH)
 	$(GO) run ./cmd/benchdiff \
-		-require BenchmarkLoadgenReplay,BenchmarkLoadgenReplayAffinity,BenchmarkLoadgenReplayPriority \
+		-require BenchmarkLoadgenReplay,BenchmarkLoadgenReplayAffinity,BenchmarkLoadgenReplayPriority,BenchmarkSweepWideMatrix,BenchmarkSaturateSearch \
 		BENCH_fleet.json $(BENCH_FRESH)
 
 # fuzz-smoke runs each trace-ingestion fuzz target for a fixed iteration

@@ -674,6 +674,110 @@ func BenchmarkLoadgenSweep(b *testing.B) {
 	b.ReportMetric(float64(len(tr.Records)*len(rep.Results))*float64(b.N)/b.Elapsed().Seconds(), "replayed_jobs_per_wall_s")
 }
 
+// sampleHeapPeak polls the live heap until stop closes, recording the high
+// water mark. ReadMemStats stops the world, so the 5 ms cadence keeps the
+// sampler's own cost in the noise while still catching a sweep's steady-state
+// peak (cells run for much longer than the sampling interval).
+func sampleHeapPeak(stop <-chan struct{}, peak *uint64) {
+	var ms runtime.MemStats
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > *peak {
+			*peak = ms.HeapAlloc
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// BenchmarkSweepWideMatrix measures the bounded-memory sweep engine at the
+// scale it exists for: a thousand-cell generalized-axis matrix (3 routers ×
+// 3 schedulers × 4 admissions × 2 priorities × 2 fleets × 2 preemption × 2
+// rate scales × 2 shot scales = 1152 cells) over a 30-minute trace. The two
+// guarded metrics are cells_per_wall_s — throughput of the worker pool over
+// the shared prepared trace — and peak_heap_mb, the live-heap high water
+// mark that the per-cell pooling keeps O(workers) instead of O(cells).
+func BenchmarkSweepWideMatrix(b *testing.B) {
+	tr, err := loadgen.Generate(loadgen.Config{
+		Seed: 7, Horizon: 30 * time.Minute,
+		Process: &loadgen.Poisson{RatePerHour: 240},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := loadgen.SweepConfig{
+		Devices:     4,
+		Seed:        3,
+		Priorities:  []string{"constant", "age"},
+		FleetSizes:  []int{2, 4},
+		Preemptions: []string{"on", "off"},
+		RateScales:  []float64{1, 2},
+		ShotScales:  []float64{1, 2},
+	}
+	runtime.GC()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var peak uint64
+	go func() {
+		defer close(done)
+		sampleHeapPeak(stop, &peak)
+	}()
+	b.ResetTimer()
+	cells := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := loadgen.Sweep(tr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells += len(rep.Results)
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+	b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells_per_wall_s")
+	b.ReportMetric(float64(peak)/(1<<20), "peak_heap_mb")
+}
+
+// BenchmarkSaturateSearch measures the capacity-frontier search: nine policy
+// tuples (3 routers × 3 schedulers) knee-hunted over a 1-hour trace. The
+// probe count per knee is adaptive but deterministic, so knees_per_wall_s is
+// the end-to-end planning throughput and probes_per_knee the search cost the
+// binary-search bracketing keeps logarithmic in MaxScale.
+func BenchmarkSaturateSearch(b *testing.B) {
+	tr, err := loadgen.Generate(loadgen.Config{
+		Seed: 11, Horizon: time.Hour,
+		Process: &loadgen.Poisson{RatePerHour: 120},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := loadgen.SaturateConfig{
+		Seed:       11,
+		Admissions: []string{"accept-all"},
+		FleetSizes: []int{2},
+		MaxScale:   16,
+		Tolerance:  0.2,
+	}
+	b.ResetTimer()
+	knees, probes := 0, 0
+	for i := 0; i < b.N; i++ {
+		rep, err := loadgen.Saturate(tr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		knees += len(rep.Points)
+		for _, pt := range rep.Points {
+			probes += pt.Probes
+		}
+	}
+	b.ReportMetric(float64(knees)/b.Elapsed().Seconds(), "knees_per_wall_s")
+	b.ReportMetric(float64(probes)/float64(knees), "probes_per_knee")
+}
+
 // BenchmarkOrchestratorThroughput measures the hybrid-job scheduler on a
 // large synthetic batch.
 func BenchmarkOrchestratorThroughput(b *testing.B) {

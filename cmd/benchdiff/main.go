@@ -10,9 +10,11 @@
 //	benchdiff [-threshold 0.20] [-metrics m1,m2] [-trace-overhead 0.10]
 //	          [-priority-overhead 0.10] [-require b1,b2] baseline.json fresh.json
 //
-// Only higher-is-better wall-clock throughput metrics are compared; ns/op
-// and sim-time metrics vary with benchtime and fleet width in ways that are
-// not regressions. Benchmarks present in one file but not the other are
+// Only explicitly guarded metrics are compared; ns/op and sim-time metrics
+// vary with benchtime and fleet width in ways that are not regressions. The
+// -metrics list is higher-is-better (a drop fails); the -lower-metrics list
+// is lower-is-better (a rise fails) and guards the sweep engine's peak-heap
+// bound. Benchmarks present in one file but not the other are
 // reported but never fail the diff, so adding or renaming a benchmark does
 // not require regenerating the baseline in the same commit — except the
 // benchmarks named by -require, which must appear in both files: those are
@@ -50,7 +52,14 @@ type event struct {
 }
 
 // defaultMetrics are the wall-clock throughput metrics guarded by default.
-const defaultMetrics = "jobs_per_wall_s,replayed_jobs_per_wall_s"
+const defaultMetrics = "jobs_per_wall_s,replayed_jobs_per_wall_s,cells_per_wall_s"
+
+// defaultLowerMetrics are the lower-is-better metrics guarded by default: a
+// rise past the threshold fails. peak_heap_mb is the sweep engine's
+// bounded-memory contract — the worker pool exists so a thousand-cell matrix
+// holds a few cells of scratch, not a goroutine per cell — and this is where
+// that bound is enforced.
+const defaultLowerMetrics = "peak_heap_mb"
 
 // parseFile reconstructs the benchmark result lines from a test2json stream
 // and returns metric values per benchmark: bench → metric unit → value.
@@ -119,6 +128,7 @@ func parseResultLine(line string) (string, map[string]float64, bool) {
 func main() {
 	threshold := flag.Float64("threshold", 0.20, "maximum allowed fractional drop in a guarded metric")
 	metricsFlag := flag.String("metrics", defaultMetrics, "comma-separated higher-is-better metrics to guard")
+	lowerFlag := flag.String("lower-metrics", defaultLowerMetrics, "comma-separated lower-is-better metrics to guard (a rise past the threshold fails)")
 	traceOverhead := flag.Float64("trace-overhead", 0.10, "maximum fractional jobs/wall-s cost of the traced replay vs the untraced one, same run")
 	priorityOverhead := flag.Float64("priority-overhead", 0.10, "maximum fractional replay cost of the slo-urgency priority axis vs the constant default, same run")
 	require := flag.String("require", "", "comma-separated benchmarks that must be present in both files")
@@ -141,6 +151,12 @@ func main() {
 	for _, m := range strings.Split(*metricsFlag, ",") {
 		if m = strings.TrimSpace(m); m != "" {
 			guarded[m] = true
+		}
+	}
+	lower := make(map[string]bool)
+	for _, m := range strings.Split(*lowerFlag, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			lower[m] = true
 		}
 	}
 	// Required benchmarks must exist on both sides before any comparison:
@@ -185,7 +201,7 @@ func main() {
 			continue
 		}
 		for metric, base := range baseline[name] {
-			if !guarded[metric] || base <= 0 {
+			if (!guarded[metric] && !lower[metric]) || base <= 0 {
 				continue
 			}
 			cur, ok := fm[metric]
@@ -196,7 +212,13 @@ func main() {
 			compared++
 			change := (cur - base) / base
 			status := "ok  "
-			if change < -*threshold {
+			// Higher-is-better fails on a drop; lower-is-better on a rise.
+			if lower[metric] {
+				if change > *threshold {
+					status = "FAIL"
+					failed = true
+				}
+			} else if change < -*threshold {
 				status = "FAIL"
 				failed = true
 			}

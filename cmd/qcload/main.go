@@ -16,8 +16,15 @@
 //	               [--seed 1] [--cache 0] [--setup 0]
 //	qcload sweep   --trace trace.jsonl [--routers all] [--schedulers all]
 //	               [--admissions all] [--priorities constant] [--devices 4]
-//	               [--seed 1] [--out report.json]
-//	               [--tracing=true] [--cache 0] [--setup 0]
+//	               [--fleets 2,4,8] [--preemption on,off] [--rate-scales 1,2]
+//	               [--shot-scales 1] [--workers GOMAXPROCS] [--seed 1]
+//	               [--out report.json] [--tracing=true] [--cache 0] [--setup 0]
+//	qcload saturate --trace trace.jsonl [--routers all] [--schedulers all]
+//	               [--admissions accept-all] [--priorities constant]
+//	               [--devices 4] [--fleets 2,4,8] [--objective p99-wait]
+//	               [--target 120] [--max-scale 64] [--tolerance 0.05]
+//	               [--cost-per-device-hour 1] [--workers GOMAXPROCS]
+//	               [--seed 1] [--out frontier.json]
 //	qcload trace export --trace trace.jsonl --out spans.json
 //	               [--router least-loaded] [--scheduler fifo]
 //	               [--admission accept-all] [--priority constant]
@@ -53,6 +60,18 @@
 // writes the full span set as Chrome trace-event JSON — open it in Perfetto
 // (or chrome://tracing) to see partitions as busy/idle tracks and every
 // job's lifecycle as a waterfall.
+//
+// sweep also crosses the generalized axes when named: --fleets (fleet
+// sizes), --preemption (on,off), --rate-scales (arrival-rate multipliers —
+// in-memory time compression, no trace rewrite) and --shot-scales (device
+// speed multipliers). Cells run on a bounded worker pool (--workers, default
+// GOMAXPROCS); the worker count changes wall clock only, never report bytes.
+// saturate is the capacity-planning search: per policy tuple × fleet size it
+// binary-searches the arrival-rate multiplier to the knee where the
+// production objective (--objective p99-wait: p99 wait ≤ --target seconds;
+// deadline-hit: hit rate ≥ --target) blows past target, and writes the
+// deterministic capacity-frontier report — max sustainable rate per tuple
+// plus a cost-per-met-SLO ranking.
 package main
 
 import (
@@ -79,7 +98,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("need a subcommand: gen, capture, import, info, replay, sweep, trace")
+		return fmt.Errorf("need a subcommand: gen, capture, import, info, replay, sweep, saturate, trace")
 	}
 	switch args[0] {
 	case "gen":
@@ -94,13 +113,15 @@ func run(args []string, out io.Writer) error {
 		return runReplay(args[1:], out)
 	case "sweep":
 		return runSweep(args[1:], out)
+	case "saturate":
+		return runSaturate(args[1:], out)
 	case "trace":
 		if len(args) < 2 || args[1] != "export" {
 			return fmt.Errorf("trace: need a subcommand: export")
 		}
 		return runTraceExport(args[2:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (gen, capture, import, info, replay, sweep, trace)", args[0])
+		return fmt.Errorf("unknown subcommand %q (gen, capture, import, info, replay, sweep, saturate, trace)", args[0])
 	}
 }
 
@@ -342,7 +363,12 @@ func runSweep(args []string, out io.Writer) error {
 	schedulers := fs.String("schedulers", "all", "comma-separated scheduler axis, or all")
 	admissions := fs.String("admissions", "all", "comma-separated admission axis, or all")
 	priorities := fs.String("priorities", "constant", "comma-separated priority axis, or all (defaults to the constant singleton, not all)")
-	devices := fs.Int("devices", 4, "fleet size per combination")
+	devices := fs.Int("devices", 4, "fleet size per combination (when --fleets is unset)")
+	fleets := fs.String("fleets", "", "comma-separated fleet-size axis (overrides --devices when set)")
+	preemption := fs.String("preemption", "", "comma-separated preemption axis: on, off (default on only)")
+	rateScales := fs.String("rate-scales", "", "comma-separated arrival-rate multiplier axis (default 1)")
+	shotScales := fs.String("shot-scales", "", "comma-separated device shot-rate multiplier axis (default 1)")
+	workers := fs.Int("workers", 0, "bounded worker pool size (0 = GOMAXPROCS); never affects report bytes")
 	seed := fs.Int64("seed", 1, "replay seed shared by every combination")
 	outPath := fs.String("out", "", "report file (default stdout)")
 	tracing := fs.Bool("tracing", true, "attach span tracing and report per-stage latency breakdown per cell")
@@ -353,6 +379,18 @@ func runSweep(args []string, out io.Writer) error {
 	}
 	if *trace == "" {
 		return fmt.Errorf("sweep: --trace is required")
+	}
+	fleetAxis, err := splitInts(*fleets, "--fleets")
+	if err != nil {
+		return err
+	}
+	rateAxis, err := splitFloats(*rateScales, "--rate-scales")
+	if err != nil {
+		return err
+	}
+	shotAxis, err := splitFloats(*shotScales, "--shot-scales")
+	if err != nil {
+		return err
 	}
 	tr, err := loadgen.ReadTraceFile(*trace)
 	if err != nil {
@@ -366,6 +404,11 @@ func runSweep(args []string, out io.Writer) error {
 		Schedulers:   splitAxis(*schedulers),
 		Admissions:   splitAxis(*admissions),
 		Priorities:   splitAxis(*priorities),
+		FleetSizes:   fleetAxis,
+		Preemptions:  splitAxis(*preemption),
+		RateScales:   rateAxis,
+		ShotScales:   shotAxis,
+		Workers:      *workers,
 		Tracing:      *tracing,
 		ProgramCache: *cacheSize,
 		SetupSeconds: *setup,
@@ -375,6 +418,93 @@ func runSweep(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(os.Stderr, "qcload: swept %d jobs × %d policy combinations in %s\n",
 		tr.Header.Jobs, len(rep.Results), time.Since(start).Round(time.Millisecond))
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// runSaturate is the capacity-planning search: per policy tuple × fleet
+// size, binary-search the arrival-rate multiplier to the knee where the
+// production objective blows past target, and emit the capacity-frontier
+// report. Defaults differ from sweep where capacity planning wants them to:
+// the admission axis defaults to accept-all (an admission throttle changes
+// what "sustainable" means — cross it explicitly when that is the question).
+func runSaturate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("saturate", flag.ContinueOnError)
+	trace := fs.String("trace", "", "trace file (required)")
+	routers := fs.String("routers", "all", "comma-separated router axis, or all")
+	schedulers := fs.String("schedulers", "all", "comma-separated scheduler axis, or all")
+	admissions := fs.String("admissions", "accept-all", "comma-separated admission axis, or all")
+	priorities := fs.String("priorities", "constant", "comma-separated priority axis, or all")
+	devices := fs.Int("devices", 4, "fleet size per tuple (when --fleets is unset)")
+	fleets := fs.String("fleets", "", "comma-separated fleet-size axis (overrides --devices when set)")
+	objective := fs.String("objective", loadgen.ObjectiveP99Wait, "knee objective: p99-wait (production p99 wait ≤ target seconds) or deadline-hit (hit rate ≥ target)")
+	target := fs.Float64("target", 0, "objective target: seconds for p99-wait (default 120), a rate in (0,1] for deadline-hit (default 0.95)")
+	maxScale := fs.Float64("max-scale", 0, "search cap on the rate multiplier (default 64)")
+	tolerance := fs.Float64("tolerance", 0, "relative knee precision: bisection stops at hi/lo ≤ 1+tolerance (default 0.05)")
+	cost := fs.Float64("cost-per-device-hour", 0, "price of one partition-hour for the cost ranking (default 1)")
+	workers := fs.Int("workers", 0, "bounded tuple worker pool size (0 = GOMAXPROCS); never affects report bytes")
+	seed := fs.Int64("seed", 1, "replay seed shared by every probe")
+	outPath := fs.String("out", "", "frontier report file (default stdout)")
+	cacheSize := fs.Int("cache", 0, "per-partition program-cache entries for every probe (0 = caching off)")
+	setup := fs.Float64("setup", 0, "cold-setup QPU seconds a program-cache miss pays (requires --cache)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trace == "" {
+		return fmt.Errorf("saturate: --trace is required")
+	}
+	fleetAxis, err := splitInts(*fleets, "--fleets")
+	if err != nil {
+		return err
+	}
+	cfg := loadgen.SaturateConfig{
+		Devices:           *devices,
+		FleetSizes:        fleetAxis,
+		Seed:              *seed,
+		Routers:           splitAxis(*routers),
+		Schedulers:        splitAxis(*schedulers),
+		Admissions:        splitAxis(*admissions),
+		Priorities:        splitAxis(*priorities),
+		Objective:         *objective,
+		MaxScale:          *maxScale,
+		Tolerance:         *tolerance,
+		Workers:           *workers,
+		CostPerDeviceHour: *cost,
+		ProgramCache:      *cacheSize,
+		SetupSeconds:      *setup,
+	}
+	if *target != 0 {
+		if *objective == loadgen.ObjectiveDeadlineHit {
+			cfg.TargetHitRate = *target
+		} else {
+			cfg.TargetSeconds = *target
+		}
+	}
+	tr, err := loadgen.ReadTraceFile(*trace)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rep, err := loadgen.Saturate(tr, cfg)
+	if err != nil {
+		return err
+	}
+	probes := 0
+	for _, pt := range rep.Points {
+		probes += pt.Probes
+	}
+	fmt.Fprintf(os.Stderr, "qcload: found %d capacity knees (%d probes × %d jobs) in %s\n",
+		len(rep.Points), probes, tr.Header.Jobs, time.Since(start).Round(time.Millisecond))
 	w := out
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -448,4 +578,30 @@ func splitAxis(s string) []string {
 		}
 	}
 	return out
+}
+
+// splitInts parses a comma-separated integer axis like --fleets 2,4,8.
+func splitInts(s, what string) ([]int, error) {
+	var out []int
+	for _, p := range splitAxis(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s element %q is not an integer", what, p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// splitFloats parses a comma-separated float axis like --rate-scales 1,2,4.
+func splitFloats(s, what string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitAxis(s) {
+		f, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s element %q is not a number", what, p)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }

@@ -82,6 +82,72 @@ func TestQcloadGenInfoReplaySweep(t *testing.T) {
 	}
 }
 
+// TestQcloadSweepSaturateSmoke is the capacity-planning smoke: a wide-axis
+// sweep on a bounded worker pool and a saturate search, each run twice
+// through the real CLI, must be byte-identical — and fast enough to ride in
+// every `make test` / `make test-full` run.
+func TestQcloadSweepSaturateSmoke(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	if err := run([]string{"gen", "--out", trace, "--duration", "30m", "--rate", "120", "--seed", "9"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generalized axes × explicit worker count: 1 router × 1 scheduler × 1
+	// admission × 2 fleets × 2 preemption × 2 rates = 16 cells on 2 workers.
+	sweepArgs := []string{"sweep", "--trace", trace, "--workers", "2",
+		"--routers", "least-loaded", "--schedulers", "fifo", "--admissions", "accept-all",
+		"--fleets", "1,2", "--preemption", "on,off", "--rate-scales", "1,2",
+		"--shot-scales", "1,2", "--tracing=false"}
+	var s1, s2 bytes.Buffer
+	if err := run(sweepArgs, &s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(sweepArgs, &s2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Fatal("generalized sweep output not deterministic")
+	}
+	var sr loadgen.SweepReport
+	if err := json.Unmarshal(s1.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) != 16 {
+		t.Fatalf("generalized sweep produced %d cells, want 16", len(sr.Results))
+	}
+	if sr.FindCell(loadgen.Cell{Router: "least-loaded", Scheduler: "fifo", Admission: "accept-all",
+		FleetSize: 2, Preemption: "off", RateScale: 2, ShotScale: 2}) == nil {
+		t.Fatal("generalized cell missing from CLI sweep report")
+	}
+
+	satArgs := []string{"saturate", "--trace", trace,
+		"--routers", "least-loaded", "--schedulers", "fifo", "--admissions", "accept-all",
+		"--fleets", "1,2", "--max-scale", "8", "--tolerance", "0.25", "--workers", "2"}
+	var f1, f2 bytes.Buffer
+	if err := run(satArgs, &f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(satArgs, &f2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f1.Bytes(), f2.Bytes()) {
+		t.Fatal("saturate output not deterministic")
+	}
+	var fr loadgen.FrontierReport
+	if err := json.Unmarshal(f1.Bytes(), &fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Points) != 2 || len(fr.Ranking) != 2 {
+		t.Fatalf("frontier has %d points / %d ranks, want 2/2", len(fr.Points), len(fr.Ranking))
+	}
+	for _, pt := range fr.Points {
+		if pt.Probes == 0 {
+			t.Fatalf("tuple %s searched with zero probes", pt.Tuple())
+		}
+	}
+}
+
 // TestQcloadGenClosedPointsToCapture: the old closed-loop gen mode is
 // superseded by the capture subcommand; the error says where to go, even
 // for the full old invocation including the retired closed-mode flags.
@@ -200,6 +266,10 @@ func TestQcloadErrors(t *testing.T) {
 		{"replay"},
 		{"replay", "--trace", "/does/not/exist.jsonl"},
 		{"sweep"},
+		{"sweep", "--trace", "/does/not/exist.jsonl", "--fleets", "two"},
+		{"sweep", "--trace", "/does/not/exist.jsonl", "--rate-scales", "fast"},
+		{"saturate"},
+		{"saturate", "--trace", "/does/not/exist.jsonl"},
 	} {
 		if err := run(args, os.Stdout); err == nil {
 			t.Fatalf("args %v accepted", args)

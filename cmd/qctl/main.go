@@ -175,13 +175,14 @@ func jobs(endpoint, token string, out io.Writer) error {
 		return err
 	}
 	var listing []struct {
-		ID              string `json:"id"`
-		User            string `json:"user"`
-		Class           string `json:"class"`
-		State           string `json:"state"`
-		Device          string `json:"device"`
-		Error           string `json:"error"`
-		AdmissionReason string `json:"admission_reason"`
+		ID                string  `json:"id"`
+		User              string  `json:"user"`
+		Class             string  `json:"class"`
+		State             string  `json:"state"`
+		Device            string  `json:"device"`
+		Error             string  `json:"error"`
+		AdmissionReason   string  `json:"admission_reason"`
+		RetryAfterSeconds float64 `json:"retry_after_seconds"`
 	}
 	if err := json.Unmarshal(body, &listing); err != nil {
 		return fmt.Errorf("parsing job listing: %w", err)
@@ -193,6 +194,9 @@ func jobs(endpoint, token string, out io.Writer) error {
 		detail := j.Error
 		if j.State == "rejected" {
 			detail = j.AdmissionReason
+			if j.RetryAfterSeconds > 0 {
+				detail = fmt.Sprintf("%s (retry after %.0fs)", detail, j.RetryAfterSeconds)
+			}
 		}
 		dev := j.Device
 		if dev == "" {

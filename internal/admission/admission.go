@@ -68,6 +68,10 @@ type ClassLoad struct {
 	// OldestAge is the age of the oldest queued job of this class (zero
 	// when the class has no backlog) — the staleness signal behind age caps.
 	OldestAge time.Duration
+	// QueuedQPUSeconds is the sum of expected QPU-seconds queued at this
+	// class across all partitions — the drain-time numerator behind
+	// Retry-After hints on rejections.
+	QueuedQPUSeconds float64
 }
 
 // View is the fleet-wide load snapshot a decision may consult. It is

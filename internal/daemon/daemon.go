@@ -93,6 +93,12 @@ type Job struct {
 	// carries the policy rationale.
 	AdmissionOutcome string `json:"admission_outcome,omitempty"`
 	AdmissionReason  string `json:"admission_reason,omitempty"`
+	// RetryAfterSeconds is the queue-drain estimate attached to rejected
+	// jobs: how long a well-behaved client should back off before retrying.
+	// Derived from the admission view's queued expected-QPU backlog at the
+	// rejected class and above, spread across the fleet. Zero on every
+	// non-rejected record.
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
 	// ExpectedQPUSeconds is the duration hint used by shortest-first
 	// scheduling: the submitter's declared value, or the daemon's own
 	// estimate from the validated program when none was given.
@@ -139,6 +145,37 @@ type Job struct {
 
 // ClassName renders the class for JSON consumers.
 func (j *Job) ClassName() string { return j.Class.String() }
+
+// jobPool recycles Job records across replay cells. A thousand-cell sweep
+// churns through millions of job records whose lifetimes end with their
+// daemon's report; pooling them (via the replay driver's Release call) keeps
+// the sweep's live heap proportional to the worker count, not the cell count.
+var jobPool = sync.Pool{New: func() any { return new(Job) }}
+
+// newJob takes a zeroed Job record from the pool. Callers overwrite every
+// field they use; the pool guarantees the record arrives zeroed.
+func newJob() *Job {
+	j := jobPool.Get().(*Job)
+	*j = Job{}
+	return j
+}
+
+// Release returns every retained job record to the shared pool and empties
+// the daemon's job table. It is safe only once the daemon is quiescent and
+// no caller still holds *Job pointers obtained from this daemon — public
+// accessors hand out copies, so the one caller with that guarantee is the
+// replay driver, which calls Release after extracting its report. Records
+// already pruned from the table (bounded rejected history) are simply
+// dropped: their pointers may have escaped through RejectedError.
+func (d *Daemon) Release() {
+	d.mu.Lock()
+	for id, j := range d.jobs {
+		delete(d.jobs, id)
+		*j = Job{} // drop payload/result references before pooling
+		jobPool.Put(j)
+	}
+	d.mu.Unlock()
+}
 
 // JobEventType enumerates the job lifecycle transitions the daemon reports to
 // a Config.JobListener.
@@ -836,7 +873,7 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 		tAdmit = d.cfg.Clock.Now()
 	}
 	if dec.Outcome == admission.Rejected {
-		j := d.recordRejected(s, token, req, dec)
+		j := d.recordRejected(s, token, req, dec, d.retryAfterHint(req.Class))
 		if traced {
 			cls := req.Class.String()
 			d.emitSpan(trace.Span{Job: j.ID, Stage: trace.StageValidate, Class: cls, Start: tSubmit, End: tValidate})
@@ -905,7 +942,8 @@ func (d *Daemon) Submit(token string, req SubmitRequest) (*Job, error) {
 	}
 	d.mu.Lock()
 	now := d.cfg.Clock.Now()
-	j := &Job{
+	j := newJob()
+	*j = Job{
 		ID:                 d.allocJobIDLocked(),
 		Session:            token,
 		User:               s.User,

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -136,9 +137,15 @@ func (d *Daemon) Handler() http.Handler {
 			if errors.As(err, &rej) {
 				// The admission stage shed the job: 429 Too Many Requests,
 				// with the terminal rejected record so the caller can see
-				// the policy rationale and query the job later.
+				// the policy rationale and query the job later. The standard
+				// Retry-After header carries the queue-drain backoff hint
+				// (integer seconds, rounded up per RFC 9110).
 				out := jobJSON(rej.Job)
 				out["error"] = rej.Reason
+				if rej.Job.RetryAfterSeconds > 0 {
+					w.Header().Set("Retry-After",
+						strconv.FormatInt(int64(math.Ceil(rej.Job.RetryAfterSeconds)), 10))
+				}
 				writeJSON(w, http.StatusTooManyRequests, out)
 				return
 			}
@@ -400,6 +407,9 @@ func jobJSON(j *Job) map[string]any {
 		if j.RequestedClass != j.Class {
 			out["requested_class"] = j.RequestedClass.String()
 		}
+	}
+	if j.RetryAfterSeconds > 0 {
+		out["retry_after_seconds"] = j.RetryAfterSeconds
 	}
 	return out
 }

@@ -162,10 +162,11 @@ func (d *Daemon) admissionView() admission.View {
 	}
 	now := d.cfg.Clock.Now()
 	for _, ds := range d.fleet {
-		counts, oldest, has := ds.queue.ClassLoads()
+		counts, oldest, has, qpu := ds.queue.ClassLoads()
 		for c := sched.ClassDev; c <= sched.ClassProduction; c++ {
 			load := view.ByClass[c]
 			load.Queued += counts[c]
+			load.QueuedQPUSeconds += qpu[c].Seconds()
 			if has[c] {
 				if age := now - oldest[c]; age > load.OldestAge {
 					load.OldestAge = age
@@ -219,11 +220,39 @@ func (d *Daemon) admitStage(req SubmitRequest, user string) admission.Decision {
 	return dec
 }
 
+// retryAfterHint is the queue-drain estimate attached to rejections: the
+// queued expected-QPU backlog at the rejected class and above, spread evenly
+// across the fleet's partitions — roughly how long until the work ahead of a
+// resubmission drains, assuming no new arrivals. It is a hint for
+// well-behaved retrying clients (the frontier report models them), not a
+// guarantee: clamped to [1s, 24h] so it is always a usable backoff.
+func (d *Daemon) retryAfterHint(class sched.Class) float64 {
+	d.admitMu.Lock()
+	view := d.admissionView()
+	d.admitMu.Unlock()
+	var backlog float64
+	for c := class; c <= sched.ClassProduction; c++ {
+		backlog += view.ByClass[c].QueuedQPUSeconds
+	}
+	devs := view.Devices
+	if devs < 1 {
+		devs = 1
+	}
+	hint := backlog / float64(devs)
+	if hint < 1 {
+		hint = 1
+	}
+	if max := (24 * time.Hour).Seconds(); hint > max {
+		hint = max
+	}
+	return hint
+}
+
 // recordRejected creates the terminal rejected job record for a shed
 // submission and emits its lifecycle event. The record is owned by the
 // session like any accepted job, so status queries and the admin job listing
-// surface the rejection and its reason.
-func (d *Daemon) recordRejected(s *Session, token string, req SubmitRequest, dec admission.Decision) *Job {
+// surface the rejection, its reason and the retry-after backoff hint.
+func (d *Daemon) recordRejected(s *Session, token string, req SubmitRequest, dec admission.Decision, retryAfter float64) *Job {
 	now := d.cfg.Clock.Now()
 	d.mu.Lock()
 	j := &Job{
@@ -239,6 +268,7 @@ func (d *Daemon) recordRejected(s *Session, token string, req SubmitRequest, dec
 		State:              JobRejected,
 		AdmissionOutcome:   string(admission.Rejected),
 		AdmissionReason:    dec.Reason,
+		RetryAfterSeconds:  retryAfter,
 		SubmittedAt:        now,
 		FinishedAt:         now,
 	}

@@ -1,0 +1,156 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hpcqc/internal/admission"
+	"hpcqc/internal/sched"
+)
+
+// threeShotBucket admits three dev jobs, then sheds the class.
+func threeShotBucket() admission.Policy {
+	return admission.NewTokenBucketWith(map[sched.Class]admission.Quota{
+		sched.ClassDev: {RatePerHour: 0.000001, Burst: 3},
+	})
+}
+
+// TestRejectedRetryAfterHint: a shed submission carries a Retry-After hint
+// derived from the admission view's queue-drain estimate — the queued
+// expected-QPU backlog at the rejected class and above, spread across the
+// fleet — so a well-behaved client backs off for roughly as long as the work
+// ahead of a resubmission takes to drain.
+func TestRejectedRetryAfterHint(t *testing.T) {
+	env, _ := newAdmissionEnv(t, 1, threeShotBucket())
+	s, err := env.d.OpenSession("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three 600 s dev jobs on one partition: the first dispatches, two queue
+	// — 1200 expected-QPU seconds of backlog ahead of any resubmission.
+	for i := 0; i < 3; i++ {
+		if _, err := env.d.Submit(s.Token, SubmitRequest{
+			Program: payload(t, 2), Class: sched.ClassDev, ExpectedQPUSeconds: 600,
+		}); err != nil {
+			t.Fatalf("admitted job %d: %v", i, err)
+		}
+	}
+	_, err = env.d.Submit(s.Token, SubmitRequest{Program: payload(t, 2), Class: sched.ClassDev})
+	var rej *RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("fourth dev job error = %v, want RejectedError", err)
+	}
+	if got := rej.Job.RetryAfterSeconds; got != 1200 {
+		t.Fatalf("retry-after hint = %g s, want 1200 (two queued 600 s jobs on one partition)", got)
+	}
+	// The hint is part of the terminal record, visible to status queries and
+	// the admin listing.
+	j, err := env.d.JobStatus(s.Token, rej.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.RetryAfterSeconds != 1200 {
+		t.Fatalf("status retry-after = %g", j.RetryAfterSeconds)
+	}
+}
+
+// TestRejectedRetryAfterFloor: with nothing queued the drain estimate is
+// zero; the hint clamps to the 1 s floor so it is always a usable backoff.
+func TestRejectedRetryAfterFloor(t *testing.T) {
+	env, _ := newAdmissionEnv(t, 1, oneShotBucket())
+	s, err := env.d.OpenSession("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.d.Submit(s.Token, SubmitRequest{Program: payload(t, 2), Class: sched.ClassDev}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = env.d.Submit(s.Token, SubmitRequest{Program: payload(t, 2), Class: sched.ClassDev})
+	var rej *RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("want RejectedError, got %v", err)
+	}
+	if rej.Job.RetryAfterSeconds != 1 {
+		t.Fatalf("empty-queue hint = %g s, want the 1 s floor", rej.Job.RetryAfterSeconds)
+	}
+}
+
+// TestHTTPRetryAfterHeader: the REST surface renders the hint as an RFC 9110
+// Retry-After header (integer seconds, rounded up) on the 429, and carries
+// it in the rejected job record's JSON.
+func TestHTTPRetryAfterHeader(t *testing.T) {
+	env, _ := newAdmissionEnv(t, 1, threeShotBucket())
+	srv := httptest.NewServer(env.d.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/api/v1/sessions", "application/json", strings.NewReader(`{"user":"alice"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess struct {
+		Token string `json:"token"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	submit := func(body string) (*http.Response, map[string]any) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, srv.URL+"/api/v1/jobs", strings.NewReader(body))
+		req.Header.Set("Authorization", "Bearer "+sess.Token)
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp, out
+	}
+
+	admitted := `{"program":` + string(payload(t, 2)) + `,"class":"dev","expected_qpu_seconds":90.5}`
+	for i := 0; i < 3; i++ {
+		if resp, _ := submit(admitted); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("admitted submit %d = %d", i, resp.StatusCode)
+		}
+	}
+	resp429, out := submit(`{"program":` + string(payload(t, 2)) + `,"class":"dev"}`)
+	if resp429.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed submit = %d, want 429", resp429.StatusCode)
+	}
+	// Two queued 90.5 s jobs on one partition: hint 181 s, already integral;
+	// the header must be ceil(hint) either way.
+	hint, _ := out["retry_after_seconds"].(float64)
+	if hint != 181 {
+		t.Fatalf("429 body retry_after_seconds = %v, want 181", out["retry_after_seconds"])
+	}
+	if got := resp429.Header.Get("Retry-After"); got != strconv.FormatInt(int64(math.Ceil(hint)), 10) {
+		t.Fatalf("Retry-After header = %q, want %q", got, strconv.FormatInt(int64(math.Ceil(hint)), 10))
+	}
+
+	// The hint survives into the stored record's JSON rendering.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/api/v1/jobs/"+out["id"].(string), nil)
+	req.Header.Set("Authorization", "Bearer "+sess.Token)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var got map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["retry_after_seconds"] != hint {
+		t.Fatalf("stored record retry_after_seconds = %v, want %v", got["retry_after_seconds"], hint)
+	}
+}

@@ -49,8 +49,8 @@ func deadlineTrial(t *testing.T, seed int64, horizon time.Duration) (*SweepRepor
 	if err != nil {
 		t.Fatal(err)
 	}
-	fifo := s.FindCell("least-loaded", "fifo", "accept-all", "constant")
-	slo := s.FindCell("least-loaded", "fifo", "accept-all", "slo-urgency")
+	fifo := s.FindCell(Cell{Router: "least-loaded", Scheduler: "fifo", Admission: "accept-all", Priority: "constant"})
+	slo := s.FindCell(Cell{Router: "least-loaded", Scheduler: "fifo", Admission: "accept-all", Priority: "slo-urgency"})
 	if fifo == nil || slo == nil {
 		t.Fatalf("sweep missing a priority cell: constant=%v slo-urgency=%v", fifo != nil, slo != nil)
 	}
@@ -204,12 +204,12 @@ func TestDeadlineUnsaturatedNegativeControl(t *testing.T) {
 		"production deadline-hit-rate (unsaturated)", "slo-urgency", "fifo", seeds,
 		func(seed int64) (float64, float64, error) {
 			s := sweepAt(seed)
-			base := s.FindCell("least-loaded", "fifo", "accept-all", "constant")
+			base := s.FindCell(Cell{Router: "least-loaded", Scheduler: "fifo", Admission: "accept-all", Priority: "constant"})
 			if base == nil {
 				t.Fatal("missing constant cell")
 			}
 			for _, name := range AllPriorities()[1:] {
-				cell := s.FindCell("least-loaded", "fifo", "accept-all", name)
+				cell := s.FindCell(Cell{Router: "least-loaded", Scheduler: "fifo", Admission: "accept-all", Priority: name})
 				if cell == nil {
 					t.Fatalf("missing %s cell", name)
 				}
@@ -224,7 +224,7 @@ func TestDeadlineUnsaturatedNegativeControl(t *testing.T) {
 						seed, name, cp.DeadlineHitRate, bp.DeadlineHitRate)
 				}
 			}
-			slo := s.FindCell("least-loaded", "fifo", "accept-all", "slo-urgency")
+			slo := s.FindCell(Cell{Router: "least-loaded", Scheduler: "fifo", Admission: "accept-all", Priority: "slo-urgency"})
 			return slo.PerClass["production"].DeadlineHitRate, base.PerClass["production"].DeadlineHitRate, nil
 		})
 	if err != nil {

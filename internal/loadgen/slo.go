@@ -140,6 +140,15 @@ type Report struct {
 	// Priority names the dynamic-urgency axis; empty (and omitted) for the
 	// constant default, so pre-axis reports are byte-identical.
 	Priority string `json:"priority,omitempty"`
+	// FleetSize, Preemption, RateScale and ShotScale identify the cell along
+	// the generalized sweep axes. Each is omitted at its default — fleet size
+	// only stamped when the sweep crosses fleet sizes, preemption "off" only
+	// when disabled, scales only when ≠ 1 — so reports from sweeps that never
+	// touch these axes are byte-identical to their pre-axis form.
+	FleetSize  int     `json:"fleet_size,omitempty"`
+	Preemption string  `json:"preemption,omitempty"`
+	RateScale  float64 `json:"rate_scale,omitempty"`
+	ShotScale  float64 `json:"shot_scale,omitempty"`
 
 	// Jobs counts every offered submission, including rejected ones;
 	// Completed+Failed+Cancelled+Rejected covers the terminal states.
@@ -233,6 +242,49 @@ type Analyzer struct {
 	// class and skip the outer map hash.
 	lastClass  string
 	lastStages map[trace.Stage][]time.Duration
+
+	// chunks is the slab allocator behind jobTrack records: fixed-size blocks
+	// handed out sequentially, retained across Reset so a pooled analyzer
+	// replaying its next cell reuses the previous cell's track memory instead
+	// of allocating one small object per job.
+	chunks [][]jobTrack
+	used   int
+}
+
+// trackChunkSize is the jobTrack slab block size (tracks per allocation).
+const trackChunkSize = 4096
+
+// newTrack hands out the next zeroed jobTrack from the slab.
+func (a *Analyzer) newTrack() *jobTrack {
+	ci, off := a.used/trackChunkSize, a.used%trackChunkSize
+	if ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]jobTrack, trackChunkSize))
+	}
+	a.used++
+	t := &a.chunks[ci][off]
+	*t = jobTrack{}
+	return t
+}
+
+// Reset clears the analyzer for a fresh replay while retaining every
+// allocation it has made — maps, the job-order slice, stage sample slices and
+// the track slab. This is the state-pooling hook behind the sweep engine: a
+// thousand-cell sweep recycles one analyzer per worker instead of growing the
+// heap by one per cell. Only registry-less analyzers are pooled (bound
+// telemetry series belong to a specific registry).
+func (a *Analyzer) Reset() {
+	clear(a.jobs)
+	a.order = a.order[:0]
+	clear(a.preemptByDev)
+	a.preempts, a.requeues, a.crossRequeues, a.terminal = 0, 0, 0, 0
+	a.lastTerminal = 0
+	a.used = 0
+	a.lastClass, a.lastStages = "", nil
+	for _, byStage := range a.stages {
+		for stage, samples := range byStage {
+			byStage[stage] = samples[:0]
+		}
+	}
 }
 
 // NewAnalyzer returns an analyzer; reg may be nil to skip metric exposition.
@@ -263,13 +315,12 @@ func NewAnalyzer(reg *telemetry.Registry) *Analyzer {
 func (a *Analyzer) Observe(ev daemon.JobEvent) {
 	switch ev.Type {
 	case daemon.JobEventSubmitted:
-		t := &jobTrack{
-			class:     ev.Job.Class.String(),
-			device:    ev.Job.Device,
-			submitted: ev.Job.SubmittedAt,
-			expected:  ev.Job.ExpectedQPUSeconds,
-			deadline:  ev.Job.DeadlineSeconds,
-		}
+		t := a.newTrack()
+		t.class = ev.Job.Class.String()
+		t.device = ev.Job.Device
+		t.submitted = ev.Job.SubmittedAt
+		t.expected = ev.Job.ExpectedQPUSeconds
+		t.deadline = ev.Job.DeadlineSeconds
 		if ev.Job.RequestedClass != ev.Job.Class {
 			t.requested = ev.Job.RequestedClass.String()
 		}
@@ -278,15 +329,15 @@ func (a *Analyzer) Observe(ev daemon.JobEvent) {
 	case daemon.JobEventRejected:
 		// Shed submissions are terminal from birth: they count as offered
 		// load (for shed rates) but never enter the wait distributions.
-		a.jobs[ev.Job.ID] = &jobTrack{
-			class:     ev.Job.Class.String(),
-			submitted: ev.Job.SubmittedAt,
-			expected:  ev.Job.ExpectedQPUSeconds,
-			state:     daemon.JobRejected,
-			terminal:  true,
-			rejected:  true,
-			finished:  ev.At,
-		}
+		t := a.newTrack()
+		t.class = ev.Job.Class.String()
+		t.submitted = ev.Job.SubmittedAt
+		t.expected = ev.Job.ExpectedQPUSeconds
+		t.state = daemon.JobRejected
+		t.terminal = true
+		t.rejected = true
+		t.finished = ev.At
+		a.jobs[ev.Job.ID] = t
 		a.order = append(a.order, ev.Job.ID)
 		a.terminal++
 		if ev.At > a.lastTerminal {
@@ -514,9 +565,14 @@ func (a *Analyzer) Report() *Report {
 		rep.ProgramCacheHitRate = float64(rep.ProgramCacheHits) / float64(total)
 	}
 	for class, byStage := range a.stages {
-		c := classSLO(class)
-		c.Stages = make(map[string]*StageSLO, len(byStage))
+		var stages map[string]*StageSLO
 		for stage, samples := range byStage {
+			// A pooled analyzer retains truncated sample slices (and whole
+			// class maps) from earlier cells; only stages observed in *this*
+			// run may appear in the report, or pooling would change bytes.
+			if len(samples) == 0 {
+				continue
+			}
 			secs := make([]float64, len(samples))
 			for i, v := range samples {
 				secs[i] = v.Seconds()
@@ -529,10 +585,14 @@ func (a *Analyzer) Report() *Report {
 			// paying quantiles' defensive copy.
 			sort.Float64s(secs)
 			st.Seconds = quantilesSorted(secs)
-			if len(secs) > 0 {
-				st.MeanSeconds = st.TotalSeconds / float64(len(secs))
+			st.MeanSeconds = st.TotalSeconds / float64(len(secs))
+			if stages == nil {
+				stages = make(map[string]*StageSLO, len(byStage))
 			}
-			c.Stages[string(stage)] = st
+			stages[string(stage)] = st
+		}
+		if stages != nil {
+			classSLO(class).Stages = stages
 		}
 	}
 	return rep

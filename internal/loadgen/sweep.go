@@ -2,6 +2,9 @@ package loadgen
 
 import (
 	"fmt"
+	"math"
+	"runtime"
+	"strings"
 	"sync"
 
 	"hpcqc/internal/admission"
@@ -10,7 +13,8 @@ import (
 
 // SweepConfig parameterizes a policy what-if sweep.
 type SweepConfig struct {
-	// Devices and Seed are shared by every combination.
+	// Devices and Seed are shared by every combination. Devices is the
+	// fleet size when FleetSizes is empty.
 	Devices int
 	Seed    int64
 	// Routers, Schedulers and Admissions are the policy axes; a single
@@ -23,6 +27,22 @@ type SweepConfig struct {
 	// policy), so existing three-axis sweeps are unchanged; a single "all"
 	// expands to every priority policy.
 	Priorities []string
+	// FleetSizes, Preemptions, RateScales and ShotScales are the
+	// generalized axes — dimensions the replay driver always accepted as
+	// config but the sweep never crossed. Each empty slice keeps the axis
+	// at its singleton default (Devices-sized fleet, preemption "on",
+	// scales 1), so existing sweeps keep their exact combination lists and
+	// report bytes. Preemptions entries are "on"/"off"; scales must be
+	// positive.
+	FleetSizes  []int
+	Preemptions []string
+	RateScales  []float64
+	ShotScales  []float64
+	// Workers bounds the replay worker pool (default GOMAXPROCS). A
+	// thousand-cell sweep runs Workers fleets at a time — live heap
+	// O(workers) — instead of one goroutine-per-cell free-for-all; the
+	// worker count never affects report bytes, only wall clock.
+	Workers int
 	// Tracing runs every combination with span emission, so each cell's
 	// report carries the per-class per-stage latency attribution.
 	Tracing bool
@@ -34,24 +54,47 @@ type SweepConfig struct {
 }
 
 // SweepReport is the machine-readable policy comparison: one SLO report per
-// router × scheduler × admission × priority combination, in router-major
-// (then scheduler, admission, priority) axis order. Serializing it with
-// encoding/json is deterministic (map keys sort), so identical sweeps yield
-// byte-identical files.
+// axis combination, in canonical axis order — router-major, then scheduler,
+// admission, priority, fleet size, preemption, rate scale, shot scale.
+// Serializing it with encoding/json is deterministic (map keys sort), so
+// identical sweeps yield byte-identical files regardless of worker count.
 type SweepReport struct {
 	Trace   TraceHeader `json:"trace"`
 	Devices int         `json:"devices"`
 	Seed    int64       `json:"seed"`
 	// ProgramCache and SetupSeconds record the cache model the sweep ran
 	// under; omitted (and the cells unchanged) when caching was off.
-	ProgramCache int       `json:"program_cache,omitempty"`
-	SetupSeconds float64   `json:"setup_seconds,omitempty"`
-	Results      []*Report `json:"results"`
+	ProgramCache int     `json:"program_cache,omitempty"`
+	SetupSeconds float64 `json:"setup_seconds,omitempty"`
+	// FleetSizes, Preemptions, RateScales and ShotScales record the
+	// generalized axes when the sweep crossed them; omitted — and the cells
+	// unstamped — for sweeps that never name them.
+	FleetSizes  []int     `json:"fleet_sizes,omitempty"`
+	Preemptions []string  `json:"preemptions,omitempty"`
+	RateScales  []float64 `json:"rate_scales,omitempty"`
+	ShotScales  []float64 `json:"shot_scales,omitempty"`
+	Results     []*Report `json:"results"`
 }
 
-// Find returns the report for one policy triple, or nil. With a priority
-// axis in play it returns the first match across priorities (the constant
-// cell, in canonical axis order); use FindCell to pin all four axes.
+// Cell names one sweep combination across every axis. Zero values mean the
+// axis default and match cells from sweeps that never crossed that axis:
+// empty Priority (or "constant") is the constant cell, empty Preemption (or
+// "on") is preemptive dispatch, FleetSize 0 is the sweep-wide device count,
+// and RateScale/ShotScale 0 (or 1) are unscaled.
+type Cell struct {
+	Router     string
+	Scheduler  string
+	Admission  string
+	Priority   string
+	FleetSize  int
+	Preemption string
+	RateScale  float64
+	ShotScale  float64
+}
+
+// Find returns the report for one policy triple, or nil. With more axes in
+// play it returns the first match in canonical axis order (the all-defaults
+// cell when present); use FindCell to pin every axis.
 func (s *SweepReport) Find(router, scheduler, admissionPolicy string) *Report {
 	for _, r := range s.Results {
 		if r.Router == router && r.Scheduler == scheduler && r.Admission == admissionPolicy {
@@ -61,15 +104,37 @@ func (s *SweepReport) Find(router, scheduler, admissionPolicy string) *Report {
 	return nil
 }
 
-// FindCell returns the report for one router × scheduler × admission ×
-// priority combination, or nil. "constant" and "" both name the default
-// priority cell (whose report omits the field).
-func (s *SweepReport) FindCell(router, scheduler, admissionPolicy, priority string) *Report {
-	if priority == "constant" {
-		priority = ""
+// FindCell returns the report for one fully pinned combination, or nil. The
+// cell's zero values are normalized against the sweep's defaults (see Cell),
+// so FindCell(Cell{Router: "fifo", ...}) finds the same cell whether the
+// caller spells the default as "" or explicitly.
+func (s *SweepReport) FindCell(c Cell) *Report {
+	if c.Priority == "constant" {
+		c.Priority = ""
+	}
+	if c.Preemption == "on" {
+		c.Preemption = ""
+	}
+	if c.RateScale == 1 {
+		c.RateScale = 0
+	}
+	if c.ShotScale == 1 {
+		c.ShotScale = 0
+	}
+	// Cells carry a fleet size only when the sweep crossed fleet sizes; in
+	// that case every cell is stamped, so "the default" spells out as the
+	// sweep-wide device count, and vice versa for single-fleet sweeps.
+	if len(s.FleetSizes) > 0 {
+		if c.FleetSize == 0 {
+			c.FleetSize = s.Devices
+		}
+	} else if c.FleetSize == s.Devices {
+		c.FleetSize = 0
 	}
 	for _, r := range s.Results {
-		if r.Router == router && r.Scheduler == scheduler && r.Admission == admissionPolicy && r.Priority == priority {
+		if r.Router == c.Router && r.Scheduler == c.Scheduler && r.Admission == c.Admission &&
+			r.Priority == c.Priority && r.FleetSize == c.FleetSize && r.Preemption == c.Preemption &&
+			r.RateScale == c.RateScale && r.ShotScale == c.ShotScale {
 			return r
 		}
 	}
@@ -84,19 +149,36 @@ func expandAxis(axis, all []string) []string {
 	return axis
 }
 
-// Sweep replays one trace against every router × scheduler × admission
-// combination concurrently — one fleet per goroutine, each on its own
-// virtual clock (and its own admission-policy instance, so controller state
-// never bleeds across combinations) — and collects the per-policy SLO
-// reports. A 24-hour, thousands-of-jobs trace sweeps a multi-policy matrix
-// in seconds of wall clock.
-func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
-	if err := tr.Validate(); err != nil {
-		return nil, err
+// sweepCombo is one point of the sweep cross-product.
+type sweepCombo struct {
+	router, scheduler, admission, priority string
+	fleet                                  int
+	preempt                                string
+	rate, shot                             float64
+}
+
+// label renders the combo for error messages: the policy quadruple, plus the
+// generalized axes only when they left their defaults.
+func (c sweepCombo) label() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s/%s/%s", c.router, c.scheduler, c.admission, c.priority)
+	if c.preempt == "off" {
+		b.WriteString("/preempt=off")
 	}
-	if cfg.Devices <= 0 {
-		cfg.Devices = 4
+	fmt.Fprintf(&b, " fleet=%d", c.fleet)
+	if c.rate != 1 {
+		fmt.Fprintf(&b, " rate=%g", c.rate)
 	}
+	if c.shot != 1 {
+		fmt.Fprintf(&b, " shot=%g", c.shot)
+	}
+	return b.String()
+}
+
+// sweepCombos builds the full cross-product in canonical axis order and
+// fail-fast validates every axis value. Shared by Sweep and the saturation
+// engine's tuple enumeration.
+func sweepCombos(cfg *SweepConfig) ([]sweepCombo, error) {
 	routers := expandAxis(cfg.Routers, AllRouters())
 	schedulers := expandAxis(cfg.Schedulers, AllSchedulers())
 	admissions := expandAxis(cfg.Admissions, AllAdmissions())
@@ -109,19 +191,61 @@ func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
 	} else if len(priorities) == 1 && priorities[0] == "all" {
 		priorities = AllPriorities()
 	}
-
-	type combo struct{ router, scheduler, admission, priority string }
-	var combos []combo
+	fleets := cfg.FleetSizes
+	if len(fleets) == 0 {
+		fleets = []int{cfg.Devices}
+	}
+	preempts := cfg.Preemptions
+	if len(preempts) == 0 {
+		preempts = []string{"on"}
+	}
+	rates := cfg.RateScales
+	if len(rates) == 0 {
+		rates = []float64{1}
+	}
+	shots := cfg.ShotScales
+	if len(shots) == 0 {
+		shots = []float64{1}
+	}
+	for _, n := range fleets {
+		if n < 1 {
+			return nil, fmt.Errorf("loadgen: sweep fleet size %d (every fleet needs at least one partition)", n)
+		}
+	}
+	for _, p := range preempts {
+		if p != "on" && p != "off" {
+			return nil, fmt.Errorf("loadgen: sweep preemption %q (want on or off)", p)
+		}
+	}
+	for _, v := range rates {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("loadgen: sweep rate scale %g (want a positive finite multiplier)", v)
+		}
+	}
+	for _, v := range shots {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("loadgen: sweep shot scale %g (want a positive finite multiplier)", v)
+		}
+	}
+	combos := make([]sweepCombo, 0, len(routers)*len(schedulers)*len(admissions)*len(priorities)*len(fleets)*len(preempts)*len(rates)*len(shots))
 	for _, r := range routers {
 		for _, s := range schedulers {
 			for _, a := range admissions {
 				for _, p := range priorities {
-					combos = append(combos, combo{r, s, a, p})
+					for _, n := range fleets {
+						for _, pe := range preempts {
+							for _, rs := range rates {
+								for _, ss := range shots {
+									combos = append(combos, sweepCombo{r, s, a, p, n, pe, rs, ss})
+								}
+							}
+						}
+					}
 				}
 			}
 		}
 	}
-	// Fail fast on bad policy names before spawning the fleet per goroutine.
+	// Fail fast on bad policy names before spawning any fleet.
 	for _, c := range combos {
 		if _, err := daemon.NewRouter(c.router); err != nil {
 			return nil, err
@@ -136,31 +260,87 @@ func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
 			return nil, err
 		}
 	}
+	return combos, nil
+}
+
+// sweepWorkers resolves a worker-count knob against a combo count.
+func sweepWorkers(workers, combos int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > combos {
+		workers = combos
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Sweep replays one trace against every axis combination and collects the
+// per-cell SLO reports. Cells run on a bounded worker pool (SweepConfig.
+// Workers, default GOMAXPROCS): each worker replays one cell at a time on
+// its own virtual clock with its own policy instances — controller state
+// never bleeds across combinations — while the decoded trace, program
+// payloads and session roster are shared read-only via one preparedTrace.
+// Workers draw cells from a channel but write results by index, so the
+// output is always in canonical axis order and byte-identical whatever the
+// worker count or completion interleaving. Per-cell scratch (daemon job
+// records, analyzer state) returns to shared pools between cells, keeping a
+// thousand-cell sweep's live heap O(workers), not O(cells).
+func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
+	if cfg.Devices <= 0 {
+		cfg.Devices = 4
+	}
+	combos, err := sweepCombos(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := prepareTrace(tr)
+	if err != nil {
+		return nil, err
+	}
+	fleetAxis := len(cfg.FleetSizes) > 0
 
 	results := make([]*Report, len(combos))
 	errs := make([]error, len(combos))
+	idx := make(chan int)
 	var wg sync.WaitGroup
-	for i, c := range combos {
+	for w := 0; w < sweepWorkers(cfg.Workers, len(combos)); w++ {
 		wg.Add(1)
-		go func(i int, c combo) {
+		go func() {
 			defer wg.Done()
-			results[i], errs[i] = Replay(tr, ReplayConfig{
-				Devices:      cfg.Devices,
-				Router:       c.router,
-				Scheduler:    c.scheduler,
-				Admission:    c.admission,
-				Priority:     c.priority,
-				Seed:         cfg.Seed,
-				ProgramCache: cfg.ProgramCache,
-				SetupSeconds: cfg.SetupSeconds,
-				Tracing:      cfg.Tracing,
-			})
-		}(i, c)
+			for i := range idx {
+				c := combos[i]
+				rep, err := replayPrepared(prep, ReplayConfig{
+					Devices:           c.fleet,
+					Router:            c.router,
+					Scheduler:         c.scheduler,
+					Admission:         c.admission,
+					Priority:          c.priority,
+					Seed:              cfg.Seed,
+					RateScale:         c.rate,
+					ShotScale:         c.shot,
+					DisablePreemption: c.preempt == "off",
+					ProgramCache:      cfg.ProgramCache,
+					SetupSeconds:      cfg.SetupSeconds,
+					Tracing:           cfg.Tracing,
+				})
+				if err == nil && fleetAxis {
+					rep.FleetSize = c.fleet
+				}
+				results[i], errs[i] = rep, err
+			}
+		}()
 	}
+	for i := range combos {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("loadgen: sweep %s/%s/%s/%s: %w", combos[i].router, combos[i].scheduler, combos[i].admission, combos[i].priority, err)
+			return nil, fmt.Errorf("loadgen: sweep %s: %w", combos[i].label(), err)
 		}
 	}
 	return &SweepReport{
@@ -169,6 +349,10 @@ func Sweep(tr *Trace, cfg SweepConfig) (*SweepReport, error) {
 		Seed:         cfg.Seed,
 		ProgramCache: cfg.ProgramCache,
 		SetupSeconds: cfg.SetupSeconds,
+		FleetSizes:   cfg.FleetSizes,
+		Preemptions:  cfg.Preemptions,
+		RateScales:   cfg.RateScales,
+		ShotScales:   cfg.ShotScales,
 		Results:      results,
 	}, nil
 }

@@ -192,21 +192,28 @@ func TestPopByScoreKeepsClassLoadsLazy(t *testing.T) {
 	if it == nil || it.ID != "it-1" {
 		t.Fatalf("popped %+v, want it-1", it)
 	}
-	counts, oldest, has := q.ClassLoads()
+	counts, oldest, has, qpu := q.ClassLoads()
 	if counts[ClassTest] != 2 {
 		t.Fatalf("ClassLoads count = %d, want 2", counts[ClassTest])
 	}
 	if !has[ClassTest] || oldest[ClassTest] != 0 {
 		t.Fatalf("oldest enqueue = %s (has=%v), want it-0's 0s", oldest[ClassTest], has[ClassTest])
 	}
+	// The queued-QPU sum tracks the extraction: hour + minute remain.
+	if qpu[ClassTest] != time.Hour+time.Minute {
+		t.Fatalf("queued QPU = %s, want %s", qpu[ClassTest], time.Hour+time.Minute)
+	}
 	// Extract the current oldest; the heap must skip the stale entry and
 	// surface it-2 as the new oldest.
 	if it := q.PopByScore(func(it *Item) float64 { return -it.Enqueued.Seconds() }, nil); it == nil || it.ID != "it-0" {
 		t.Fatalf("popped %+v, want it-0", it)
 	}
-	counts, oldest, has = q.ClassLoads()
+	counts, oldest, has, qpu = q.ClassLoads()
 	if counts[ClassTest] != 1 || !has[ClassTest] || oldest[ClassTest] != 2*time.Second {
 		t.Fatalf("after oldest extraction: count=%d oldest=%s has=%v", counts[ClassTest], oldest[ClassTest], has[ClassTest])
+	}
+	if qpu[ClassTest] != time.Minute {
+		t.Fatalf("queued QPU after extractions = %s, want %s", qpu[ClassTest], time.Minute)
 	}
 }
 

@@ -140,6 +140,10 @@ type ClassQueue struct {
 	// flagged heads on read. This makes the admission stage's bulk load view
 	// O(classes) amortized instead of O(backlog) per submission.
 	oldest [3][]*Item
+	// qpu is the per-class running sum of queued ExpectedQPU, maintained
+	// incrementally on push/pop/remove so the queue-drain estimate behind
+	// Retry-After hints stays an O(1) read instead of an O(backlog) scan.
+	qpu [3]time.Duration
 }
 
 // NewClassQueue returns an empty queue.
@@ -157,6 +161,7 @@ func (q *ClassQueue) Push(it *Item) error {
 	defer q.mu.Unlock()
 	it.removed = false
 	q.queues[it.Class] = append(q.queues[it.Class], it)
+	q.qpu[it.Class] += it.ExpectedQPU
 	heapPushOldest(&q.oldest[it.Class], it)
 	return nil
 }
@@ -208,6 +213,7 @@ func (q *ClassQueue) Pop() *Item {
 		if len(q.queues[c]) > 0 {
 			it := q.queues[c][0]
 			q.queues[c] = q.queues[c][1:]
+			q.qpu[c] -= it.ExpectedQPU
 			it.removed = true
 			return it
 		}
@@ -239,6 +245,7 @@ func (q *ClassQueue) PopBy(less func(a, b *Item) bool) *Item {
 		}
 		it := items[best]
 		q.queues[c] = append(items[:best], items[best+1:]...)
+		q.qpu[c] -= it.ExpectedQPU
 		it.removed = true
 		return it
 	}
@@ -273,6 +280,7 @@ func (q *ClassQueue) PopByScore(score func(it *Item) float64, tie func(a, b *Ite
 		}
 		it := items[best]
 		q.queues[c] = append(items[:best], items[best+1:]...)
+		q.qpu[c] -= it.ExpectedQPU
 		it.removed = true
 		return it
 	}
@@ -299,6 +307,7 @@ func (q *ClassQueue) Remove(id string) bool {
 		for i, it := range q.queues[c] {
 			if it.ID == id {
 				q.queues[c] = append(q.queues[c][:i], q.queues[c][i+1:]...)
+				q.qpu[c] -= it.ExpectedQPU
 				it.removed = true
 				return true
 			}
@@ -318,19 +327,21 @@ func (q *ClassQueue) Len() int {
 	return n
 }
 
-// ClassLoads snapshots every class's queued count and earliest Enqueued
-// time under a single lock acquisition — the bulk read behind the admission
-// stage's fleet load view. has[c] reports whether class c has any backlog
-// (oldest[c] is meaningful only then). Counts are O(1) slice lengths; the
-// earliest Enqueued comes from the per-class lazy min-heap, so the cost per
-// call is O(classes) plus amortized O(log n) per item ever removed — not the
-// O(backlog) full scan this used to be (which made every admission decision
-// linear in total queued work).
-func (q *ClassQueue) ClassLoads() (counts [ClassProduction + 1]int, oldest [ClassProduction + 1]time.Duration, has [ClassProduction + 1]bool) {
+// ClassLoads snapshots every class's queued count, earliest Enqueued time
+// and summed queued ExpectedQPU under a single lock acquisition — the bulk
+// read behind the admission stage's fleet load view. has[c] reports whether
+// class c has any backlog (oldest[c] is meaningful only then). Counts and
+// QPU sums are O(1) reads (the sums are maintained incrementally on push and
+// pop); the earliest Enqueued comes from the per-class lazy min-heap, so the
+// cost per call is O(classes) plus amortized O(log n) per item ever removed —
+// not the O(backlog) full scan this used to be (which made every admission
+// decision linear in total queued work).
+func (q *ClassQueue) ClassLoads() (counts [ClassProduction + 1]int, oldest [ClassProduction + 1]time.Duration, has [ClassProduction + 1]bool, qpu [ClassProduction + 1]time.Duration) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for c := ClassDev; c <= ClassProduction; c++ {
 		counts[c] = len(q.queues[c])
+		qpu[c] = q.qpu[c]
 		h := &q.oldest[c]
 		// Drain removed items that have surfaced at the heap head. Stale
 		// entries deeper in the heap are left for later reads; if middle
@@ -351,7 +362,7 @@ func (q *ClassQueue) ClassLoads() (counts [ClassProduction + 1]int, oldest [Clas
 			oldest[c] = (*h)[0].Enqueued
 		}
 	}
-	return counts, oldest, has
+	return counts, oldest, has, qpu
 }
 
 // siftDownOldest restores the min-heap property below index i.
